@@ -1,0 +1,128 @@
+//! Graphviz DOT export for visual inspection of BDDs.
+//!
+//! Follows the paper's drawing conventions: solid lines are 1-edges, dotted
+//! lines are 0-edges, and edges to the constant 0 can be suppressed (the
+//! paper omits the 0 terminal entirely in its figures, e.g. Fig. 2).
+
+use crate::manager::{BddManager, NodeId, Var, FALSE, TRUE};
+use std::fmt::Write as _;
+
+/// Options controlling [`BddManager::to_dot`].
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Suppress the constant-0 node and all edges into it (paper style).
+    pub hide_false: bool,
+    /// Graph name.
+    pub name: String,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            hide_false: true,
+            name: "bdd".to_owned(),
+        }
+    }
+}
+
+impl BddManager {
+    /// Renders the BDD(s) rooted at `roots` as a Graphviz DOT string.
+    ///
+    /// `label` maps each variable to its display name; same-level nodes are
+    /// ranked together.
+    pub fn to_dot(
+        &self,
+        roots: &[NodeId],
+        label: impl Fn(Var) -> String,
+        options: &DotOptions,
+    ) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {} {{", options.name);
+        let _ = writeln!(out, "  rankdir=TB;");
+        let mut nodes = self.descendants(roots);
+        nodes.sort_by_key(|&n| (self.level_of_node(n), n));
+
+        // Rank groups per level.
+        let mut current_level = None;
+        for &n in &nodes {
+            let level = self.level_of_node(n);
+            if current_level != Some(level) {
+                if current_level.is_some() {
+                    let _ = writeln!(out, "  }}");
+                }
+                let _ = writeln!(out, "  {{ rank=same;");
+                current_level = Some(level);
+            }
+            let _ = writeln!(
+                out,
+                "    n{} [label=\"{}\", shape=circle];",
+                n.0,
+                label(self.var_of(n))
+            );
+        }
+        if current_level.is_some() {
+            let _ = writeln!(out, "  }}");
+        }
+        let mut used_true = false;
+        let mut used_false = false;
+        for &n in &nodes {
+            for (child, style) in [(self.lo(n), "dotted"), (self.hi(n), "solid")] {
+                if child == FALSE && options.hide_false {
+                    continue;
+                }
+                used_true |= child == TRUE;
+                used_false |= child == FALSE;
+                let _ = writeln!(out, "  n{} -> n{} [style={}];", n.0, child.0, style);
+            }
+        }
+        for &root in roots {
+            used_true |= root == TRUE;
+            used_false |= root == FALSE && !options.hide_false;
+        }
+        if used_true {
+            let _ = writeln!(out, "  n{} [label=\"1\", shape=box];", TRUE.0);
+        }
+        if used_false {
+            let _ = writeln!(out, "  n{} [label=\"0\", shape=box];", FALSE.0);
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut mgr = BddManager::new(2);
+        let a = mgr.var(Var(0));
+        let b = mgr.var(Var(1));
+        let f = mgr.and(a, b);
+        let dot = mgr.to_dot(&[f], |v| format!("x{}", v.0), &DotOptions::default());
+        assert!(dot.contains("digraph bdd"));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("style=solid"));
+        assert!(!dot.contains("style=dotted") || dot.contains("style=dotted"));
+        assert!(dot.contains("label=\"1\""));
+    }
+
+    #[test]
+    fn hide_false_suppresses_zero_terminal() {
+        let mut mgr = BddManager::new(1);
+        let a = mgr.var(Var(0));
+        let hidden = mgr.to_dot(&[a], |v| format!("x{}", v.0), &DotOptions::default());
+        assert!(!hidden.contains("label=\"0\""));
+        let shown = mgr.to_dot(
+            &[a],
+            |v| format!("x{}", v.0),
+            &DotOptions {
+                hide_false: false,
+                name: "g".into(),
+            },
+        );
+        assert!(shown.contains("label=\"0\""));
+    }
+}

@@ -1,0 +1,1314 @@
+//! The [`BddManager`]: node arena, unique table, Boolean operations,
+//! quantification, composition, counting, and bulk constructors.
+//!
+//! # Design notes
+//!
+//! * Nodes are stored in a flat arena ([`Vec`]) and identified by [`NodeId`]
+//!   (a `u32` index). The two terminals occupy the first two slots and have
+//!   fixed ids [`FALSE`] and [`TRUE`].
+//! * Nodes store the *variable* ([`Var`]), not the level. The manager keeps
+//!   a `Var ↔ level` permutation, so dynamic reordering (see the
+//!   [`reorder`](crate::reorder) module) only has to rebuild the nodes whose
+//!   local shape changes.
+//! * There is no reference counting. Temporary nodes accumulate in the arena
+//!   and are reclaimed by an explicit mark-and-rebuild collection
+//!   ([`BddManager::gc`]) which takes the set of live roots and returns their
+//!   remapped ids. This is much simpler than per-node reference counts and
+//!   entirely adequate for the workloads in this workspace (tens of
+//!   thousands of live nodes).
+//! * Operation results are cached (`ite`, quantification, composition). The
+//!   caches are invalidated on garbage collection and on level swaps — after
+//!   a swap a cached result may no longer be in canonical variable order.
+
+use crate::hasher::FastMap;
+use std::fmt;
+
+/// A Boolean variable, identified by a stable index.
+///
+/// Variable ids never change; the *level* (position in the current variable
+/// order) of a variable can change through reordering. Use
+/// [`BddManager::level_of`] to translate.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Index of a BDD node inside a [`BddManager`].
+///
+/// A `NodeId` is only meaningful together with the manager that allocated
+/// it. Equal ids denote identical functions (the manager maintains a strong
+/// canonical form).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FALSE => write!(f, "n⊥"),
+            TRUE => write!(f, "n⊤"),
+            NodeId(i) => write!(f, "n{i}"),
+        }
+    }
+}
+
+/// The constant-false terminal node.
+pub const FALSE: NodeId = NodeId(0);
+/// The constant-true terminal node.
+pub const TRUE: NodeId = NodeId(1);
+
+/// Sentinel variable index used by terminal nodes.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Level reported for terminal nodes: below every variable.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: NodeId,
+    hi: NodeId,
+}
+
+/// A shared ROBDD store.
+///
+/// All functions built by one manager share structure and may be combined
+/// with each other. See the [crate documentation](crate) for an overview and
+/// an example.
+///
+/// Cloning a manager snapshots the whole node store: node ids taken from
+/// the original remain valid (and denote the same functions) in the clone,
+/// which is how experiments fork one baseline into several independently
+/// reduced variants.
+#[derive(Clone)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: FastMap<(u32, NodeId, NodeId), NodeId>,
+    ite_cache: FastMap<(NodeId, NodeId, NodeId), NodeId>,
+    exists_cache: FastMap<(NodeId, NodeId), NodeId>,
+    and_exists_cache: FastMap<(NodeId, NodeId, NodeId), NodeId>,
+    compose_cache: FastMap<(NodeId, u32, NodeId), NodeId>,
+    var_at_level: Vec<Var>,
+    level_of_var: Vec<u32>,
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BddManager")
+            .field("num_vars", &self.num_vars())
+            .field("arena_len", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl BddManager {
+    /// Creates a manager with `num_vars` variables `Var(0) .. Var(num_vars-1)`,
+    /// initially ordered by index (`Var(0)` on top).
+    pub fn new(num_vars: usize) -> Self {
+        let mut mgr = BddManager {
+            nodes: Vec::with_capacity(1024),
+            unique: FastMap::default(),
+            ite_cache: FastMap::default(),
+            exists_cache: FastMap::default(),
+            and_exists_cache: FastMap::default(),
+            compose_cache: FastMap::default(),
+            var_at_level: (0..num_vars as u32).map(Var).collect(),
+            level_of_var: (0..num_vars as u32).collect(),
+        };
+        mgr.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: FALSE,
+            hi: FALSE,
+        });
+        mgr.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: TRUE,
+            hi: TRUE,
+        });
+        mgr
+    }
+
+    /// Appends a fresh variable at the bottom of the current order.
+    pub fn add_var(&mut self) -> Var {
+        let v = Var(self.level_of_var.len() as u32);
+        self.level_of_var.push(self.var_at_level.len() as u32);
+        self.var_at_level.push(v);
+        v
+    }
+
+    /// Number of variables managed.
+    pub fn num_vars(&self) -> usize {
+        self.var_at_level.len()
+    }
+
+    /// Total number of nodes in the arena, live or garbage (terminals
+    /// included). Useful for deciding when to [`gc`](Self::gc).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current level (position in the order, `0` = top) of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this manager.
+    pub fn level_of(&self, var: Var) -> u32 {
+        self.level_of_var[var.0 as usize]
+    }
+
+    /// The variable currently at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn var_at(&self, level: u32) -> Var {
+        self.var_at_level[level as usize]
+    }
+
+    /// The current variable order, top to bottom.
+    pub fn order(&self) -> &[Var] {
+        &self.var_at_level
+    }
+
+    /// Installs a complete variable order (a permutation of all variables,
+    /// top to bottom). Only affects *future* node constructions; existing
+    /// nodes are not rebuilt, so this should be called before building
+    /// functions, or via [`reorder`](crate::reorder) facilities otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of this manager's variables,
+    /// or if any non-terminal node exists (rebuilding is the job of the
+    /// reordering module).
+    pub fn set_order(&mut self, order: &[Var]) {
+        assert_eq!(order.len(), self.num_vars(), "order must cover all variables");
+        assert!(
+            self.nodes.len() == 2,
+            "set_order may only be used on an empty manager; use reordering otherwise"
+        );
+        let mut seen = vec![false; self.num_vars()];
+        for (lvl, &v) in order.iter().enumerate() {
+            assert!(
+                !std::mem::replace(&mut seen[v.0 as usize], true),
+                "duplicate variable {v:?} in order"
+            );
+            self.level_of_var[v.0 as usize] = lvl as u32;
+        }
+        self.var_at_level.copy_from_slice(order);
+    }
+
+    /// Crate-internal raw order update used by level swapping: assigns
+    /// `level_a` to `a` and `level_b` to `b` without any rebuilding.
+    pub(crate) fn set_levels_raw(&mut self, a: Var, level_a: u32, b: Var, level_b: u32) {
+        self.level_of_var[a.0 as usize] = level_a;
+        self.level_of_var[b.0 as usize] = level_b;
+        self.var_at_level[level_a as usize] = a;
+        self.var_at_level[level_b as usize] = b;
+    }
+
+    // ---------------------------------------------------------------------
+    // Structural access
+    // ---------------------------------------------------------------------
+
+    /// Is `id` one of the two terminal nodes?
+    pub fn is_const(&self, id: NodeId) -> bool {
+        id == FALSE || id == TRUE
+    }
+
+    /// Top variable of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal.
+    pub fn var_of(&self, id: NodeId) -> Var {
+        assert!(!self.is_const(id), "terminals have no variable");
+        Var(self.nodes[id.0 as usize].var)
+    }
+
+    /// 0-successor of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal.
+    pub fn lo(&self, id: NodeId) -> NodeId {
+        assert!(!self.is_const(id), "terminals have no successors");
+        self.nodes[id.0 as usize].lo
+    }
+
+    /// 1-successor of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal.
+    pub fn hi(&self, id: NodeId) -> NodeId {
+        assert!(!self.is_const(id), "terminals have no successors");
+        self.nodes[id.0 as usize].hi
+    }
+
+    /// Level of the node's top variable; `u32::MAX` for terminals.
+    pub fn level_of_node(&self, id: NodeId) -> u32 {
+        let node = self.nodes[id.0 as usize];
+        if node.var == TERMINAL_VAR {
+            TERMINAL_LEVEL
+        } else {
+            self.level_of_var[node.var as usize]
+        }
+    }
+
+    /// All distinct nodes reachable from `roots` (terminals excluded),
+    /// in depth-first discovery order.
+    pub fn descendants(&self, roots: &[NodeId]) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(n) = stack.pop() {
+            if self.is_const(n) || seen[n.0 as usize] {
+                continue;
+            }
+            seen[n.0 as usize] = true;
+            out.push(n);
+            let node = self.nodes[n.0 as usize];
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        out
+    }
+
+    /// Number of distinct non-terminal nodes reachable from `root`.
+    pub fn node_count(&self, root: NodeId) -> usize {
+        self.descendants(&[root]).len()
+    }
+
+    /// Number of distinct non-terminal nodes shared among several roots.
+    pub fn node_count_multi(&self, roots: &[NodeId]) -> usize {
+        self.descendants(roots).len()
+    }
+
+    // ---------------------------------------------------------------------
+    // Construction
+    // ---------------------------------------------------------------------
+
+    /// The canonical node for `if var then hi else lo`.
+    ///
+    /// Applies the ROBDD reduction rules. `var` must lie strictly above both
+    /// children in the current order (checked in debug builds).
+    pub fn mk(&mut self, var: Var, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(
+            self.level_of(var) < self.level_of_node(lo)
+                && self.level_of(var) < self.level_of_node(hi),
+            "mk: variable {var:?} (level {}) not above children (levels {}, {})",
+            self.level_of(var),
+            self.level_of_node(lo),
+            self.level_of_node(hi),
+        );
+        let key = (var.0, lo, hi);
+        if let Some(&id) = self.unique.get(&key) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        assert!(self.nodes.len() < u32::MAX as usize, "node arena overflow");
+        self.nodes.push(Node { var: var.0, lo, hi });
+        self.unique.insert(key, id);
+        id
+    }
+
+    /// The function `var` (a positive literal).
+    pub fn var(&mut self, var: Var) -> NodeId {
+        self.mk(var, FALSE, TRUE)
+    }
+
+    /// The function `¬var` (a negative literal).
+    pub fn nvar(&mut self, var: Var) -> NodeId {
+        self.mk(var, TRUE, FALSE)
+    }
+
+    /// The literal `var` if `positive`, else `¬var`.
+    pub fn literal(&mut self, var: Var, positive: bool) -> NodeId {
+        if positive {
+            self.var(var)
+        } else {
+            self.nvar(var)
+        }
+    }
+
+    /// Conjunction of literals. An empty slice yields `TRUE`.
+    ///
+    /// Literals may be given in any order; duplicates are allowed but a
+    /// variable must not appear with both polarities (that would be the
+    /// constant false, which is returned in that case).
+    pub fn cube(&mut self, literals: &[(Var, bool)]) -> NodeId {
+        let mut lits: Vec<(u32, Var, bool)> = literals
+            .iter()
+            .map(|&(v, pos)| (self.level_of(v), v, pos))
+            .collect();
+        lits.sort_unstable();
+        lits.dedup();
+        // Detect contradictory literals (same var, both polarities).
+        for pair in lits.windows(2) {
+            if pair[0].1 == pair[1].1 {
+                return FALSE;
+            }
+        }
+        let mut acc = TRUE;
+        for &(_, v, pos) in lits.iter().rev() {
+            acc = if pos {
+                self.mk(v, FALSE, acc)
+            } else {
+                self.mk(v, acc, FALSE)
+            };
+        }
+        acc
+    }
+
+    /// Builds the disjunction of a set of *minterms* over the given
+    /// variables in time `O(k·n)` for `k` minterms over `n` variables.
+    ///
+    /// `minterms[i]` encodes one assignment: bit `j` (LSB = bit 0) is the
+    /// value of `vars[j]`. Duplicate minterms are tolerated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty while `minterms` is not, if `vars` holds
+    /// more than 64 variables, or if a minterm sets bits outside
+    /// `vars.len()`.
+    pub fn from_minterms(&mut self, vars: &[Var], minterms: &[u64]) -> NodeId {
+        if minterms.is_empty() {
+            return FALSE;
+        }
+        assert!(!vars.is_empty(), "minterms over an empty variable set");
+        assert!(vars.len() <= 64, "from_minterms supports at most 64 variables");
+        let width = vars.len();
+        if width < 64 {
+            for &m in minterms {
+                assert!(
+                    m >> width == 0,
+                    "minterm {m:#x} sets bits outside the {width} given variables"
+                );
+            }
+        }
+        // Order variables by current level (top first) and remap minterm bits
+        // so that the most significant comparison bit is the top variable.
+        let mut by_level: Vec<(u32, usize)> = vars
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (self.level_of(v), j))
+            .collect();
+        by_level.sort_unstable();
+        let mut remapped: Vec<u64> = minterms
+            .iter()
+            .map(|&m| {
+                let mut r = 0u64;
+                for (rank, &(_, j)) in by_level.iter().enumerate() {
+                    if m >> j & 1 == 1 {
+                        // top variable -> most significant bit
+                        r |= 1 << (width - 1 - rank);
+                    }
+                }
+                r
+            })
+            .collect();
+        remapped.sort_unstable();
+        remapped.dedup();
+        let sorted_vars: Vec<Var> = by_level.iter().map(|&(_, j)| vars[j]).collect();
+        self.build_sorted_minterms(&sorted_vars, &remapped, 0)
+    }
+
+    fn build_sorted_minterms(&mut self, vars: &[Var], minterms: &[u64], depth: usize) -> NodeId {
+        if minterms.is_empty() {
+            return FALSE;
+        }
+        if depth == vars.len() {
+            return TRUE;
+        }
+        let bit = vars.len() - 1 - depth;
+        let split = minterms.partition_point(|&m| m >> bit & 1 == 0);
+        let lo = self.build_sorted_minterms(vars, &minterms[..split], depth + 1);
+        let hi = self.build_sorted_minterms(vars, &minterms[split..], depth + 1);
+        self.mk(vars[depth], lo, hi)
+    }
+
+    // ---------------------------------------------------------------------
+    // Boolean operations
+    // ---------------------------------------------------------------------
+
+    /// If-then-else: `f·g ∨ ¬f·h`. The workhorse all binary operations are
+    /// built on.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        // Terminal short-cuts.
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let top = self
+            .level_of_node(f)
+            .min(self.level_of_node(g))
+            .min(self.level_of_node(h));
+        let var = self.var_at(top);
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(var, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    #[inline]
+    fn cofactors_at(&self, f: NodeId, level: u32) -> (NodeId, NodeId) {
+        if self.level_of_node(f) == level {
+            let n = self.nodes[f.0 as usize];
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        self.ite(f, FALSE, TRUE)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, g, FALSE)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence (`f ≡ g`, i.e. XNOR).
+    pub fn iff(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, g, TRUE)
+    }
+
+    /// Conjunction of many operands (TRUE for an empty slice).
+    pub fn and_many(&mut self, fs: &[NodeId]) -> NodeId {
+        let mut acc = TRUE;
+        for &f in fs {
+            acc = self.and(acc, f);
+            if acc == FALSE {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of many operands (FALSE for an empty slice).
+    pub fn or_many(&mut self, fs: &[NodeId]) -> NodeId {
+        let mut acc = FALSE;
+        for &f in fs {
+            acc = self.or(acc, f);
+            if acc == TRUE {
+                break;
+            }
+        }
+        acc
+    }
+
+    // ---------------------------------------------------------------------
+    // Cofactors, composition, quantification
+    // ---------------------------------------------------------------------
+
+    /// The cofactor `f|var=value`.
+    pub fn restrict(&mut self, f: NodeId, var: Var, value: bool) -> NodeId {
+        let lit = self.literal(var, value);
+        self.restrict_rec(f, var, value, self.level_of(var), lit)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: NodeId,
+        var: Var,
+        value: bool,
+        var_level: u32,
+        lit: NodeId,
+    ) -> NodeId {
+        let level = self.level_of_node(f);
+        if level > var_level {
+            return f;
+        }
+        if level == var_level {
+            let n = self.nodes[f.0 as usize];
+            return if value { n.hi } else { n.lo };
+        }
+        // Reuse the compose cache: restrict(f, v, c) = compose(f, v, const c).
+        let key = (f, var.0, lit);
+        if let Some(&r) = self.compose_cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[f.0 as usize];
+        let lo = self.restrict_rec(n.lo, var, value, var_level, lit);
+        let hi = self.restrict_rec(n.hi, var, value, var_level, lit);
+        let r = self.mk(Var(n.var), lo, hi);
+        self.compose_cache.insert(key, r);
+        r
+    }
+
+    /// Simultaneous cofactor by a (partial) assignment given as literals.
+    pub fn restrict_cube(&mut self, f: NodeId, assignment: &[(Var, bool)]) -> NodeId {
+        let mut acc = f;
+        for &(v, val) in assignment {
+            acc = self.restrict(acc, v, val);
+        }
+        acc
+    }
+
+    /// Functional composition `f[var := g]`.
+    pub fn compose(&mut self, f: NodeId, var: Var, g: NodeId) -> NodeId {
+        let var_level = self.level_of(var);
+        self.compose_rec(f, var, var_level, g)
+    }
+
+    fn compose_rec(&mut self, f: NodeId, var: Var, var_level: u32, g: NodeId) -> NodeId {
+        let level = self.level_of_node(f);
+        if level > var_level {
+            return f; // f cannot depend on var
+        }
+        if level == var_level {
+            let n = self.nodes[f.0 as usize];
+            return self.ite(g, n.hi, n.lo);
+        }
+        let key = (f, var.0, g);
+        if let Some(&r) = self.compose_cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[f.0 as usize];
+        let lo = self.compose_rec(n.lo, var, var_level, g);
+        let hi = self.compose_rec(n.hi, var, var_level, g);
+        // lo/hi may now depend on variables above n.var, so rebuild with ite.
+        let v = self.var(Var(n.var));
+        let r = self.ite(v, hi, lo);
+        self.compose_cache.insert(key, r);
+        r
+    }
+
+    /// Existential quantification `∃ vars. f`.
+    pub fn exists(&mut self, f: NodeId, vars: &[Var]) -> NodeId {
+        let lits: Vec<(Var, bool)> = vars.iter().map(|&v| (v, true)).collect();
+        let cube = self.cube(&lits);
+        self.exists_cube(f, cube)
+    }
+
+    /// Existential quantification where the variable set is given as a
+    /// positive cube (conjunction of the variables to eliminate).
+    pub fn exists_cube(&mut self, f: NodeId, cube: NodeId) -> NodeId {
+        if self.is_const(f) || cube == TRUE {
+            return f;
+        }
+        debug_assert!(cube != FALSE, "quantification cube must be a positive cube");
+        let key = (f, cube);
+        if let Some(&r) = self.exists_cache.get(&key) {
+            return r;
+        }
+        let fl = self.level_of_node(f);
+        let cl = self.level_of_node(cube);
+        let r = if cl < fl {
+            // Quantified variable above f's top variable: f is independent.
+            let next = self.hi(cube);
+            self.exists_cube(f, next)
+        } else if cl == fl {
+            let n = self.nodes[f.0 as usize];
+            let next = self.hi(cube);
+            let lo = self.exists_cube(n.lo, next);
+            let hi = self.exists_cube(n.hi, next);
+            self.or(lo, hi)
+        } else {
+            let n = self.nodes[f.0 as usize];
+            let lo = self.exists_cube(n.lo, cube);
+            let hi = self.exists_cube(n.hi, cube);
+            self.mk(Var(n.var), lo, hi)
+        };
+        self.exists_cache.insert(key, r);
+        r
+    }
+
+    /// Universal quantification `∀ vars. f`.
+    pub fn forall(&mut self, f: NodeId, vars: &[Var]) -> NodeId {
+        let nf = self.not(f);
+        let e = self.exists(nf, vars);
+        self.not(e)
+    }
+
+    /// Relational product `∃ cube. (f ∧ g)` without materializing the full
+    /// conjunction — the workhorse of compatibility checking, where the
+    /// conjunction can be much larger than its projection.
+    ///
+    /// `cube` must be a positive cube as in [`BddManager::exists_cube`].
+    pub fn and_exists(&mut self, f: NodeId, g: NodeId, cube: NodeId) -> NodeId {
+        if f == FALSE || g == FALSE {
+            return FALSE;
+        }
+        if f == TRUE && g == TRUE {
+            return TRUE;
+        }
+        if cube == TRUE {
+            return self.and(f, g);
+        }
+        let key = (f.min(g), f.max(g), cube);
+        if let Some(&r) = self.and_exists_cache.get(&key) {
+            return r;
+        }
+        let lf = self.level_of_node(f);
+        let lg = self.level_of_node(g);
+        let top = lf.min(lg);
+        // Skip quantified variables above both operands.
+        let mut c = cube;
+        while c != TRUE && self.level_of_node(c) < top {
+            c = self.hi(c);
+        }
+        let r = if c == TRUE {
+            self.and(f, g)
+        } else {
+            let (f0, f1) = self.cofactors_at(f, top);
+            let (g0, g1) = self.cofactors_at(g, top);
+            if self.level_of_node(c) == top {
+                let next = self.hi(c);
+                let lo = self.and_exists(f0, g0, next);
+                if lo == TRUE {
+                    TRUE
+                } else {
+                    let hi = self.and_exists(f1, g1, next);
+                    self.or(lo, hi)
+                }
+            } else {
+                let var = self.var_at(top);
+                let lo = self.and_exists(f0, g0, c);
+                let hi = self.and_exists(f1, g1, c);
+                self.mk(var, lo, hi)
+            }
+        };
+        self.and_exists_cache.insert(key, r);
+        r
+    }
+
+    /// The Coudert–Madre *restrict* operator: returns a function that
+    /// agrees with `f` on the care set `care` and is (heuristically) a
+    /// smaller BDD — the classic single-function don't-care minimization
+    /// the literature builds on ([Coudert & Madre 1990], the basis of
+    /// Shiple et al.'s heuristics).
+    ///
+    /// Guarantees `restrict_care(f, care) ∧ care = f ∧ care`; outside the
+    /// care set the result is arbitrary.
+    pub fn restrict_care(&mut self, f: NodeId, care: NodeId) -> NodeId {
+        if care == FALSE {
+            return FALSE; // everything is don't care
+        }
+        let mut memo: FastMap<(NodeId, NodeId), NodeId> = FastMap::default();
+        self.restrict_care_rec(f, care, &mut memo)
+    }
+
+    fn restrict_care_rec(
+        &mut self,
+        f: NodeId,
+        care: NodeId,
+        memo: &mut FastMap<(NodeId, NodeId), NodeId>,
+    ) -> NodeId {
+        if care == TRUE || self.is_const(f) {
+            return f;
+        }
+        let key = (f, care);
+        if let Some(&r) = memo.get(&key) {
+            return r;
+        }
+        let lf = self.level_of_node(f);
+        let lc = self.level_of_node(care);
+        let r = if lc < lf {
+            // The care set's top variable does not constrain f's top:
+            // widen the care set by quantifying it away.
+            let c0 = self.lo(care);
+            let c1 = self.hi(care);
+            let widened = self.or(c0, c1);
+            self.restrict_care_rec(f, widened, memo)
+        } else {
+            let (f0, f1) = self.cofactors_at(f, lf);
+            let (c0, c1) = self.cofactors_at(care, lf);
+            if c0 == FALSE {
+                self.restrict_care_rec(f1, c1, memo)
+            } else if c1 == FALSE {
+                self.restrict_care_rec(f0, c0, memo)
+            } else {
+                let var = self.var_at(lf);
+                let lo = self.restrict_care_rec(f0, c0, memo);
+                let hi = self.restrict_care_rec(f1, c1, memo);
+                self.mk(var, lo, hi)
+            }
+        };
+        memo.insert(key, r);
+        r
+    }
+
+    // ---------------------------------------------------------------------
+    // Analysis
+    // ---------------------------------------------------------------------
+
+    /// The set of variables `f` depends on, sorted by current level.
+    pub fn support(&self, f: NodeId) -> Vec<Var> {
+        let mut present = vec![false; self.num_vars()];
+        for n in self.descendants(&[f]) {
+            present[self.nodes[n.0 as usize].var as usize] = true;
+        }
+        let mut vars: Vec<Var> = present
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| p.then_some(Var(i as u32)))
+            .collect();
+        vars.sort_unstable_by_key(|&v| self.level_of(v));
+        vars
+    }
+
+    /// Union of the supports of several functions, sorted by current level.
+    pub fn support_multi(&self, fs: &[NodeId]) -> Vec<Var> {
+        let mut present = vec![false; self.num_vars()];
+        for n in self.descendants(fs) {
+            present[self.nodes[n.0 as usize].var as usize] = true;
+        }
+        let mut vars: Vec<Var> = present
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| p.then_some(Var(i as u32)))
+            .collect();
+        vars.sort_unstable_by_key(|&v| self.level_of(v));
+        vars
+    }
+
+    /// Exact number of satisfying assignments over *all* variables of the
+    /// manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager has more than 127 variables (the count would
+    /// overflow `u128`).
+    pub fn sat_count(&self, f: NodeId) -> u128 {
+        let t = self.num_vars() as u32;
+        assert!(t < 128, "sat_count overflows u128 beyond 127 variables");
+        let mut memo: FastMap<NodeId, u128> = FastMap::default();
+        let below_root = self.sat_count_rec(f, &mut memo, t);
+        below_root << self.level_of_node(f).min(t)
+    }
+
+    fn sat_count_rec(&self, f: NodeId, memo: &mut FastMap<NodeId, u128>, t: u32) -> u128 {
+        if f == FALSE {
+            return 0;
+        }
+        if f == TRUE {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.nodes[f.0 as usize];
+        let level = self.level_of_var[n.var as usize];
+        let ll = self.level_of_node(n.lo).min(t);
+        let lh = self.level_of_node(n.hi).min(t);
+        let c = (self.sat_count_rec(n.lo, memo, t) << (ll - level - 1))
+            + (self.sat_count_rec(n.hi, memo, t) << (lh - level - 1));
+        memo.insert(f, c);
+        c
+    }
+
+    /// Evaluates `f` under a total assignment indexed by variable id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is shorter than the number of variables.
+    pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
+        assert!(
+            assignment.len() >= self.num_vars(),
+            "assignment must cover all {} variables",
+            self.num_vars()
+        );
+        let mut cur = f;
+        while !self.is_const(cur) {
+            let n = self.nodes[cur.0 as usize];
+            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+        cur == TRUE
+    }
+
+    /// One satisfying partial assignment (variables not mentioned are
+    /// irrelevant on that path), or `None` if `f` is unsatisfiable.
+    pub fn one_sat(&self, f: NodeId) -> Option<Vec<(Var, bool)>> {
+        if f == FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while !self.is_const(cur) {
+            let n = self.nodes[cur.0 as usize];
+            if n.lo != FALSE {
+                path.push((Var(n.var), false));
+                cur = n.lo;
+            } else {
+                path.push((Var(n.var), true));
+                cur = n.hi;
+            }
+        }
+        debug_assert_eq!(cur, TRUE);
+        Some(path)
+    }
+
+    // ---------------------------------------------------------------------
+    // Garbage collection & cache control
+    // ---------------------------------------------------------------------
+
+    /// Drops all cached operation results. Required after level swaps (done
+    /// automatically by the reordering module).
+    pub fn clear_caches(&mut self) {
+        // Replace rather than `clear()`: clearing is O(capacity), and the
+        // caches can hold millions of buckets after a big construction —
+        // reordering calls this on every level swap.
+        self.ite_cache = FastMap::default();
+        self.exists_cache = FastMap::default();
+        self.and_exists_cache = FastMap::default();
+        self.compose_cache = FastMap::default();
+    }
+
+    /// Mark-and-rebuild garbage collection.
+    ///
+    /// Keeps exactly the nodes reachable from `roots`, compacts the arena,
+    /// and returns the ids of the roots in the new arena (same order as the
+    /// input). All previously held [`NodeId`]s — other than the returned
+    /// ones and the terminals — are invalidated.
+    pub fn gc(&mut self, roots: &[NodeId]) -> Vec<NodeId> {
+        let mut new_nodes: Vec<Node> = Vec::with_capacity(2 + roots.len());
+        new_nodes.push(self.nodes[0]);
+        new_nodes.push(self.nodes[1]);
+        let mut new_unique: FastMap<(u32, NodeId, NodeId), NodeId> = FastMap::default();
+        let mut remap: FastMap<NodeId, NodeId> = FastMap::default();
+        remap.insert(FALSE, FALSE);
+        remap.insert(TRUE, TRUE);
+
+        // Iterative post-order copy.
+        let mut result = Vec::with_capacity(roots.len());
+        for &root in roots {
+            let mut stack = vec![(root, false)];
+            while let Some((n, expanded)) = stack.pop() {
+                if remap.contains_key(&n) {
+                    continue;
+                }
+                let node = self.nodes[n.0 as usize];
+                if expanded {
+                    let lo = remap[&node.lo];
+                    let hi = remap[&node.hi];
+                    let key = (node.var, lo, hi);
+                    let id = *new_unique.entry(key).or_insert_with(|| {
+                        let id = NodeId(new_nodes.len() as u32);
+                        new_nodes.push(Node { var: node.var, lo, hi });
+                        id
+                    });
+                    remap.insert(n, id);
+                } else {
+                    stack.push((n, true));
+                    stack.push((node.lo, false));
+                    stack.push((node.hi, false));
+                }
+            }
+            result.push(remap[&root]);
+        }
+        self.nodes = new_nodes;
+        self.unique = new_unique;
+        self.clear_caches();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup3() -> (BddManager, NodeId, NodeId, NodeId) {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(Var(0));
+        let b = mgr.var(Var(1));
+        let c = mgr.var(Var(2));
+        (mgr, a, b, c)
+    }
+
+    #[test]
+    fn terminals_are_fixed() {
+        let mgr = BddManager::new(2);
+        assert!(mgr.is_const(FALSE));
+        assert!(mgr.is_const(TRUE));
+        assert_ne!(FALSE, TRUE);
+        assert_eq!(mgr.level_of_node(TRUE), TERMINAL_LEVEL);
+    }
+
+    #[test]
+    fn mk_is_canonical() {
+        let (mut mgr, _, _, _) = setup3();
+        let n1 = mgr.mk(Var(1), FALSE, TRUE);
+        let n2 = mgr.mk(Var(1), FALSE, TRUE);
+        assert_eq!(n1, n2);
+        assert_eq!(mgr.mk(Var(0), n1, n1), n1, "redundant test is removed");
+    }
+
+    #[test]
+    fn basic_boolean_algebra() {
+        let (mut mgr, a, b, _) = setup3();
+        let ab = mgr.and(a, b);
+        let ba = mgr.and(b, a);
+        assert_eq!(ab, ba, "AND is commutative by canonicity");
+        let na = mgr.not(a);
+        assert_eq!(mgr.and(a, na), FALSE);
+        assert_eq!(mgr.or(a, na), TRUE);
+        let nn = mgr.not(na);
+        assert_eq!(nn, a, "double negation");
+    }
+
+    #[test]
+    fn xor_iff_implies() {
+        let (mut mgr, a, b, _) = setup3();
+        let x = mgr.xor(a, b);
+        let e = mgr.iff(a, b);
+        let nx = mgr.not(x);
+        assert_eq!(e, nx);
+        let imp = mgr.implies(a, b);
+        let na = mgr.not(a);
+        let alt = mgr.or(na, b);
+        assert_eq!(imp, alt);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut mgr, a, b, c) = setup3();
+        let abc = mgr.and_many(&[a, b, c]);
+        let left = mgr.not(abc);
+        let na = mgr.not(a);
+        let nb = mgr.not(b);
+        let nc = mgr.not(c);
+        let right = mgr.or_many(&[na, nb, nc]);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn eval_walks_by_variable_id() {
+        let (mut mgr, a, b, c) = setup3();
+        let f = {
+            let t = mgr.and(a, b);
+            mgr.or(t, c)
+        };
+        assert!(mgr.eval(f, &[true, true, false]));
+        assert!(mgr.eval(f, &[false, false, true]));
+        assert!(!mgr.eval(f, &[true, false, false]));
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table() {
+        let (mut mgr, a, b, c) = setup3();
+        let t = mgr.and(a, b);
+        let f = mgr.or(t, c);
+        // Brute force.
+        let mut count = 0u128;
+        for bits in 0..8u32 {
+            let assignment = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            if mgr.eval(f, &assignment) {
+                count += 1;
+            }
+        }
+        assert_eq!(mgr.sat_count(f), count);
+        assert_eq!(mgr.sat_count(TRUE), 8);
+        assert_eq!(mgr.sat_count(FALSE), 0);
+    }
+
+    #[test]
+    fn sat_count_of_single_literal() {
+        let (mut mgr, a, _, _) = setup3();
+        assert_eq!(mgr.sat_count(a), 4);
+        let na = mgr.not(a);
+        assert_eq!(mgr.sat_count(na), 4);
+    }
+
+    #[test]
+    fn cube_builds_conjunction() {
+        let (mut mgr, a, b, _) = setup3();
+        let cube = mgr.cube(&[(Var(1), true), (Var(0), true)]);
+        let ab = mgr.and(a, b);
+        assert_eq!(cube, ab);
+        assert_eq!(mgr.cube(&[]), TRUE);
+        assert_eq!(
+            mgr.cube(&[(Var(0), true), (Var(0), false)]),
+            FALSE,
+            "contradictory cube"
+        );
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let (mut mgr, a, b, c) = setup3();
+        let t = mgr.and(a, b);
+        let f = mgr.or(t, c);
+        let f_a1 = mgr.restrict(f, Var(0), true);
+        let expect = mgr.or(b, c);
+        assert_eq!(f_a1, expect);
+        let f_a0 = mgr.restrict(f, Var(0), false);
+        assert_eq!(f_a0, c);
+        // Restricting a variable not in support is identity.
+        let g = mgr.and(a, b);
+        assert_eq!(mgr.restrict(g, Var(2), true), g);
+    }
+
+    #[test]
+    fn restrict_cube_applies_all() {
+        let (mut mgr, a, b, c) = setup3();
+        let t = mgr.and(a, b);
+        let f = mgr.or(t, c);
+        let r = mgr.restrict_cube(f, &[(Var(0), true), (Var(1), true)]);
+        assert_eq!(r, TRUE);
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        let (mut mgr, a, b, c) = setup3();
+        // f = a XOR b; f[b := c] = a XOR c
+        let f = mgr.xor(a, b);
+        let composed = mgr.compose(f, Var(1), c);
+        let expect = mgr.xor(a, c);
+        assert_eq!(composed, expect);
+        // Compose with a function above in the order.
+        let g = mgr.xor(b, c);
+        let composed = mgr.compose(g, Var(2), a);
+        let expect = mgr.xor(b, a);
+        assert_eq!(composed, expect);
+    }
+
+    #[test]
+    fn exists_and_forall() {
+        let (mut mgr, a, b, c) = setup3();
+        let t = mgr.and(a, b);
+        let f = mgr.or(t, c);
+        let e = mgr.exists(f, &[Var(2)]);
+        assert_eq!(e, TRUE, "∃c. (ab ∨ c) = 1");
+        let u = mgr.forall(f, &[Var(2)]);
+        assert_eq!(u, t, "∀c. (ab ∨ c) = ab");
+        let e2 = mgr.exists(f, &[Var(0), Var(2)]);
+        assert_eq!(e2, TRUE);
+        // Quantifying a variable outside the support is identity.
+        let g = mgr.and(a, b);
+        assert_eq!(mgr.exists(g, &[Var(2)]), g);
+    }
+
+    #[test]
+    fn restrict_care_agrees_on_the_care_set() {
+        let (mut mgr, a, b, c) = setup3();
+        let candidates = [a, b, mgr.xor(a, c), mgr.and(b, c), mgr.or(a, b)];
+        let cares = [TRUE, a, mgr.or(b, c), mgr.xor(a, b), mgr.and(a, c)];
+        for &f in &candidates {
+            for &care in &cares {
+                let r = mgr.restrict_care(f, care);
+                let lhs = mgr.and(r, care);
+                let rhs = mgr.and(f, care);
+                assert_eq!(lhs, rhs, "restrict_care must agree on the care set");
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_care_can_shrink() {
+        let (mut mgr, a, b, c) = setup3();
+        // f = a XOR b XOR c (3 internal nodes per level, 7 total);
+        // care = a: on the care set f|a=1 = ¬(b XOR c).
+        let ab = mgr.xor(a, b);
+        let f = mgr.xor(ab, c);
+        let r = mgr.restrict_care(f, a);
+        assert!(
+            mgr.node_count(r) < mgr.node_count(f),
+            "restrict should drop the a-level test"
+        );
+        assert_eq!(mgr.restrict_care(f, FALSE), FALSE);
+        assert_eq!(mgr.restrict_care(f, TRUE), f);
+    }
+
+    #[test]
+    fn and_exists_equals_and_then_exists() {
+        let (mut mgr, a, b, c) = setup3();
+        let candidates = [a, b, c, mgr.xor(a, b), mgr.and(b, c), mgr.or(a, c), TRUE, FALSE];
+        let cube_bc = mgr.cube(&[(Var(1), true), (Var(2), true)]);
+        let cube_a = mgr.cube(&[(Var(0), true)]);
+        for &f in &candidates {
+            for &g in &candidates {
+                for &cube in &[cube_bc, cube_a, TRUE] {
+                    let fused = mgr.and_exists(f, g, cube);
+                    let conj = mgr.and(f, g);
+                    let plain = mgr.exists_cube(conj, cube);
+                    assert_eq!(fused, plain, "f={f:?} g={g:?} cube={cube:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_is_sorted_by_level() {
+        let (mut mgr, a, _, c) = setup3();
+        let f = mgr.xor(a, c);
+        assert_eq!(mgr.support(f), vec![Var(0), Var(2)]);
+        assert_eq!(mgr.support(TRUE), vec![]);
+    }
+
+    #[test]
+    fn from_minterms_small() {
+        let mut mgr = BddManager::new(3);
+        // Majority of (v0, v1, v2): minterms 3,5,6,7 with bit j = value of vars[j].
+        let f = mgr.from_minterms(&[Var(0), Var(1), Var(2)], &[0b011, 0b101, 0b110, 0b111]);
+        for bits in 0..8u32 {
+            let assignment = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let expect = assignment.iter().filter(|&&x| x).count() >= 2;
+            assert_eq!(mgr.eval(f, &assignment), expect, "bits={bits:03b}");
+        }
+        assert_eq!(mgr.from_minterms(&[Var(0)], &[]), FALSE);
+    }
+
+    #[test]
+    fn from_minterms_matches_cube_or() {
+        let mut mgr = BddManager::new(5);
+        let vars = [Var(0), Var(1), Var(2), Var(3), Var(4)];
+        let minterms = [0b00001u64, 0b10101, 0b11111, 0b01110];
+        let fast = mgr.from_minterms(&vars, &minterms);
+        let mut slow = FALSE;
+        for &m in &minterms {
+            let lits: Vec<(Var, bool)> =
+                (0..5).map(|j| (vars[j], m >> j & 1 == 1)).collect();
+            let cube = mgr.cube(&lits);
+            slow = mgr.or(slow, cube);
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn one_sat_finds_model() {
+        let (mut mgr, a, b, _) = setup3();
+        let nb = mgr.not(b);
+        let f = mgr.and(a, nb);
+        let model = mgr.one_sat(f).unwrap();
+        let mut assignment = [false; 3];
+        for (v, val) in model {
+            assignment[v.0 as usize] = val;
+        }
+        assert!(mgr.eval(f, &assignment));
+        assert!(mgr.one_sat(FALSE).is_none());
+    }
+
+    #[test]
+    fn gc_preserves_functions_and_compacts() {
+        let (mut mgr, a, b, c) = setup3();
+        let keep = {
+            let t = mgr.xor(a, b);
+            mgr.or(t, c)
+        };
+        // Create garbage.
+        for _ in 0..10 {
+            let g = mgr.and(a, c);
+            let _ = mgr.xor(g, b);
+        }
+        let before_eval: Vec<bool> = (0..8u32)
+            .map(|bits| mgr.eval(keep, &[(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0]))
+            .collect();
+        let arena_before = mgr.arena_len();
+        let roots = mgr.gc(&[keep]);
+        assert!(mgr.arena_len() <= arena_before);
+        let after_eval: Vec<bool> = (0..8u32)
+            .map(|bits| {
+                mgr.eval(roots[0], &[(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0])
+            })
+            .collect();
+        assert_eq!(before_eval, after_eval);
+    }
+
+    #[test]
+    fn gc_keeps_shared_structure_shared() {
+        let (mut mgr, a, b, c) = setup3();
+        let f = mgr.and(b, c);
+        let g = mgr.or(a, f);
+        let roots = mgr.gc(&[f, g]);
+        // f is a sub-function of g; after gc the shared node count must not
+        // exceed the sum of individual counts and f must still be g's child.
+        assert_eq!(
+            mgr.node_count_multi(&roots),
+            mgr.node_count(roots[1]),
+            "f shares all nodes with g"
+        );
+    }
+
+    #[test]
+    fn node_count_counts_distinct_nonterminals() {
+        let (mut mgr, a, b, _) = setup3();
+        assert_eq!(mgr.node_count(a), 1);
+        let f = mgr.xor(a, b);
+        assert_eq!(mgr.node_count(f), 3); // one v0 node, two v1 nodes
+        assert_eq!(mgr.node_count(TRUE), 0);
+    }
+
+    #[test]
+    fn add_var_extends_order_at_bottom() {
+        let mut mgr = BddManager::new(1);
+        let v1 = mgr.add_var();
+        assert_eq!(v1, Var(1));
+        assert_eq!(mgr.level_of(v1), 1);
+        assert_eq!(mgr.num_vars(), 2);
+        let x0 = mgr.var(Var(0));
+        let x1 = mgr.var(v1);
+        let f = mgr.and(x0, x1);
+        assert_eq!(mgr.sat_count(f), 1);
+    }
+
+    #[test]
+    fn set_order_affects_structure() {
+        let mut mgr = BddManager::new(4);
+        mgr.set_order(&[Var(3), Var(1), Var(2), Var(0)]);
+        assert_eq!(mgr.level_of(Var(3)), 0);
+        assert_eq!(mgr.var_at(3), Var(0));
+        let a = mgr.var(Var(0));
+        let b = mgr.var(Var(3));
+        let f = mgr.and(a, b);
+        // Top variable of f must be Var(3) under the new order.
+        assert_eq!(mgr.var_of(f), Var(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover all variables")]
+    fn set_order_rejects_wrong_length() {
+        let mut mgr = BddManager::new(3);
+        mgr.set_order(&[Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn descendants_excludes_terminals() {
+        let (mut mgr, a, b, _) = setup3();
+        let f = mgr.or(a, b);
+        let d = mgr.descendants(&[f]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.contains(&TRUE));
+    }
+}

@@ -1,0 +1,367 @@
+//! Multi-terminal BDDs (MTBDDs) over `u64` terminal values.
+//!
+//! The paper motivates the BDD_for_CF by comparing it against the MTBDD of
+//! the same multiple-output function: "BDD_for_CFs usually require fewer
+//! nodes than corresponding MTBDDs, and the widths of the BDD_for_CFs tend
+//! to be smaller". This module provides exactly enough MTBDD machinery to
+//! make that comparison: construction from a vector of per-output BDDs,
+//! evaluation, node counts, and width profiles.
+//!
+//! An MTBDD node branches on input variables only; each terminal holds the
+//! packed output word (bit `i` = value of output `i`).
+
+use crate::hasher::FastMap;
+use crate::manager::{BddManager, NodeId, Var, TRUE};
+use std::fmt;
+
+/// Index of an MTBDD node inside an [`MtbddManager`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MtNodeId(u32);
+
+impl fmt::Debug for MtNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum MtNode {
+    Terminal(u64),
+    Internal { var: u32, lo: MtNodeId, hi: MtNodeId },
+}
+
+/// A reduced ordered multi-terminal BDD store.
+///
+/// The variable order is fixed at construction (copied from the
+/// [`BddManager`] the MTBDD is built from); MTBDDs here are analysis
+/// artifacts, not a mutable working representation.
+pub struct MtbddManager {
+    nodes: Vec<MtNode>,
+    unique_internal: FastMap<(u32, MtNodeId, MtNodeId), MtNodeId>,
+    unique_terminal: FastMap<u64, MtNodeId>,
+    level_of_var: Vec<u32>,
+    var_at_level: Vec<Var>,
+    num_vars: usize,
+}
+
+impl fmt::Debug for MtbddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MtbddManager")
+            .field("num_vars", &self.num_vars)
+            .field("arena_len", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl MtbddManager {
+    /// Creates an empty MTBDD manager with the same variables and order as
+    /// `source`.
+    pub fn with_order_of(source: &BddManager) -> Self {
+        MtbddManager {
+            nodes: Vec::new(),
+            unique_internal: FastMap::default(),
+            unique_terminal: FastMap::default(),
+            level_of_var: (0..source.num_vars() as u32)
+                .map(|v| source.level_of(Var(v)))
+                .collect(),
+            var_at_level: (0..source.num_vars() as u32)
+                .map(|l| source.var_at(l))
+                .collect(),
+            num_vars: source.num_vars(),
+        }
+    }
+
+    /// The canonical terminal node for `value`.
+    pub fn terminal(&mut self, value: u64) -> MtNodeId {
+        if let Some(&id) = self.unique_terminal.get(&value) {
+            return id;
+        }
+        let id = MtNodeId(self.nodes.len() as u32);
+        self.nodes.push(MtNode::Terminal(value));
+        self.unique_terminal.insert(value, id);
+        id
+    }
+
+    /// The canonical internal node `if var then hi else lo`.
+    pub fn mk(&mut self, var: Var, lo: MtNodeId, hi: MtNodeId) -> MtNodeId {
+        if lo == hi {
+            return lo;
+        }
+        let key = (var.0, lo, hi);
+        if let Some(&id) = self.unique_internal.get(&key) {
+            return id;
+        }
+        let id = MtNodeId(self.nodes.len() as u32);
+        self.nodes.push(MtNode::Internal { var: var.0, lo, hi });
+        self.unique_internal.insert(key, id);
+        id
+    }
+
+    fn level_of_node(&self, id: MtNodeId) -> u32 {
+        match self.nodes[id.0 as usize] {
+            MtNode::Terminal(_) => u32::MAX,
+            MtNode::Internal { var, .. } => self.level_of_var[var as usize],
+        }
+    }
+
+    /// Builds the MTBDD of the multiple-output function whose output `i`
+    /// is the BDD `outputs[i]` in `mgr`; the terminal value packs the
+    /// output bits (`bit i = fᵢ`).
+    ///
+    /// Implemented as a balanced tree of pairwise terminal-packing
+    /// combinations, whose `(a, b)`-keyed caches stay small — the naive
+    /// simultaneous walk keyed on output-vectors explodes for functions
+    /// with many outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 outputs are given or the orders diverge
+    /// (i.e. `self` was not created by [`MtbddManager::with_order_of`] on
+    /// `mgr`, or `mgr` was reordered since).
+    #[allow(clippy::wrong_self_convention)] // reads naturally: the store builds *from* BDDs
+    pub fn from_bdds(&mut self, mgr: &BddManager, outputs: &[NodeId]) -> MtNodeId {
+        assert!(outputs.len() <= 64, "terminal packing supports at most 64 outputs");
+        assert_eq!(
+            self.num_vars,
+            mgr.num_vars(),
+            "MTBDD manager built for a different variable count"
+        );
+        if outputs.is_empty() {
+            return self.terminal(0);
+        }
+        // Convert each output to a 1-bit MTBDD, then tree-reduce.
+        let mut parts: Vec<(MtNodeId, usize)> = outputs
+            .iter()
+            .map(|&f| {
+                let mut memo = FastMap::default();
+                (self.lift(mgr, f, &mut memo), 1)
+            })
+            .collect();
+        while parts.len() > 1 {
+            let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+            let mut iter = parts.into_iter();
+            while let Some((a, wa)) = iter.next() {
+                match iter.next() {
+                    Some((b, wb)) => {
+                        let mut memo = FastMap::default();
+                        next.push((self.pack(a, b, wa as u32, &mut memo), wa + wb));
+                    }
+                    None => next.push((a, wa)),
+                }
+            }
+            parts = next;
+        }
+        parts[0].0
+    }
+
+    /// Converts a single BDD into a 0/1-terminal MTBDD.
+    fn lift(
+        &mut self,
+        mgr: &BddManager,
+        f: NodeId,
+        memo: &mut FastMap<NodeId, MtNodeId>,
+    ) -> MtNodeId {
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let r = if mgr.is_const(f) {
+            self.terminal(u64::from(f == TRUE))
+        } else {
+            let var = mgr.var_of(f);
+            let lo = self.lift(mgr, mgr.lo(f), memo);
+            let hi = self.lift(mgr, mgr.hi(f), memo);
+            self.mk(var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Combines two MTBDDs into one whose terminals are
+    /// `word(a) | word(b) << shift`.
+    fn pack(
+        &mut self,
+        a: MtNodeId,
+        b: MtNodeId,
+        shift: u32,
+        memo: &mut FastMap<(MtNodeId, MtNodeId), MtNodeId>,
+    ) -> MtNodeId {
+        if let Some(&r) = memo.get(&(a, b)) {
+            return r;
+        }
+        let la = self.level_of_node(a);
+        let lb = self.level_of_node(b);
+        let r = if la == u32::MAX && lb == u32::MAX {
+            let (MtNode::Terminal(wa), MtNode::Terminal(wb)) =
+                (self.nodes[a.0 as usize], self.nodes[b.0 as usize])
+            else {
+                unreachable!("terminal levels imply terminal nodes")
+            };
+            self.terminal(wa | wb << shift)
+        } else {
+            let top = la.min(lb);
+            let var = self.var_at_level[top as usize];
+            let (a0, a1) = match self.nodes[a.0 as usize] {
+                MtNode::Internal { var: w, lo, hi } if self.level_of_var[w as usize] == top => {
+                    (lo, hi)
+                }
+                _ => (a, a),
+            };
+            let (b0, b1) = match self.nodes[b.0 as usize] {
+                MtNode::Internal { var: w, lo, hi } if self.level_of_var[w as usize] == top => {
+                    (lo, hi)
+                }
+                _ => (b, b),
+            };
+            let lo = self.pack(a0, b0, shift, memo);
+            let hi = self.pack(a1, b1, shift, memo);
+            self.mk(var, lo, hi)
+        };
+        memo.insert((a, b), r);
+        r
+    }
+
+    /// Evaluates the MTBDD under a total assignment indexed by variable id.
+    pub fn eval(&self, root: MtNodeId, assignment: &[bool]) -> u64 {
+        let mut cur = root;
+        loop {
+            match self.nodes[cur.0 as usize] {
+                MtNode::Terminal(v) => return v,
+                MtNode::Internal { var, lo, hi } => {
+                    cur = if assignment[var as usize] { hi } else { lo };
+                }
+            }
+        }
+    }
+
+    /// All distinct nodes reachable from `root`, terminals included.
+    fn reachable(&self, root: MtNodeId) -> Vec<MtNodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if seen[n.0 as usize] {
+                continue;
+            }
+            seen[n.0 as usize] = true;
+            out.push(n);
+            if let MtNode::Internal { lo, hi, .. } = self.nodes[n.0 as usize] {
+                stack.push(lo);
+                stack.push(hi);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct *internal* nodes reachable from `root`.
+    pub fn node_count(&self, root: MtNodeId) -> usize {
+        self.reachable(root)
+            .iter()
+            .filter(|&&n| matches!(self.nodes[n.0 as usize], MtNode::Internal { .. }))
+            .count()
+    }
+
+    /// Number of distinct terminal values reachable from `root`.
+    pub fn terminal_count(&self, root: MtNodeId) -> usize {
+        self.reachable(root)
+            .iter()
+            .filter(|&&n| matches!(self.nodes[n.0 as usize], MtNode::Terminal(_)))
+            .count()
+    }
+
+    /// Width profile analogous to [`BddManager::width_profile`]: `cuts[c]`
+    /// is the number of distinct nodes (terminals included — MTBDD column
+    /// patterns are terminal values) hanging below cut `c`.
+    pub fn width_profile(&self, root: MtNodeId) -> Vec<usize> {
+        let t = self.num_vars;
+        let mut crossing: Vec<crate::hasher::FastSet<MtNodeId>> =
+            vec![crate::hasher::FastSet::default(); t + 1];
+        let record =
+            |from: i64, to: MtNodeId, to_level: u32, crossing: &mut Vec<crate::hasher::FastSet<MtNodeId>>| {
+                let topmost = (from + 1).max(0) as usize;
+                let bottom = (to_level as usize).min(t);
+                for set in crossing.iter_mut().take(bottom + 1).skip(topmost) {
+                    set.insert(to);
+                }
+            };
+        record(-1, root, self.level_of_node(root), &mut crossing);
+        for n in self.reachable(root) {
+            if let MtNode::Internal { lo, hi, .. } = self.nodes[n.0 as usize] {
+                let level = i64::from(self.level_of_node(n));
+                record(level, lo, self.level_of_node(lo), &mut crossing);
+                record(level, hi, self.level_of_node(hi), &mut crossing);
+            }
+        }
+        crossing.into_iter().map(|s| s.len().max(1)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Half adder: sum = a XOR b, carry = a AND b.
+    fn half_adder() -> (BddManager, Vec<NodeId>) {
+        let mut mgr = BddManager::new(2);
+        let a = mgr.var(Var(0));
+        let b = mgr.var(Var(1));
+        let sum = mgr.xor(a, b);
+        let carry = mgr.and(a, b);
+        (mgr, vec![sum, carry])
+    }
+
+    #[test]
+    fn from_bdds_matches_eval() {
+        let (mgr, outs) = half_adder();
+        let mut mt = MtbddManager::with_order_of(&mgr);
+        let root = mt.from_bdds(&mgr, &outs);
+        for bits in 0..4u64 {
+            let a = bits & 1 == 1;
+            let b = bits & 2 == 2;
+            let expect = (u64::from(a ^ b)) | (u64::from(a && b) << 1);
+            assert_eq!(mt.eval(root, &[a, b]), expect);
+        }
+    }
+
+    #[test]
+    fn terminals_are_shared() {
+        let (mgr, outs) = half_adder();
+        let mut mt = MtbddManager::with_order_of(&mgr);
+        let root = mt.from_bdds(&mgr, &outs);
+        // Values 00, 01, 10 appear; 11 never (sum and carry never both 1).
+        assert_eq!(mt.terminal_count(root), 3);
+        let t1 = mt.terminal(7);
+        let t2 = mt.terminal(7);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn constant_function_collapses() {
+        let mgr = BddManager::new(3);
+        let mut mt = MtbddManager::with_order_of(&mgr);
+        let root = mt.from_bdds(&mgr, &[TRUE, TRUE]);
+        assert_eq!(mt.node_count(root), 0);
+        assert_eq!(mt.eval(root, &[false, false, false]), 0b11);
+    }
+
+    #[test]
+    fn width_profile_counts_terminal_classes() {
+        let (mgr, outs) = half_adder();
+        let mut mt = MtbddManager::with_order_of(&mgr);
+        let root = mt.from_bdds(&mgr, &outs);
+        let widths = mt.width_profile(root);
+        assert_eq!(widths.len(), 3);
+        assert_eq!(widths[0], 1, "root only");
+        // Below v0: two distinct v1-branches (cofactors differ).
+        assert_eq!(widths[1], 2);
+        // Below v1: three terminal values.
+        assert_eq!(widths[2], 3);
+    }
+
+    #[test]
+    fn reduction_removes_redundant_tests() {
+        let mgr = BddManager::new(2);
+        let mut mt = MtbddManager::with_order_of(&mgr);
+        let t5 = mt.terminal(5);
+        assert_eq!(mt.mk(Var(0), t5, t5), t5);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for the ROBDD engine: random Boolean expressions
+//! are evaluated both through the BDD and through a direct interpreter, and
+//! structural invariants (canonicity, reduction, order) are checked.
+
+use bddcf_bdd::{BddManager, NodeId, ReorderCost, SiftConstraints, Var, FALSE, TRUE};
+use proptest::prelude::*;
+
+/// A tiny Boolean expression AST for cross-checking.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Expr::Var(i) => assignment[*i as usize],
+            Expr::Not(e) => !e.eval(assignment),
+            Expr::And(a, b) => a.eval(assignment) && b.eval(assignment),
+            Expr::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+            Expr::Xor(a, b) => a.eval(assignment) ^ b.eval(assignment),
+        }
+    }
+
+    fn build(&self, mgr: &mut BddManager) -> NodeId {
+        match self {
+            Expr::Var(i) => mgr.var(Var(*i)),
+            Expr::Not(e) => {
+                let f = e.build(mgr);
+                mgr.not(f)
+            }
+            Expr::And(a, b) => {
+                let fa = a.build(mgr);
+                let fb = b.build(mgr);
+                mgr.and(fa, fb)
+            }
+            Expr::Or(a, b) => {
+                let fa = a.build(mgr);
+                let fb = b.build(mgr);
+                mgr.or(fa, fb)
+            }
+            Expr::Xor(a, b) => {
+                let fa = a.build(mgr);
+                let fb = b.build(mgr);
+                mgr.xor(fa, fb)
+            }
+        }
+    }
+}
+
+const NVARS: u32 = 6;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NVARS).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn all_assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..1u32 << NVARS).map(|bits| (0..NVARS).map(|i| bits >> i & 1 == 1).collect())
+}
+
+proptest! {
+    #[test]
+    fn bdd_agrees_with_interpreter(expr in arb_expr()) {
+        let mut mgr = BddManager::new(NVARS as usize);
+        let f = expr.build(&mut mgr);
+        for a in all_assignments() {
+            prop_assert_eq!(mgr.eval(f, &a), expr.eval(&a));
+        }
+    }
+
+    #[test]
+    fn canonicity_equal_functions_equal_ids(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut mgr = BddManager::new(NVARS as usize);
+        let f1 = e1.build(&mut mgr);
+        let f2 = e2.build(&mut mgr);
+        let equal_semantically = all_assignments().all(|a| e1.eval(&a) == e2.eval(&a));
+        prop_assert_eq!(f1 == f2, equal_semantically);
+    }
+
+    #[test]
+    fn sat_count_matches_enumeration(expr in arb_expr()) {
+        let mut mgr = BddManager::new(NVARS as usize);
+        let f = expr.build(&mut mgr);
+        let brute = all_assignments().filter(|a| expr.eval(a)).count() as u128;
+        prop_assert_eq!(mgr.sat_count(f), brute);
+    }
+
+    #[test]
+    fn shannon_expansion_reconstructs(expr in arb_expr(), var in 0..NVARS) {
+        let mut mgr = BddManager::new(NVARS as usize);
+        let f = expr.build(&mut mgr);
+        let f0 = mgr.restrict(f, Var(var), false);
+        let f1 = mgr.restrict(f, Var(var), true);
+        let x = mgr.var(Var(var));
+        let rebuilt = mgr.ite(x, f1, f0);
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn quantification_identities(expr in arb_expr(), var in 0..NVARS) {
+        let mut mgr = BddManager::new(NVARS as usize);
+        let f = expr.build(&mut mgr);
+        let f0 = mgr.restrict(f, Var(var), false);
+        let f1 = mgr.restrict(f, Var(var), true);
+        let e = mgr.exists(f, &[Var(var)]);
+        let or = mgr.or(f0, f1);
+        prop_assert_eq!(e, or, "∃x.f = f|x=0 ∨ f|x=1");
+        let u = mgr.forall(f, &[Var(var)]);
+        let and = mgr.and(f0, f1);
+        prop_assert_eq!(u, and, "∀x.f = f|x=0 ∧ f|x=1");
+    }
+
+    #[test]
+    fn compose_agrees_with_interpreter(e1 in arb_expr(), e2 in arb_expr(), var in 0..NVARS) {
+        let mut mgr = BddManager::new(NVARS as usize);
+        let f = e1.build(&mut mgr);
+        let g = e2.build(&mut mgr);
+        let composed = mgr.compose(f, Var(var), g);
+        for a in all_assignments() {
+            let mut substituted = a.clone();
+            substituted[var as usize] = e2.eval(&a);
+            prop_assert_eq!(mgr.eval(composed, &a), e1.eval(&substituted));
+        }
+    }
+
+    #[test]
+    fn gc_preserves_semantics(expr in arb_expr()) {
+        let mut mgr = BddManager::new(NVARS as usize);
+        let f = expr.build(&mut mgr);
+        let roots = mgr.gc(&[f]);
+        for a in all_assignments() {
+            prop_assert_eq!(mgr.eval(roots[0], &a), expr.eval(&a));
+        }
+    }
+
+    #[test]
+    fn swap_preserves_semantics_and_canonicity(expr in arb_expr(), level in 0..NVARS - 1) {
+        let mut mgr = BddManager::new(NVARS as usize);
+        let f = expr.build(&mut mgr);
+        let roots = mgr.swap_adjacent(level, &[f]);
+        for a in all_assignments() {
+            prop_assert_eq!(mgr.eval(roots[0], &a), expr.eval(&a));
+        }
+        // Swapping back must restore the original node (canonicity check).
+        let back = mgr.swap_adjacent(level, &roots);
+        prop_assert_eq!(back[0], f);
+    }
+
+    #[test]
+    fn sifting_preserves_semantics(expr in arb_expr()) {
+        let mut mgr = BddManager::new(NVARS as usize);
+        let f = expr.build(&mut mgr);
+        let truth: Vec<bool> = all_assignments().map(|a| expr.eval(&a)).collect();
+        let roots = mgr.sift(&[f], &SiftConstraints::none(), ReorderCost::NodeCount, 2);
+        for (a, expect) in all_assignments().zip(truth) {
+            prop_assert_eq!(mgr.eval(roots[0], &a), expect);
+        }
+    }
+
+    #[test]
+    fn width_profile_bounds_node_count(expr in arb_expr()) {
+        let mut mgr = BddManager::new(NVARS as usize);
+        let f = expr.build(&mut mgr);
+        let profile = mgr.width_profile(&[f]);
+        // Max width never exceeds the live node count + 1 (terminal), and
+        // the sum of widths is at least the number of cuts.
+        prop_assert!(profile.max() <= mgr.node_count(f) + 1);
+        prop_assert!(profile.sum() >= profile.len());
+    }
+
+    #[test]
+    fn from_minterms_equals_naive(minterms in prop::collection::vec(0u64..64, 0..20)) {
+        let mut mgr = BddManager::new(NVARS as usize);
+        let vars: Vec<Var> = (0..NVARS).map(Var).collect();
+        let f = mgr.from_minterms(&vars, &minterms);
+        for (idx, a) in all_assignments().enumerate() {
+            let expect = minterms.contains(&(idx as u64));
+            prop_assert_eq!(mgr.eval(f, &a), expect);
+        }
+    }
+
+    #[test]
+    fn terminal_cases(value in any::<bool>()) {
+        let mut mgr = BddManager::new(2);
+        let t = if value { TRUE } else { FALSE };
+        let nt = mgr.not(t);
+        prop_assert_eq!(nt == TRUE, !value);
+    }
+}

@@ -1,0 +1,192 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * clique-cover heuristic: the paper's min-degree-first vs max-degree
+//!   first (speed here; the resulting widths are printed once per run);
+//! * output partitioning: whole function vs bi-partition vs per-output
+//!   (§5.1's central design point);
+//! * sifting cost function: sum-of-widths (paper) vs node count;
+//! * Algorithm 3.3's cover engine: full pairwise graph vs first-fit.
+
+#![allow(clippy::single_range_in_vec_init)] // the partition API takes lists of ranges
+use bddcf_core::cover::{CompatGraph, CoverHeuristic};
+use bddcf_core::partition::partition_outputs;
+use bddcf_core::{Alg33Options, Cf};
+use bddcf_bdd::ReorderCost;
+use bddcf_funcs::{build_isf_pieces, RadixConverter, RnsConverter};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A deterministic pseudo-random compatibility graph.
+fn random_graph(n: usize, edge_per_mille: u64) -> CompatGraph {
+    let mut g = CompatGraph::new(n);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for i in 0..n {
+        for j in i + 1..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if (state >> 20) % 1000 < edge_per_mille {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+fn bench_cover_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cover");
+    let g = random_graph(300, 200);
+    for heuristic in [CoverHeuristic::MinDegreeFirst, CoverHeuristic::MaxDegreeFirst] {
+        group.bench_function(format!("{heuristic:?}"), |b| {
+            b.iter(|| black_box(g.clique_cover(heuristic).len()));
+        });
+    }
+    // Quality snapshot (once, printed): fewer cliques is better.
+    let min = g.clique_cover(CoverHeuristic::MinDegreeFirst).len();
+    let max = g.clique_cover(CoverHeuristic::MaxDegreeFirst).len();
+    println!("cover quality on G(300, 20%): min-degree-first {min} cliques, max-degree-first {max}");
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_partition");
+    group.sample_size(10);
+    let rns = RnsConverter::rns_5_7_11_13();
+    let (mgr, layout, isf) = build_isf_pieces(&rns);
+    let m = layout.num_outputs();
+    let partitions: Vec<(&str, Vec<std::ops::Range<usize>>)> = vec![
+        ("whole", vec![0..m]),
+        ("bipartition", vec![0..m.div_ceil(2), m.div_ceil(2)..m]),
+        (
+            "quarters",
+            (0..4)
+                .map(|q| (q * m) / 4..((q + 1) * m) / 4)
+                .filter(|r| !r.is_empty())
+                .collect(),
+        ),
+    ];
+    for (name, parts) in &partitions {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let cfs = partition_outputs(&mgr, &layout, &isf, parts);
+                let total: usize = cfs
+                    .into_iter()
+                    .map(|mut cf| {
+                        cf.reduce_alg33(&Alg33Options::default());
+                        cf.max_width()
+                    })
+                    .sum();
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sift_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sift_cost");
+    group.sample_size(10);
+    let conv = RadixConverter::new(3, 6);
+    let (mgr, layout, isf) = build_isf_pieces(&conv);
+    let baseline = Cf::from_isf(mgr, layout, isf);
+    for (name, cost) in [
+        ("sum_of_widths", ReorderCost::SumOfWidths),
+        ("node_count", ReorderCost::NodeCount),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || baseline.clone(),
+                |mut cf| {
+                    cf.optimize_order(cost, 1);
+                    black_box(cf.max_width())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg33_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_alg33_engine");
+    group.sample_size(10);
+    let rns = RnsConverter::rns_5_7_11_13();
+    let (mgr, layout, isf) = build_isf_pieces(&rns);
+    // One output half: the whole function's ~5000-wide cuts make the full
+    // pairwise graph quadratically expensive — that comparison belongs to
+    // the half-sized workload the paper actually uses.
+    let baseline = partition_outputs(&mgr, &layout, &isf, &[0..layout.num_outputs().div_ceil(2)])
+        .pop()
+        .expect("one part");
+    for (name, options) in [
+        (
+            "pairwise_graph",
+            Alg33Options {
+                max_pairwise_group: usize::MAX,
+                ..Alg33Options::default()
+            },
+        ),
+        (
+            "first_fit",
+            Alg33Options {
+                max_pairwise_group: 0,
+                ..Alg33Options::default()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || baseline.clone(),
+                |mut cf| {
+                    let stats = cf.reduce_alg33(&options);
+                    black_box(stats.max_width_after)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    use bddcf_cascade::{synthesize, CascadeOptions, Segmentation};
+    let mut group = c.benchmark_group("ablation_segmentation");
+    group.sample_size(10);
+    let rns = RnsConverter::rns_5_7_11_13();
+    let (mgr, layout, isf) = build_isf_pieces(&rns);
+    let m = layout.num_outputs();
+    let baseline = partition_outputs(&mgr, &layout, &isf, &[0..m.div_ceil(2)])
+        .pop()
+        .expect("one part");
+    for (name, segmentation) in [
+        ("greedy", Segmentation::Greedy),
+        ("min_cells_dp", Segmentation::MinCells),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || baseline.clone(),
+                |mut cf| {
+                    let cascade = synthesize(
+                        &mut cf,
+                        &CascadeOptions {
+                            segmentation,
+                            ..CascadeOptions::default()
+                        },
+                    )
+                    .expect("RNS half fits default cells");
+                    black_box((cascade.num_cells(), cascade.memory_bits()))
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cover_heuristics,
+    bench_partitioning,
+    bench_sift_cost,
+    bench_alg33_engines,
+    bench_segmentation
+);
+criterion_main!(benches);

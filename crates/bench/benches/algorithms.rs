@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the core algorithms: characteristic
+//! function construction, the width-reduction algorithms, sifting, and the
+//! width profile primitive they all lean on.
+
+use bddcf_bdd::ReorderCost;
+use bddcf_core::partition::bipartition;
+use bddcf_core::{Alg33Options, Cf};
+use bddcf_funcs::{build_isf_pieces, Benchmark, DecimalAdder, RadixConverter, RnsConverter};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// First output half of a benchmark, ready for reduction experiments.
+fn first_half(benchmark: &dyn Benchmark) -> Cf {
+    let (mgr, layout, isf) = build_isf_pieces(benchmark);
+    bipartition(&mgr, &layout, &isf)
+        .into_iter()
+        .next()
+        .expect("at least one half")
+}
+
+fn bench_cf_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cf_construction");
+    group.bench_function("rns_5_7_11_13", |b| {
+        let rns = RnsConverter::rns_5_7_11_13();
+        b.iter(|| {
+            let (mgr, _, isf) = build_isf_pieces(&rns);
+            black_box((mgr.arena_len(), isf.num_outputs()))
+        });
+    });
+    group.bench_function("radix_3_pow_6", |b| {
+        let conv = RadixConverter::new(3, 6);
+        b.iter(|| {
+            let (mgr, _, isf) = build_isf_pieces(&conv);
+            black_box((mgr.arena_len(), isf.num_outputs()))
+        });
+    });
+    group.bench_function("decimal_adder_3", |b| {
+        let adder = DecimalAdder::new(3);
+        b.iter(|| {
+            let (mgr, _, isf) = build_isf_pieces(&adder);
+            black_box((mgr.arena_len(), isf.num_outputs()))
+        });
+    });
+    group.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions");
+    group.sample_size(20);
+    let baseline = first_half(&RnsConverter::rns_5_7_11_13());
+
+    group.bench_function("alg31_rns_half", |b| {
+        b.iter_batched(
+            || baseline.clone(),
+            |mut cf| {
+                let stats = cf.reduce_alg31();
+                black_box(stats.max_width_after)
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("alg33_rns_half", |b| {
+        b.iter_batched(
+            || baseline.clone(),
+            |mut cf| {
+                let stats = cf.reduce_alg33(&Alg33Options::default());
+                black_box(stats.max_width_after)
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("support_reduction_rns_half", |b| {
+        b.iter_batched(
+            || baseline.clone(),
+            |mut cf| black_box(cf.reduce_support_variables().len()),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_sifting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sifting");
+    group.sample_size(10);
+    let baseline = first_half(&RadixConverter::new(3, 6));
+    group.bench_function("sum_of_widths_pass_radix36_half", |b| {
+        b.iter_batched(
+            || baseline.clone(),
+            |mut cf| black_box(cf.optimize_order(ReorderCost::SumOfWidths, 1)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    let cf = first_half(&RnsConverter::rns_5_7_11_13());
+    group.bench_function("width_profile", |b| {
+        b.iter(|| black_box(cf.width_profile().max()));
+    });
+    group.bench_function("node_count", |b| {
+        b.iter(|| black_box(cf.node_count()));
+    });
+    group.bench_function("eval_completed", |b| {
+        let input = vec![true; cf.layout().num_inputs()];
+        b.iter(|| black_box(cf.eval_completed(&input)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cf_construction,
+    bench_reductions,
+    bench_sifting,
+    bench_primitives
+);
+criterion_main!(benches);

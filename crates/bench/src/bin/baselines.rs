@@ -1,0 +1,84 @@
+//! Demonstrates the paper's §1 claim that classic *node-count* don't-care
+//! minimization of separate per-output BDDs (refs.\ \[3\], \[6\], Coudert–Madre
+//! restrict) "is unsuitable for functional decompositions of
+//! multiple-output functions": restrict shrinks node counts, but the
+//! quantity decomposition cares about — the shared width at a cut — barely
+//! moves, while the BDD_for_CF algorithms attack the width directly.
+//!
+//! For each benchmark half:
+//!
+//! * `per-output restrict`: every output's ON BDD is minimized against the
+//!   care set with `BddManager::restrict_care`; we report the *shared*
+//!   node count of the output list and the width of the shared forest.
+//! * `BDD_for_CF + Alg3.3`: the paper's method; width per Definition 3.5.
+
+use bddcf_bench::TableWriter;
+use bddcf_bdd::ReorderCost;
+use bddcf_core::partition::bipartition;
+use bddcf_funcs::{build_isf_pieces, table4_benchmarks};
+
+fn main() {
+    let suite = table4_benchmarks();
+    let mut table = TableWriter::new(&[
+        "Function",
+        "half",
+        "plain N",
+        "restrict N",
+        "plain W",
+        "restrict W",
+        "CF W (ISF)",
+        "CF W (3.3)",
+    ]);
+    for entry in &suite[..13] {
+        eprintln!("baseline comparison: {} …", entry.label);
+        let (mgr, layout, isf) = build_isf_pieces(entry.benchmark.as_ref());
+        for (hi, mut cf) in bipartition(&mgr, &layout, &isf).into_iter().enumerate() {
+            cf.optimize_order(ReorderCost::SumOfWidths, 1);
+            let isf_rec = cf.isf().clone();
+            let cf_isf_width = cf.max_width();
+
+            // Per-output restrict baseline in the same (sifted) order.
+            let m = cf.layout().num_outputs();
+            let mgr2 = cf.manager_mut();
+            let mut plain = Vec::with_capacity(m);
+            let mut restricted = Vec::with_capacity(m);
+            for j in 0..m {
+                let care = {
+                    
+                    mgr2.or(isf_rec.on[j], isf_rec.off[j])
+                };
+                plain.push(isf_rec.on[j]);
+                restricted.push(mgr2.restrict_care(isf_rec.on[j], care));
+            }
+            let plain_nodes = mgr2.node_count_multi(&plain);
+            let restricted_nodes = mgr2.node_count_multi(&restricted);
+            let plain_width = mgr2.width_profile(&plain).max();
+            let restricted_width = mgr2.width_profile(&restricted).max();
+
+            let mut cf33 = cf;
+            cf33.reduce_alg33_default();
+
+            table.row(&[
+                if hi == 0 {
+                    entry.label.to_string()
+                } else {
+                    String::new()
+                },
+                format!("F{}", hi + 1),
+                plain_nodes.to_string(),
+                restricted_nodes.to_string(),
+                plain_width.to_string(),
+                restricted_width.to_string(),
+                cf_isf_width.to_string(),
+                cf33.max_width().to_string(),
+            ]);
+        }
+    }
+    println!("\nPer-output restrict minimization vs BDD_for_CF width reduction");
+    println!("(N = shared nodes of the per-output forest, W = max shared width)\n");
+    println!("{table}");
+    println!(
+        "Reading: restrict reduces N (its objective) but leaves W mostly unchanged —\n\
+         the §1 argument for operating on the characteristic function instead."
+    );
+}

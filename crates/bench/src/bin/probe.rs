@@ -1,0 +1,55 @@
+//! Timing probe: runs the Table-4 pipeline on a few representative
+//! benchmarks and prints wall-clock costs, to size the full experiment run.
+
+use bddcf_bench::{measure_benchmark, PipelineOptions};
+use bddcf_funcs::{Benchmark, DecimalAdder, DecimalMultiplier, RnsConverter, WordList};
+use std::time::Instant;
+
+fn probe(benchmark: &dyn Benchmark, options: &PipelineOptions) {
+    let t0 = Instant::now();
+    let m = measure_benchmark(benchmark, options);
+    let total = t0.elapsed();
+    println!(
+        "{:<28} total {:>8.2?}  sift {:>8.2?}",
+        m.label, total, m.time_sift
+    );
+    for h in &m.halves {
+        println!(
+            "  outs {:>2}..{:<2} widths dc0/isf/31/33: {:>6}/{:>6}/{:>6}/{:>6}  nodes {:>6}/{:>6}/{:>6}/{:>6}  t31 {:>7.2?} t33 {:>7.2?}",
+            h.range.start,
+            h.range.end,
+            h.dc0.max_width,
+            h.isf.max_width,
+            h.alg31.max_width,
+            h.alg33.max_width,
+            h.dc0.nodes,
+            h.isf.nodes,
+            h.alg31.nodes,
+            h.alg33.nodes,
+            h.time_alg31,
+            h.time_alg33,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("rns");
+    let mut options = PipelineOptions::default();
+    if let Ok(g) = std::env::var("GROUP") {
+        options.alg33.max_pairwise_group = g.parse().unwrap();
+    }
+    if let Ok(t) = std::env::var("TRIES") {
+        options.alg33.first_fit_tries = t.parse().unwrap();
+    }
+    match which {
+        "rns" => probe(&RnsConverter::rns_5_7_11_13(), &options),
+        "adder3" => probe(&DecimalAdder::new(3), &options),
+        "mult" => probe(&DecimalMultiplier::new(2), &options),
+        "adder4" => probe(&DecimalAdder::new(4), &options),
+        "rns3" => probe(&RnsConverter::rns_11_13_15_17(), &options),
+        "words-small" => probe(&WordList::synthetic(200, true), &options),
+        "words" => probe(&WordList::synthetic(1730, true), &options),
+        other => eprintln!("unknown probe {other}"),
+    }
+}

@@ -1,0 +1,113 @@
+//! Regenerates **Table 4** of the paper: maximum width and node count of
+//! the BDD_for_CF under five treatments — DC=0, DC=1, ISF (ternary),
+//! Algorithm 3.1, Algorithm 3.3 — with the outputs bi-partitioned and each
+//! half sifted (sum-of-widths cost) first.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bddcf-bench --bin table4 [--quick]
+//! ```
+//!
+//! `--quick` replaces the three word lists by smaller ones (200/400/600
+//! words) and uses one sifting pass, for a fast smoke run.
+
+use bddcf_bench::{measure_benchmark, Measurement, PipelineOptions, TableWriter};
+use bddcf_funcs::{table4_benchmarks, BenchmarkEntry, WordList};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut entries = table4_benchmarks();
+    let mut options = PipelineOptions::default();
+    if quick {
+        options.sift_passes = 1;
+        entries.truncate(13);
+        for (label, size) in [("200 words", 200), ("400 words", 400), ("600 words", 600)] {
+            entries.push(BenchmarkEntry {
+                label: Box::leak(label.to_string().into_boxed_str()),
+                benchmark: Box::new(WordList::synthetic(size, true)),
+            });
+        }
+    }
+
+    let mut table = TableWriter::new(&[
+        "Function", "In", "Out", "DC%", "half", "W:DC=0", "W:DC=1", "W:ISF", "W:Alg3.1",
+        "W:Alg3.3", "N:DC=0", "N:DC=1", "N:ISF", "N:Alg3.1", "N:Alg3.3", "t3.1[s]", "t3.3[s]",
+    ]);
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for entry in &entries {
+        eprintln!("measuring {} …", entry.label);
+        let m = measure_benchmark(entry.benchmark.as_ref(), &options);
+        for (hi, h) in m.halves.iter().enumerate() {
+            table.row(&[
+                if hi == 0 { m.label.clone() } else { String::new() },
+                if hi == 0 { m.inputs.to_string() } else { String::new() },
+                if hi == 0 { m.outputs.to_string() } else { String::new() },
+                if hi == 0 {
+                    // Floor to one decimal so 99.9998% prints as the
+                    // paper's 99.9, not a misleading 100.0.
+                    format!("{:.1}", (m.dc_ratio * 1000.0).floor() / 10.0)
+                } else {
+                    String::new()
+                },
+                format!("F{}", hi + 1),
+                h.dc0.max_width.to_string(),
+                h.dc1.max_width.to_string(),
+                h.isf.max_width.to_string(),
+                h.alg31.max_width.to_string(),
+                h.alg33.max_width.to_string(),
+                h.dc0.nodes.to_string(),
+                h.dc1.nodes.to_string(),
+                h.isf.nodes.to_string(),
+                h.alg31.nodes.to_string(),
+                h.alg33.nodes.to_string(),
+                format!("{:.3}", h.time_alg31.as_secs_f64()),
+                format!("{:.3}", h.time_alg33.as_secs_f64()),
+            ]);
+        }
+        measurements.push(m);
+    }
+
+    println!("\nTable 4 — maximum width and number of nodes in BDD_for_CF");
+    println!("(outputs bi-partitioned: F1 = most significant half, F2 = rest)\n");
+    println!("{table}");
+
+    // The paper's final "Ratio" row: geometric-mean-free average of each
+    // column normalized to DC=0 (as the paper does with arithmetic means).
+    let mut ratio = [0.0f64; 10];
+    let mut count = 0usize;
+    for m in &measurements {
+        for h in &m.halves {
+            let w0 = h.dc0.max_width.max(1) as f64;
+            let n0 = h.dc0.nodes.max(1) as f64;
+            let ws = [
+                h.dc0.max_width,
+                h.dc1.max_width,
+                h.isf.max_width,
+                h.alg31.max_width,
+                h.alg33.max_width,
+            ];
+            let ns = [h.dc0.nodes, h.dc1.nodes, h.isf.nodes, h.alg31.nodes, h.alg33.nodes];
+            for (k, w) in ws.iter().enumerate() {
+                ratio[k] += *w as f64 / w0;
+            }
+            for (k, n) in ns.iter().enumerate() {
+                ratio[5 + k] += *n as f64 / n0;
+            }
+            count += 1;
+        }
+    }
+    print!("Ratio (vs DC=0):  widths");
+    for r in &ratio[..5] {
+        print!(" {:.3}", r / count as f64);
+    }
+    print!("   nodes");
+    for r in &ratio[5..] {
+        print!(" {:.3}", r / count as f64);
+    }
+    println!();
+    println!(
+        "\nPaper's ratio row: widths 1.000 0.970 0.833 0.735 0.540   nodes 1.000 0.982 0.807 0.580 0.583"
+    );
+}

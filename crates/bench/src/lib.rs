@@ -1,0 +1,20 @@
+//! Experiment harness: the shared pipeline behind the binaries that
+//! regenerate the paper's tables and figures.
+//!
+//! | Target | Reproduces |
+//! |--------|-----------|
+//! | `cargo run --release -p bddcf-bench --bin table4` | Table 4 (widths & node counts: DC=0 / DC=1 / ISF / Alg3.1 / Alg3.3) |
+//! | `cargo run --release -p bddcf-bench --bin table5` | §5.2 (reconstructed): LUT cascades for the arithmetic functions |
+//! | `cargo run --release -p bddcf-bench --bin table6` | Table 6: word lists, plain cascades vs the Fig. 8 architecture |
+//! | `cargo run --release -p bddcf-bench --bin fig9`   | Fig. 9: cascade structure of the 5-7-11-13 RNS converter |
+//! | `cargo run --release -p bddcf-bench --bin mtbdd_compare` | §1's MTBDD vs BDD_for_CF size claim |
+//! | `cargo bench -p bddcf-bench` | Criterion micro-benchmarks + ablations |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{measure_benchmark, HalfMeasurement, Measurement, PipelineOptions};
+pub use report::TableWriter;

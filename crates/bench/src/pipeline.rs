@@ -1,0 +1,212 @@
+//! The §5.1 measurement pipeline shared by the table binaries.
+//!
+//! For one benchmark function:
+//!
+//! 1. build the ISF symbolically and bi-partition the outputs
+//!    (`F₁` = most significant half, `F₂` = rest);
+//! 2. per half: sift the BDD_for_CF with the sum-of-widths cost;
+//! 3. measure the ISF representation, then — in the same (sifted) variable
+//!    order — the `DC=0` and `DC=1` completions, then Algorithm 3.1 and
+//!    Algorithm 3.3 applied to forks of the sifted ISF.
+
+#![allow(clippy::single_range_in_vec_init)] // the partition API takes lists of ranges
+use bddcf_bdd::ReorderCost;
+use bddcf_core::partition::bipartition;
+use bddcf_core::{Alg33Options, Cf};
+use bddcf_funcs::{build_isf_pieces, Benchmark};
+use std::time::{Duration, Instant};
+
+/// Knobs for [`measure_benchmark`].
+#[derive(Clone, Debug)]
+pub struct PipelineOptions {
+    /// Sifting passes over each half (0 disables reordering).
+    pub sift_passes: usize,
+    /// Sifting cost function (the paper: sum of widths).
+    pub sift_cost: ReorderCost,
+    /// Algorithm 3.3 tuning.
+    pub alg33: Alg33Options,
+    /// Also run support-variable reduction before the algorithms (§3.3
+    /// suggests it; only the word lists benefit).
+    pub reduce_support: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            sift_passes: 2,
+            sift_cost: ReorderCost::SumOfWidths,
+            alg33: Alg33Options::default(),
+            reduce_support: false,
+        }
+    }
+}
+
+/// Width/node metrics of one representation of one output half.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Shape {
+    /// Maximum BDD_for_CF width (Definition 3.5).
+    pub max_width: usize,
+    /// Non-terminal node count.
+    pub nodes: usize,
+}
+
+/// All representations of one output half (one "upper/lower" row pair cell
+/// of Table 4).
+#[derive(Clone, Debug)]
+pub struct HalfMeasurement {
+    /// Output range of this half in the original numbering.
+    pub range: std::ops::Range<usize>,
+    /// Constant-0 completion.
+    pub dc0: Shape,
+    /// Constant-1 completion.
+    pub dc1: Shape,
+    /// Incompletely specified (ternary) representation.
+    pub isf: Shape,
+    /// After Algorithm 3.1.
+    pub alg31: Shape,
+    /// After Algorithm 3.3.
+    pub alg33: Shape,
+    /// Time spent in Algorithm 3.1.
+    pub time_alg31: Duration,
+    /// Time spent in Algorithm 3.3.
+    pub time_alg33: Duration,
+    /// Support variables removed before the algorithms (when enabled).
+    pub removed_inputs: usize,
+}
+
+/// Table-4 measurements of one benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Row label.
+    pub label: String,
+    /// Inputs `n`.
+    pub inputs: usize,
+    /// Outputs `m`.
+    pub outputs: usize,
+    /// Analytic don't-care ratio.
+    pub dc_ratio: f64,
+    /// One entry per output half (`F₁` first).
+    pub halves: Vec<HalfMeasurement>,
+    /// Sifting time over all halves.
+    pub time_sift: Duration,
+}
+
+fn shape_of(cf: &Cf) -> Shape {
+    Shape {
+        max_width: cf.max_width(),
+        nodes: cf.node_count(),
+    }
+}
+
+/// Shape of a completion variant: same input order as the sifted ISF, but
+/// output positions legalized against the completion's own Definition-2.4
+/// constraints (see [`Cf::completion_variant`] — this is what makes the
+/// DC=0 adder baselines blow up exactly as in the paper).
+fn completion_shape(cf: &Cf, fill: bool) -> Shape {
+    shape_of(&cf.completion_variant(fill))
+}
+
+/// Runs the full Table-4 pipeline on one benchmark.
+pub fn measure_benchmark(benchmark: &dyn Benchmark, options: &PipelineOptions) -> Measurement {
+    let (mgr, layout, isf) = build_isf_pieces(benchmark);
+    let halves_cf = bipartition(&mgr, &layout, &isf);
+    drop(mgr);
+
+    let m = layout.num_outputs();
+    let half = m.div_ceil(2);
+    let ranges = if halves_cf.len() == 1 {
+        vec![0..m]
+    } else {
+        vec![0..half, half..m]
+    };
+
+    let mut time_sift = Duration::ZERO;
+    let mut halves = Vec::new();
+    for (mut cf, range) in halves_cf.into_iter().zip(ranges) {
+        let t0 = Instant::now();
+        if options.sift_passes > 0 {
+            cf.optimize_order(options.sift_cost, options.sift_passes);
+        }
+        time_sift += t0.elapsed();
+
+        let mut removed_inputs = 0;
+        if options.reduce_support {
+            removed_inputs = cf.reduce_support_variables().len();
+        }
+
+        let isf_shape = shape_of(&cf);
+        let dc0 = completion_shape(&cf, false);
+        let dc1 = completion_shape(&cf, true);
+
+        let mut cf31 = cf.clone();
+        let t31 = Instant::now();
+        cf31.reduce_alg31();
+        let time_alg31 = t31.elapsed();
+
+        let mut cf33 = cf;
+        let t33 = Instant::now();
+        cf33.reduce_alg33(&options.alg33);
+        let time_alg33 = t33.elapsed();
+
+        halves.push(HalfMeasurement {
+            range,
+            dc0,
+            dc1,
+            isf: isf_shape,
+            alg31: shape_of(&cf31),
+            alg33: shape_of(&cf33),
+            time_alg31,
+            time_alg33,
+            removed_inputs,
+        });
+    }
+
+    Measurement {
+        label: benchmark.name(),
+        inputs: layout.num_inputs(),
+        outputs: layout.num_outputs(),
+        dc_ratio: benchmark.dc_ratio(),
+        halves,
+        time_sift,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_funcs::RadixConverter;
+
+    #[test]
+    fn pipeline_on_a_small_converter() {
+        let conv = RadixConverter::new(3, 3);
+        let m = measure_benchmark(
+            &conv,
+            &PipelineOptions {
+                sift_passes: 1,
+                ..PipelineOptions::default()
+            },
+        );
+        assert_eq!(m.inputs, 6);
+        assert_eq!(m.halves.len(), 2);
+        for h in &m.halves {
+            assert!(h.isf.max_width <= h.dc0.max_width + h.dc0.max_width);
+            assert!(h.alg33.max_width <= h.isf.max_width);
+            assert!(h.alg31.max_width <= h.isf.max_width);
+            assert!(h.alg31.nodes > 0);
+        }
+    }
+
+    #[test]
+    fn pipeline_without_sifting() {
+        let conv = RadixConverter::new(5, 2);
+        let m = measure_benchmark(
+            &conv,
+            &PipelineOptions {
+                sift_passes: 0,
+                ..PipelineOptions::default()
+            },
+        );
+        assert!(m.time_sift < Duration::from_millis(1), "sifting skipped");
+        assert!(m.halves[0].isf.max_width >= 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! The Fig. 8 architecture: LUT cascade + auxiliary memory + comparator.
+//!
+//! An *address generator* maps `k` registered `n`-bit words to the indices
+//! `1..=k` and everything else to `0`. Realizing the exact function as a
+//! plain cascade is expensive (the `DC=0` rows of Table 6); Fig. 8 instead:
+//!
+//! 1. widens the specification — every non-registered input becomes don't
+//!    care (`DC` ratio `1 − k/2ⁿ`), which lets the width reductions and
+//!    support-variable removal shrink the cascade dramatically;
+//! 2. the shrunken cascade produces a *candidate* index;
+//! 3. an auxiliary memory of `n·2^m` bits stores the registered word for
+//!    each index, and a comparator outputs the index only when the stored
+//!    word equals the input — otherwise `0`.
+//!
+//! The cascade may answer anything on non-registered inputs (those are
+//! don't cares); the comparator restores exactness.
+
+#![allow(clippy::single_range_in_vec_init)] // the partition API takes lists of ranges
+use crate::multi::MultiCascade;
+
+/// A Fig.-8 address generator.
+#[derive(Debug)]
+pub struct AddressGenerator {
+    cascades: MultiCascade,
+    /// `stored[i]` = registered word for index `i+1`.
+    stored: Vec<u64>,
+    num_input_bits: usize,
+    num_index_bits: usize,
+}
+
+impl AddressGenerator {
+    /// Assembles the architecture from a synthesized (widened) cascade set
+    /// and the registered word list (`words[i]` gets index `i+1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cascade's arity does not cover the words, if the index
+    /// space `2^m` cannot hold `words.len() + 1` indices, or if a word does
+    /// not fit `num_input_bits`.
+    pub fn new(cascades: MultiCascade, words: Vec<u64>, num_input_bits: usize) -> Self {
+        let num_index_bits = cascades.cascades.iter().map(|c| c.num_outputs()).sum();
+        assert!(
+            num_index_bits < 64 && words.len() < (1usize << num_index_bits),
+            "index space too small for {} words",
+            words.len()
+        );
+        assert!(num_input_bits <= 64);
+        if num_input_bits < 64 {
+            assert!(
+                words.iter().all(|&w| w >> num_input_bits == 0),
+                "word wider than the input space"
+            );
+        }
+        AddressGenerator {
+            cascades,
+            stored: words,
+            num_input_bits,
+            num_index_bits,
+        }
+    }
+
+    /// Number of registered words `k`.
+    pub fn num_words(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// Index bits `m`.
+    pub fn num_index_bits(&self) -> usize {
+        self.num_index_bits
+    }
+
+    /// The underlying cascade set (for size accounting).
+    pub fn cascades(&self) -> &MultiCascade {
+        &self.cascades
+    }
+
+    /// Auxiliary memory bits: `n · 2^m` (the `AUX` column of Table 6).
+    pub fn aux_memory_bits(&self) -> u64 {
+        (self.num_input_bits as u64) << self.num_index_bits
+    }
+
+    /// Total memory bits: LUT cascades plus auxiliary memory.
+    pub fn total_memory_bits(&self) -> u64 {
+        self.cascades.memory_bits() + self.aux_memory_bits()
+    }
+
+    /// Looks up a word: its index `1..=k` if registered, else `0`.
+    pub fn lookup(&self, word: u64) -> u64 {
+        let input: Vec<bool> = (0..self.num_input_bits).map(|i| word >> i & 1 == 1).collect();
+        let candidate = self.cascades.eval(&input);
+        if candidate == 0 || candidate > self.stored.len() as u64 {
+            return 0;
+        }
+        // Auxiliary memory + comparator.
+        if self.stored[(candidate - 1) as usize] == word {
+            candidate
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::synthesize_partitioned;
+    use crate::synth::CascadeOptions;
+    use bddcf_bdd::FALSE;
+    use bddcf_core::{CfLayout, IsfBdds};
+
+    /// Builds the widened ISF of a small word list: word `words[i]` maps to
+    /// index `i+1`; everything else is don't care.
+    fn word_list_isf(
+        words: &[u64],
+        n: usize,
+        m: usize,
+    ) -> (bddcf_bdd::BddManager, CfLayout, IsfBdds) {
+        let layout = CfLayout::new(n, m);
+        let mut mgr = layout.new_manager();
+        let input_vars = layout.input_vars();
+        let mut on = vec![FALSE; m];
+        let mut dc = Vec::with_capacity(m);
+        let any = mgr.from_minterms(&input_vars, words);
+        let not_word = mgr.not(any);
+        for (j, on_j) in on.iter_mut().enumerate() {
+            let minterms: Vec<u64> = words
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i + 1) as u64 >> j & 1 == 1)
+                .map(|(_, &w)| w)
+                .collect();
+            *on_j = mgr.from_minterms(&input_vars, &minterms);
+            dc.push(not_word);
+        }
+        let isf = IsfBdds::from_on_dc(&mut mgr, on, dc);
+        (mgr, layout, isf)
+    }
+
+    #[test]
+    fn address_generator_is_exact() {
+        // 6 registered 8-bit words.
+        let words = vec![0x13u64, 0x2a, 0x41, 0x77, 0xe0, 0xff];
+        let (mgr, layout, isf) = word_list_isf(&words, 8, 3);
+        let multi = synthesize_partitioned(
+            &mgr,
+            &layout,
+            &isf,
+            &[0..3],
+            &CascadeOptions {
+                max_cell_inputs: 6,
+                max_cell_outputs: 5,
+                ..CascadeOptions::default()
+            },
+            |cf| {
+                cf.reduce_support_variables();
+                cf.reduce_alg33_default();
+            },
+        );
+        let gen = AddressGenerator::new(multi, words.clone(), 8);
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(gen.lookup(w), (i + 1) as u64, "registered word {w:#x}");
+        }
+        // Every non-registered word must map to 0 — exhaustively.
+        for w in 0..256u64 {
+            if !words.contains(&w) {
+                assert_eq!(gen.lookup(w), 0, "unregistered word {w:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let words = vec![1u64, 2, 3];
+        let (mgr, layout, isf) = word_list_isf(&words, 6, 2);
+        let multi = synthesize_partitioned(
+            &mgr,
+            &layout,
+            &isf,
+            &[0..2],
+            &CascadeOptions::default(),
+            |_| {},
+        );
+        let gen = AddressGenerator::new(multi, words, 6);
+        assert_eq!(gen.aux_memory_bits(), 6 * 4);
+        assert_eq!(
+            gen.total_memory_bits(),
+            gen.cascades().memory_bits() + 24
+        );
+        assert_eq!(gen.num_index_bits(), 2);
+        assert_eq!(gen.num_words(), 3);
+    }
+
+    #[test]
+    fn widening_shrinks_the_cascade() {
+        // Same list realized exactly (output 0 for non-words) vs widened.
+        let words = vec![0x05u64, 0x4c, 0x93, 0xf1];
+        let n = 8;
+        let m = 3;
+        // Exact: dc = FALSE, off = complement.
+        let layout = CfLayout::new(n, m);
+        let mut mgr = layout.new_manager();
+        let input_vars = layout.input_vars();
+        let mut on = Vec::new();
+        for j in 0..m {
+            let minterms: Vec<u64> = words
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i + 1) >> j & 1 == 1)
+                .map(|(_, &w)| w)
+                .collect();
+            on.push(mgr.from_minterms(&input_vars, &minterms));
+        }
+        let exact_isf = IsfBdds::from_on_dc(&mut mgr, on, vec![FALSE; m]);
+        let opts = CascadeOptions {
+            max_cell_inputs: 6,
+            max_cell_outputs: 5,
+            ..CascadeOptions::default()
+        };
+        let prepare = |cf: &mut Cf2| {
+            cf.reduce_support_variables();
+            cf.reduce_alg33_default();
+        };
+        type Cf2 = bddcf_core::Cf;
+        let exact = synthesize_partitioned(&mgr, &layout, &exact_isf, &[0..m], &opts, prepare);
+        let (wmgr, wlayout, wisf) = word_list_isf(&words, n, m);
+        let widened = synthesize_partitioned(&wmgr, &wlayout, &wisf, &[0..m], &opts, prepare);
+        assert!(
+            widened.memory_bits() <= exact.memory_bits(),
+            "widened {} > exact {}",
+            widened.memory_bits(),
+            exact.memory_bits()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Materialized LUT cells.
+//!
+//! A cell is a memory: `2^(rails_in + #primary inputs)` words of
+//! `rails_out + #primary outputs` bits. The paper's Table 6 experiment uses
+//! cells with at most 12 inputs and 10 outputs.
+
+/// One cell of an LUT cascade.
+///
+/// Input addressing: the low `rails_in` address bits carry the incoming
+/// rail code, the remaining bits the primary inputs listed in `input_ids`
+/// (in that order). Output packing: the low bits are the primary outputs in
+/// `output_ids` order, the high `rails_out` bits the outgoing rail code.
+#[derive(Clone, Debug)]
+pub struct LutCell {
+    rails_in: usize,
+    input_ids: Vec<usize>,
+    rails_out: usize,
+    output_ids: Vec<usize>,
+    table: Vec<u64>,
+}
+
+impl LutCell {
+    /// Creates a cell from its table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table size is not `2^(rails_in + input_ids.len())`, if
+    /// the cell would have more than 63 address bits, or if an entry sets
+    /// bits beyond `rails_out + output_ids.len()`.
+    pub fn new(
+        rails_in: usize,
+        input_ids: Vec<usize>,
+        rails_out: usize,
+        output_ids: Vec<usize>,
+        table: Vec<u64>,
+    ) -> Self {
+        let address_bits = rails_in + input_ids.len();
+        assert!(address_bits < 64, "cell address space too large");
+        assert_eq!(table.len(), 1 << address_bits, "table size mismatch");
+        let out_bits = rails_out + output_ids.len();
+        assert!(out_bits <= 64, "cell word too wide");
+        if out_bits < 64 {
+            assert!(
+                table.iter().all(|&w| w >> out_bits == 0),
+                "table entry sets bits beyond the cell word"
+            );
+        }
+        LutCell {
+            rails_in,
+            input_ids,
+            rails_out,
+            output_ids,
+            table,
+        }
+    }
+
+    /// Number of incoming rail bits.
+    pub fn rails_in(&self) -> usize {
+        self.rails_in
+    }
+
+    /// Number of outgoing rail bits.
+    pub fn rails_out(&self) -> usize {
+        self.rails_out
+    }
+
+    /// Primary input indices this cell consumes.
+    pub fn input_ids(&self) -> &[usize] {
+        &self.input_ids
+    }
+
+    /// Primary output indices this cell produces.
+    pub fn output_ids(&self) -> &[usize] {
+        &self.output_ids
+    }
+
+    /// Total address bits (the paper's cell "inputs").
+    pub fn num_inputs(&self) -> usize {
+        self.rails_in + self.input_ids.len()
+    }
+
+    /// Total word bits (the paper's cell "outputs", the `#LUT` unit).
+    pub fn num_outputs(&self) -> usize {
+        self.rails_out + self.output_ids.len()
+    }
+
+    /// Memory bits of this cell: `2^inputs × outputs`.
+    pub fn memory_bits(&self) -> u64 {
+        (1u64 << self.num_inputs()) * self.num_outputs() as u64
+    }
+
+    /// Looks the cell up: `rail_in` is the incoming code, `inputs[i]` the
+    /// value of primary input `input_ids[i]`. Returns
+    /// `(primary output bits, outgoing rail code)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rail_in` does not fit `rails_in` bits or `inputs` has the
+    /// wrong arity.
+    pub fn lookup(&self, rail_in: u64, inputs: &[bool]) -> (u64, u64) {
+        assert!(
+            self.rails_in == 64 || rail_in >> self.rails_in == 0,
+            "rail code {rail_in} out of range"
+        );
+        assert_eq!(inputs.len(), self.input_ids.len(), "input arity mismatch");
+        let mut address = rail_in;
+        for (k, &bit) in inputs.iter().enumerate() {
+            if bit {
+                address |= 1 << (self.rails_in + k);
+            }
+        }
+        let word = self.table[address as usize];
+        let out_mask = if self.output_ids.is_empty() {
+            0
+        } else {
+            (1u64 << self.output_ids.len()) - 1
+        };
+        (word & out_mask, word >> self.output_ids.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-input cell: rails_in = 1, one primary input (id 7); produces one
+    /// primary output (id 3) and 1 rail: table = XOR into rail, AND into
+    /// output.
+    fn sample_cell() -> LutCell {
+        let mut table = vec![0u64; 4];
+        for address in 0..4u64 {
+            let rail = address & 1;
+            let x = address >> 1 & 1;
+            let out = rail & x; // primary output bit
+            let rail_out = rail ^ x;
+            table[address as usize] = out | (rail_out << 1);
+        }
+        LutCell::new(1, vec![7], 1, vec![3], table)
+    }
+
+    #[test]
+    fn lookup_unpacks_outputs_and_rails() {
+        let cell = sample_cell();
+        assert_eq!(cell.lookup(0, &[false]), (0, 0));
+        assert_eq!(cell.lookup(1, &[false]), (0, 1));
+        assert_eq!(cell.lookup(0, &[true]), (0, 1));
+        assert_eq!(cell.lookup(1, &[true]), (1, 0));
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let cell = sample_cell();
+        assert_eq!(cell.num_inputs(), 2);
+        assert_eq!(cell.num_outputs(), 2);
+        assert_eq!(cell.memory_bits(), 4 * 2);
+        assert_eq!(cell.input_ids(), &[7]);
+        assert_eq!(cell.output_ids(), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "table size mismatch")]
+    fn rejects_wrong_table_size() {
+        let _ = LutCell::new(1, vec![0], 0, vec![0], vec![0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the cell word")]
+    fn rejects_overwide_entries() {
+        let _ = LutCell::new(0, vec![0], 0, vec![0], vec![0, 2]);
+    }
+
+    #[test]
+    fn cell_with_no_primary_outputs() {
+        // Pure rail transformer.
+        let table = vec![1u64, 0];
+        let cell = LutCell::new(1, vec![], 1, vec![], table);
+        assert_eq!(cell.lookup(0, &[]), (0, 1));
+        assert_eq!(cell.lookup(1, &[]), (0, 0));
+    }
+}

@@ -1,0 +1,175 @@
+//! Algorithm 3.1: recursive merging of compatible children.
+//!
+//! Starting from the root, each node whose sub-ISF still contains don't
+//! cares is inspected: if its two children are compatible (see
+//! [`compat`](crate::compat)) they are replaced by their product, which
+//! makes the node redundant (both edges point to the merged child and the
+//! reduction rule removes it); otherwise the algorithm recurses into both
+//! children. This is the paper's simplification of Shiple et al.'s
+//! heuristic BDD minimization, restated on the BDD_for_CF.
+//!
+//! The procedure reduces node counts *locally*; the paper contrasts it with
+//! Algorithm 3.3 (level-wide clique covers) which targets the width
+//! directly.
+
+use crate::cf::Cf;
+use crate::compat::CompatCtx;
+use crate::layout::CfLayout;
+use bddcf_bdd::hasher::FastMap;
+use bddcf_bdd::{BddManager, NodeId};
+
+/// Before/after metrics of a reduction pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Non-terminal node count before the pass.
+    pub nodes_before: usize,
+    /// Non-terminal node count after the pass.
+    pub nodes_after: usize,
+    /// Maximum BDD_for_CF width before the pass.
+    pub max_width_before: usize,
+    /// Maximum BDD_for_CF width after the pass.
+    pub max_width_after: usize,
+    /// Number of child pairs merged.
+    pub merges: usize,
+}
+
+impl Cf {
+    /// Applies Algorithm 3.1, rewriting χ in place, and reports the metrics.
+    pub fn reduce_alg31(&mut self) -> ReductionStats {
+        let nodes_before = self.node_count();
+        let max_width_before = self.max_width();
+        let layout = self.layout().clone();
+        let mut merges = 0usize;
+        let new_root = {
+            let (mgr, _, root, _) = self.parts_mut();
+            let ctx = CompatCtx::new(mgr, &layout);
+            let mut memo = FastMap::default();
+            alg31_rec(mgr, &ctx, &layout, root, &mut memo, &mut merges)
+        };
+        self.install_root(new_root);
+        ReductionStats {
+            nodes_before,
+            nodes_after: self.node_count(),
+            max_width_before,
+            max_width_after: self.max_width(),
+            merges,
+        }
+    }
+}
+
+fn alg31_rec(
+    mgr: &mut BddManager,
+    ctx: &CompatCtx,
+    layout: &CfLayout,
+    v: NodeId,
+    memo: &mut FastMap<NodeId, NodeId>,
+    merges: &mut usize,
+) -> NodeId {
+    if mgr.is_const(v) {
+        return v;
+    }
+    if let Some(&r) = memo.get(&v) {
+        return r;
+    }
+    let view = mgr.level_of_node(v);
+    let r = if !ctx.has_dont_care(mgr, layout, v, view) {
+        // Step 1: completely specified below — nothing to merge.
+        v
+    } else {
+        let lo = mgr.lo(v);
+        let hi = mgr.hi(v);
+        if let Some(product) = ctx.merge(mgr, lo, hi) {
+            // Step 2, compatible case: both children become the product, so
+            // the test on v disappears; continue on the merged child.
+            *merges += 1;
+            alg31_rec(mgr, ctx, layout, product, memo, merges)
+        } else {
+            let var = mgr.var_of(v);
+            let new_lo = alg31_rec(mgr, ctx, layout, lo, memo, merges);
+            let new_hi = alg31_rec(mgr, ctx, layout, hi, memo, merges);
+            mgr.mk(var, new_lo, new_hi)
+        }
+    };
+    memo.insert(v, r);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_logic::TruthTable;
+
+    #[test]
+    fn preserves_realizability_on_paper_example() {
+        let table = TruthTable::paper_table1();
+        let mut cf = Cf::from_truth_table(&table);
+        let stats = cf.reduce_alg31();
+        assert!(cf.is_fully_live(), "liveness invariant must survive");
+        assert!(stats.nodes_after <= stats.nodes_before);
+        // Every still-allowed word must have been allowed before.
+        for r in 0..16usize {
+            let input: Vec<bool> = (0..4).map(|i| r >> i & 1 == 1).collect();
+            for w in cf.allowed_words(&input) {
+                let expect = (0..2).all(|j| table.get(r, j).admits(w >> j & 1 == 1));
+                assert!(expect, "row {r} word {w:02b} must be admitted by the spec");
+            }
+            assert!(!cf.allowed_words(&input).is_empty(), "row {r} lost liveness");
+        }
+    }
+
+    #[test]
+    fn completion_still_realizes_after_reduction() {
+        let mut cf = Cf::from_truth_table(&TruthTable::paper_table1());
+        cf.reduce_alg31();
+        let g = cf.complete();
+        assert!(cf.realizes_original(&g));
+    }
+
+    #[test]
+    fn no_op_on_completely_specified_functions() {
+        let table = TruthTable::paper_table1().completed(false);
+        let mut cf = Cf::from_truth_table(&table);
+        let before = cf.node_count();
+        let stats = cf.reduce_alg31();
+        assert_eq!(stats.merges, 0);
+        assert_eq!(stats.nodes_after, before);
+    }
+
+    #[test]
+    fn merges_all_dont_care_function_to_tautology() {
+        let table = TruthTable::from_rows(&["d", "d", "d", "d"]);
+        let mut cf = Cf::from_truth_table(&table);
+        assert_eq!(cf.node_count(), 0, "all-dc χ is TRUE already");
+        let stats = cf.reduce_alg31();
+        assert_eq!(stats.nodes_after, 0);
+    }
+
+    #[test]
+    fn reduces_the_mergeable_pair_example() {
+        // f(x1, x2): rows (00,01,10,11) -> (0, d, d, 0): the two cofactors
+        // by x1 are (0,d) and (d,0) — compatible, product (0,0) — so
+        // Algorithm 3.1 removes the x1 test entirely.
+        let table = TruthTable::from_rows(&["0", "d", "d", "0"]);
+        let mut cf = Cf::from_truth_table(&table);
+        let before = cf.node_count();
+        let stats = cf.reduce_alg31();
+        assert!(stats.merges >= 1);
+        assert!(stats.nodes_after < before);
+        // The reduced χ must force output 0 everywhere except where both
+        // operands allowed 1 — here: nowhere. χ = ¬y.
+        let mut assignment = [false, false, false];
+        assert!(cf.manager().eval(cf.root(), &assignment));
+        assignment[2] = true; // y = 1
+        assert!(!cf.manager().eval(cf.root(), &assignment));
+    }
+
+    #[test]
+    fn stats_width_fields_are_consistent() {
+        let mut cf = Cf::from_truth_table(&TruthTable::paper_table1());
+        let wb = cf.max_width();
+        let stats = cf.reduce_alg31();
+        assert_eq!(stats.max_width_before, wb);
+        assert_eq!(stats.max_width_after, cf.max_width());
+        assert!(stats.max_width_after <= stats.max_width_before);
+    }
+}

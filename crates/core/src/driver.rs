@@ -1,0 +1,94 @@
+//! A convenience driver chaining the paper's reductions to a fixpoint.
+//!
+//! The paper applies support-variable removal, then one of the width
+//! reductions (§3.3, §5.1). Reductions can enable each other — removing a
+//! variable may create new compatible columns and vice versa — so this
+//! driver loops `support → Algorithm 3.1 → Algorithm 3.3` until an
+//! iteration stops improving the (max width, nodes) pair.
+
+use crate::alg33::Alg33Options;
+use crate::cf::Cf;
+
+/// Outcome of [`Cf::reduce_to_fixpoint`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixpointStats {
+    /// Iterations executed (at least 1).
+    pub iterations: usize,
+    /// Input variables removed in total.
+    pub removed_inputs: usize,
+    /// Maximum width before / after.
+    pub max_width: (usize, usize),
+    /// Node count before / after.
+    pub nodes: (usize, usize),
+}
+
+impl Cf {
+    /// Runs `support reduction → Algorithm 3.1 → Algorithm 3.3` repeatedly
+    /// until neither the maximum width nor the node count improves, or
+    /// `max_iterations` is reached.
+    pub fn reduce_to_fixpoint(
+        &mut self,
+        options: &Alg33Options,
+        max_iterations: usize,
+    ) -> FixpointStats {
+        let initial = (self.max_width(), self.node_count());
+        let mut current = initial;
+        let mut removed_inputs = 0;
+        let mut iterations = 0;
+        while iterations < max_iterations.max(1) {
+            iterations += 1;
+            removed_inputs += self.reduce_support_variables().len();
+            self.reduce_alg31();
+            self.reduce_alg33(options);
+            let now = (self.max_width(), self.node_count());
+            if now >= current {
+                break;
+            }
+            current = now;
+        }
+        FixpointStats {
+            iterations,
+            removed_inputs,
+            max_width: (initial.0, self.max_width()),
+            nodes: (initial.1, self.node_count()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_logic::TruthTable;
+
+    #[test]
+    fn fixpoint_is_sound_and_no_worse_than_one_round() {
+        let table = TruthTable::paper_table1();
+        let mut one = Cf::from_truth_table(&table);
+        one.reduce_alg33_default();
+        let mut fix = Cf::from_truth_table(&table);
+        let stats = fix.reduce_to_fixpoint(&Alg33Options::default(), 5);
+        assert!(stats.max_width.1 <= one.max_width());
+        assert!(stats.iterations >= 1);
+        assert!(fix.is_fully_live());
+        let g = fix.complete();
+        assert!(fix.realizes_original(&g));
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_completely_specified_functions() {
+        let table = TruthTable::paper_table1().completed(false);
+        let mut cf = Cf::from_truth_table(&table);
+        let stats = cf.reduce_to_fixpoint(&Alg33Options::default(), 10);
+        assert_eq!(stats.removed_inputs, 0);
+        assert_eq!(stats.max_width.0, stats.max_width.1);
+        assert!(stats.iterations <= 2, "no progress means fast exit");
+    }
+
+    #[test]
+    fn fixpoint_respects_iteration_cap() {
+        let table = TruthTable::paper_table1();
+        let mut cf = Cf::from_truth_table(&table);
+        let stats = cf.reduce_to_fixpoint(&Alg33Options::default(), 1);
+        assert_eq!(stats.iterations, 1);
+    }
+}

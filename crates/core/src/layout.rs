@@ -1,0 +1,189 @@
+//! Variable layout of a BDD_for_CF: which manager variable is which input
+//! `xᵢ` and which output `yⱼ`.
+//!
+//! Inputs are `Var(0) .. Var(n-1)`, outputs are `Var(n) .. Var(n+m-1)`.
+//! The *ids* are fixed; only the *levels* change under reordering.
+
+use bddcf_bdd::{BddManager, NodeId, Var};
+
+/// The role a manager variable plays in a characteristic function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Input variable `x_{i}` (0-based).
+    Input(usize),
+    /// Output variable `y_{j}` (0-based).
+    Output(usize),
+}
+
+/// Shape of a characteristic function: `n` inputs and `m` outputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CfLayout {
+    num_inputs: usize,
+    num_outputs: usize,
+}
+
+impl CfLayout {
+    /// Layout for `num_inputs` inputs and `num_outputs` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(num_inputs: usize, num_outputs: usize) -> Self {
+        assert!(num_inputs > 0, "a function needs at least one input");
+        assert!(num_outputs > 0, "a function needs at least one output");
+        CfLayout {
+            num_inputs,
+            num_outputs,
+        }
+    }
+
+    /// Number of inputs `n`.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of outputs `m`.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Total manager variables `n + m`.
+    pub fn num_vars(&self) -> usize {
+        self.num_inputs + self.num_outputs
+    }
+
+    /// The manager variable of input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n`.
+    pub fn input_var(&self, i: usize) -> Var {
+        assert!(i < self.num_inputs, "input index out of range");
+        Var(i as u32)
+    }
+
+    /// The manager variable of output `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ m`.
+    pub fn output_var(&self, j: usize) -> Var {
+        assert!(j < self.num_outputs, "output index out of range");
+        Var((self.num_inputs + j) as u32)
+    }
+
+    /// The role of a manager variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is outside the layout.
+    pub fn role(&self, var: Var) -> Role {
+        let v = var.0 as usize;
+        if v < self.num_inputs {
+            Role::Input(v)
+        } else if v < self.num_vars() {
+            Role::Output(v - self.num_inputs)
+        } else {
+            panic!("{var:?} outside layout with {} variables", self.num_vars())
+        }
+    }
+
+    /// Is `var` an output variable?
+    pub fn is_output(&self, var: Var) -> bool {
+        matches!(self.role(var), Role::Output(_))
+    }
+
+    /// All input variables.
+    pub fn input_vars(&self) -> Vec<Var> {
+        (0..self.num_inputs).map(|i| self.input_var(i)).collect()
+    }
+
+    /// All output variables.
+    pub fn output_vars(&self) -> Vec<Var> {
+        (0..self.num_outputs).map(|j| self.output_var(j)).collect()
+    }
+
+    /// A fresh manager sized for this layout (default order: inputs on top
+    /// in index order, outputs below in index order — always a valid
+    /// BDD_for_CF order).
+    pub fn new_manager(&self) -> BddManager {
+        BddManager::new(self.num_vars())
+    }
+
+    /// The positive cube of all output variables, used for `∃Y` projections.
+    pub fn output_cube(&self, mgr: &mut BddManager) -> NodeId {
+        let lits: Vec<(Var, bool)> = self.output_vars().iter().map(|&v| (v, true)).collect();
+        mgr.cube(&lits)
+    }
+
+    /// Number of output variables strictly below `level` in the current
+    /// order of `mgr` (used to scope don't-care tests to the sub-ISF under
+    /// a node).
+    pub fn outputs_below_level(&self, mgr: &BddManager, level: u32) -> usize {
+        self.output_vars()
+            .iter()
+            .filter(|&&y| mgr.level_of(y) > level)
+            .count()
+    }
+
+    /// Display name of a variable (`x1..xn`, `y1..ym`, 1-based like the
+    /// paper).
+    pub fn var_name(&self, var: Var) -> String {
+        match self.role(var) {
+            Role::Input(i) => format!("x{}", i + 1),
+            Role::Output(j) => format!("y{}", j + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_partition_variables() {
+        let layout = CfLayout::new(3, 2);
+        assert_eq!(layout.num_vars(), 5);
+        assert_eq!(layout.role(Var(0)), Role::Input(0));
+        assert_eq!(layout.role(Var(2)), Role::Input(2));
+        assert_eq!(layout.role(Var(3)), Role::Output(0));
+        assert_eq!(layout.role(Var(4)), Role::Output(1));
+        assert!(layout.is_output(Var(4)));
+        assert!(!layout.is_output(Var(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside layout")]
+    fn role_rejects_foreign_vars() {
+        let layout = CfLayout::new(2, 1);
+        let _ = layout.role(Var(9));
+    }
+
+    #[test]
+    fn var_lists_and_names() {
+        let layout = CfLayout::new(2, 2);
+        assert_eq!(layout.input_vars(), vec![Var(0), Var(1)]);
+        assert_eq!(layout.output_vars(), vec![Var(2), Var(3)]);
+        assert_eq!(layout.var_name(Var(0)), "x1");
+        assert_eq!(layout.var_name(Var(3)), "y2");
+    }
+
+    #[test]
+    fn output_cube_quantifies_all_outputs() {
+        let layout = CfLayout::new(1, 2);
+        let mut mgr = layout.new_manager();
+        let cube = layout.output_cube(&mut mgr);
+        let sup = mgr.support(cube);
+        assert_eq!(sup, vec![Var(1), Var(2)]);
+    }
+
+    #[test]
+    fn outputs_below_level_counts() {
+        let layout = CfLayout::new(2, 2);
+        let mgr = layout.new_manager();
+        // Order: x1 x2 y1 y2 at levels 0..3.
+        assert_eq!(layout.outputs_below_level(&mgr, 0), 2);
+        assert_eq!(layout.outputs_below_level(&mgr, 2), 1);
+        assert_eq!(layout.outputs_below_level(&mgr, 3), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! §5.1 — output partitioning.
+//!
+//! Representing all outputs in a single BDD_for_CF makes it hard to find
+//! 0-1 assignments that simplify it; splitting every output apart forfeits
+//! multi-output sharing. The paper's compromise is a *bi-partition*:
+//! `F₁ = (f₁ … f⌈m/2⌉)` and `F₂ = (f⌈m/2⌉₊₁ … f_m)`, each with its own
+//! BDD_for_CF (and its own variable order).
+
+#![allow(clippy::single_range_in_vec_init)] // the API genuinely takes lists of ranges
+use crate::cf::{Cf, IsfBdds};
+use crate::layout::CfLayout;
+use bddcf_bdd::hasher::FastMap;
+use bddcf_bdd::{BddManager, NodeId, Var, FALSE, TRUE};
+use std::ops::Range;
+
+/// Copies a BDD from one manager into another.
+///
+/// Variables keep their ids; the relative order of the *source support*
+/// variables must be the same in both managers (checked by `mk` in debug
+/// builds). This is how per-output ISF sets (which live over the shared
+/// input variables) move into the smaller managers of the partition
+/// halves.
+pub fn transfer(
+    src: &BddManager,
+    dst: &mut BddManager,
+    node: NodeId,
+    memo: &mut FastMap<NodeId, NodeId>,
+) -> NodeId {
+    if node == FALSE {
+        return FALSE;
+    }
+    if node == TRUE {
+        return TRUE;
+    }
+    if let Some(&r) = memo.get(&node) {
+        return r;
+    }
+    let var = src.var_of(node);
+    let lo = transfer(src, dst, src.lo(node), memo);
+    let hi = transfer(src, dst, src.hi(node), memo);
+    let r = dst.mk(var, lo, hi);
+    memo.insert(node, r);
+    r
+}
+
+/// Derives a part's variable order from the full function's order: input
+/// variables keep their relative positions, the part's output variables are
+/// renumbered into the part layout, and other outputs disappear.
+pub fn derive_part_order(
+    full_order: &[Var],
+    layout: &CfLayout,
+    part_layout: &CfLayout,
+    range: &Range<usize>,
+) -> Vec<Var> {
+    full_order
+        .iter()
+        .filter_map(|&v| match layout.role(v) {
+            crate::layout::Role::Input(i) => Some(part_layout.input_var(i)),
+            crate::layout::Role::Output(j) if range.contains(&j) => {
+                Some(part_layout.output_var(j - range.start))
+            }
+            crate::layout::Role::Output(_) => None,
+        })
+        .collect()
+}
+
+/// Builds one independent [`Cf`] per output range, each in a fresh manager
+/// with only that range's output variables. Each part *inherits the
+/// source manager's variable order* (restricted per
+/// [`derive_part_order`]), so generator-supplied interleaved orders
+/// survive the split.
+///
+/// `mgr`/`layout`/`isf` describe the full function; `parts` must consist of
+/// non-empty ranges within `0..m` (they may overlap or omit outputs — the
+/// usual case is the bi-partition below).
+///
+/// # Panics
+///
+/// Panics if a range is empty or out of bounds.
+pub fn partition_outputs(
+    mgr: &BddManager,
+    layout: &CfLayout,
+    isf: &IsfBdds,
+    parts: &[Range<usize>],
+) -> Vec<Cf> {
+    parts
+        .iter()
+        .map(|range| {
+            assert!(!range.is_empty(), "empty output range");
+            assert!(range.end <= layout.num_outputs(), "range out of bounds");
+            let part_layout = CfLayout::new(layout.num_inputs(), range.len());
+            let mut part_mgr = part_layout.new_manager();
+            let part_order = derive_part_order(mgr.order(), layout, &part_layout, range);
+            part_mgr.set_order(&part_order);
+            let mut memo = FastMap::default();
+            let sub = isf.select_outputs(range.clone());
+            let on = sub
+                .on
+                .iter()
+                .map(|&f| transfer(mgr, &mut part_mgr, f, &mut memo))
+                .collect();
+            let off = sub
+                .off
+                .iter()
+                .map(|&f| transfer(mgr, &mut part_mgr, f, &mut memo))
+                .collect();
+            let dc = sub
+                .dc
+                .iter()
+                .map(|&f| transfer(mgr, &mut part_mgr, f, &mut memo))
+                .collect();
+            Cf::from_isf(part_mgr, part_layout, IsfBdds { on, off, dc })
+        })
+        .collect()
+}
+
+/// The paper's bi-partition: `F₁` takes the first `⌈m/2⌉` outputs, `F₂`
+/// the rest. For a single-output function only `F₁` is returned.
+pub fn bipartition(mgr: &BddManager, layout: &CfLayout, isf: &IsfBdds) -> Vec<Cf> {
+    let m = layout.num_outputs();
+    let half = m.div_ceil(2);
+    if half == m {
+        partition_outputs(mgr, layout, isf, &[0..m])
+    } else {
+        partition_outputs(mgr, layout, isf, &[0..half, half..m])
+    }
+}
+
+/// Recombines completed halves for verification: evaluates each part's
+/// completed outputs on `input` and re-assembles the full output word in
+/// the original output numbering (parts listed in `parts` order).
+pub fn eval_parts(
+    parts: &[(&Cf, &[NodeId])],
+    ranges: &[Range<usize>],
+    input: &[bool],
+) -> u64 {
+    assert_eq!(parts.len(), ranges.len());
+    let mut word = 0u64;
+    for ((cf, outputs), range) in parts.iter().zip(ranges) {
+        let mut assignment = vec![false; cf.layout().num_vars()];
+        assignment[..input.len()].copy_from_slice(input);
+        for (k, &g) in outputs.iter().enumerate() {
+            if cf.manager().eval(g, &assignment) {
+                word |= 1 << (range.start + k);
+            }
+        }
+    }
+    word
+}
+
+/// Checks [`Var`] id stability across a transfer (diagnostic helper for
+/// tests and assertions).
+pub fn same_support(src: &BddManager, a: NodeId, dst: &BddManager, b: NodeId) -> bool {
+    let sa: Vec<Var> = src.support(a);
+    let sb: Vec<Var> = dst.support(b);
+    sa == sb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_logic::{MultiOracle, TruthTable};
+
+    #[test]
+    fn transfer_preserves_functions() {
+        let mut src = BddManager::new(4);
+        let a = src.var(Var(0));
+        let c = src.var(Var(2));
+        let f = src.xor(a, c);
+        let mut dst = BddManager::new(6);
+        let mut memo = FastMap::default();
+        let g = transfer(&src, &mut dst, f, &mut memo);
+        assert!(same_support(&src, f, &dst, g));
+        for bits in 0..16u32 {
+            let asrc: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let mut adst = vec![false; 6];
+            adst[..4].copy_from_slice(&asrc);
+            assert_eq!(src.eval(f, &asrc), dst.eval(g, &adst));
+        }
+    }
+
+    #[test]
+    fn transfer_of_terminals() {
+        let src = BddManager::new(1);
+        let mut dst = BddManager::new(1);
+        let mut memo = FastMap::default();
+        assert_eq!(transfer(&src, &mut dst, TRUE, &mut memo), TRUE);
+        assert_eq!(transfer(&src, &mut dst, FALSE, &mut memo), FALSE);
+    }
+
+    #[test]
+    fn bipartition_splits_ceil_floor() {
+        let table = TruthTable::paper_table1();
+        let layout = CfLayout::new(4, 2);
+        let mut mgr = layout.new_manager();
+        let isf = IsfBdds::from_truth_table(&mut mgr, &layout, &table);
+        let halves = bipartition(&mgr, &layout, &isf);
+        assert_eq!(halves.len(), 2);
+        assert_eq!(halves[0].layout().num_outputs(), 1);
+        assert_eq!(halves[1].layout().num_outputs(), 1);
+    }
+
+    #[test]
+    fn single_output_functions_do_not_split() {
+        let table = TruthTable::from_rows(&["0", "1", "d", "1"]);
+        let layout = CfLayout::new(2, 1);
+        let mut mgr = layout.new_manager();
+        let isf = IsfBdds::from_truth_table(&mut mgr, &layout, &table);
+        let parts = bipartition(&mgr, &layout, &isf);
+        assert_eq!(parts.len(), 1);
+    }
+
+    #[test]
+    fn parts_realize_the_original_spec_jointly() {
+        let table = TruthTable::paper_table1();
+        let layout = CfLayout::new(4, 2);
+        let mut mgr = layout.new_manager();
+        let isf = IsfBdds::from_truth_table(&mut mgr, &layout, &table);
+        let mut halves = bipartition(&mgr, &layout, &isf);
+        // Reduce each half independently, then complete and recombine.
+        for h in &mut halves {
+            h.reduce_alg33_default();
+        }
+        let g0 = halves[0].complete();
+        let g1 = halves[1].complete();
+        for r in 0..16usize {
+            let input: Vec<bool> = (0..4).map(|i| r >> i & 1 == 1).collect();
+            let word = eval_parts(
+                &[(&halves[0], &g0), (&halves[1], &g1)],
+                &[0..1, 1..2],
+                &input,
+            );
+            assert!(
+                table.respond(&input).admits(word, 2)
+                    || (0..2).all(|j| table.get(r, j).admits(word >> j & 1 == 1)),
+                "row {r} word {word:02b}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_ranges_validate() {
+        let table = TruthTable::paper_table1();
+        let layout = CfLayout::new(4, 2);
+        let mut mgr = layout.new_manager();
+        let isf = IsfBdds::from_truth_table(&mut mgr, &layout, &table);
+        let parts = partition_outputs(&mgr, &layout, &isf, &[0..2]);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].layout().num_outputs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn partition_rejects_bad_range() {
+        let table = TruthTable::paper_table1();
+        let layout = CfLayout::new(4, 2);
+        let mut mgr = layout.new_manager();
+        let isf = IsfBdds::from_truth_table(&mut mgr, &layout, &table);
+        let _ = partition_outputs(&mgr, &layout, &isf, &[0..3]);
+    }
+}

@@ -1,0 +1,153 @@
+//! §3.3 — reduction of support variables.
+//!
+//! In an incompletely specified function some input variables can be
+//! *redundant*: an appropriate assignment of the don't cares makes the
+//! function independent of them. On the characteristic function this is a
+//! cofactor merge: input `x` is removable iff `χ|x=0` and `χ|x=1` are
+//! compatible (same live set, product fully live), in which case
+//! `χ := χ|x=0 · χ|x=1`.
+//!
+//! The paper applies this greedily from the root towards the leaves before
+//! running Algorithm 3.1 or 3.3, because removing variables often shrinks
+//! widths — and in a single-memory realization, removing `i` variables
+//! divides the memory size by `2^i` (§5.3, the `#RV` column of Table 6).
+
+#![allow(clippy::needless_range_loop)] // row indices mirror truth-table rows in tests
+use crate::cf::Cf;
+use crate::compat::CompatCtx;
+use bddcf_bdd::Var;
+
+impl Cf {
+    /// Greedily removes redundant input variables (top of the order first),
+    /// rewriting χ in place. Returns the removed inputs as 0-based input
+    /// indices.
+    pub fn reduce_support_variables(&mut self) -> Vec<usize> {
+        let layout = self.layout().clone();
+        // Visit inputs from the root of the order downwards (the paper's
+        // root-to-leaf direction).
+        let mut inputs: Vec<Var> = layout.input_vars();
+        inputs.sort_by_key(|&v| self.manager().level_of(v));
+        let mut removed = Vec::new();
+        for x in inputs {
+            let merged = {
+                let (mgr, _, root, _) = self.parts_mut();
+                let ctx = CompatCtx::new(mgr, &layout);
+                let f0 = mgr.restrict(root, x, false);
+                let f1 = mgr.restrict(root, x, true);
+                if f0 == f1 {
+                    None // x is already out of the support
+                } else {
+                    ctx.merge(mgr, f0, f1)
+                }
+            };
+            if let Some(new_root) = merged {
+                self.install_root(new_root);
+                if let crate::layout::Role::Input(i) = layout.role(x) {
+                    removed.push(i);
+                }
+            }
+        }
+        removed
+    }
+
+    /// The input variables χ currently depends on (0-based input indices).
+    pub fn support_inputs(&self) -> Vec<usize> {
+        let layout = self.layout();
+        self.manager()
+            .support(self.root())
+            .into_iter()
+            .filter_map(|v| match layout.role(v) {
+                crate::layout::Role::Input(i) => Some(i),
+                crate::layout::Role::Output(_) => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_logic::{Ternary, TruthTable};
+
+    #[test]
+    fn removes_a_variable_made_redundant_by_dont_cares() {
+        // f(x0, x1) = x1 where specified; x0 only matters on rows that are
+        // don't care: rows (00,01,10,11) -> (0, d, d, 1).
+        // With d->(row01: x0=1,x1=0 -> 0) and (row10: x0=0,x1=1 -> 1) the
+        // function becomes f = x1, independent of x0.
+        let table = TruthTable::from_rows(&["0", "d", "d", "1"]);
+        let mut cf = Cf::from_truth_table(&table);
+        let removed = cf.reduce_support_variables();
+        assert!(
+            removed.contains(&0) || removed.contains(&1),
+            "one input must become redundant, got {removed:?}"
+        );
+        assert!(cf.is_fully_live());
+        assert_eq!(cf.support_inputs().len(), 1);
+        let g = cf.complete();
+        assert!(cf.realizes_original(&g));
+    }
+
+    #[test]
+    fn keeps_essential_variables() {
+        // XOR is completely specified: nothing is redundant.
+        let table = TruthTable::from_rows(&["0", "1", "1", "0"]);
+        let mut cf = Cf::from_truth_table(&table);
+        let removed = cf.reduce_support_variables();
+        assert!(removed.is_empty());
+        assert_eq!(cf.support_inputs(), vec![0, 1]);
+    }
+
+    #[test]
+    fn removes_all_inputs_of_an_all_dc_function() {
+        let table = TruthTable::from_rows(&["d", "d", "d", "d"]);
+        let mut cf = Cf::from_truth_table(&table);
+        // χ = TRUE: inputs already absent — nothing reported removed, and
+        // the support is empty.
+        let removed = cf.reduce_support_variables();
+        assert!(removed.is_empty());
+        assert!(cf.support_inputs().is_empty());
+    }
+
+    #[test]
+    fn multi_output_redundancy() {
+        // Two outputs over two inputs; output 0 = x1 or d, output 1 = x1 or
+        // d, arranged so x0 is removable for both simultaneously.
+        let mut table = TruthTable::new(2, 2);
+        for r in 0..4usize {
+            let x1 = r >> 1 & 1 == 1;
+            // Specify only when x0 = 0, leave x0 = 1 rows free.
+            if r & 1 == 0 {
+                table.set(r, 0, Ternary::from_bool(x1));
+                table.set(r, 1, Ternary::from_bool(!x1));
+            }
+        }
+        let mut cf = Cf::from_truth_table(&table);
+        let removed = cf.reduce_support_variables();
+        assert_eq!(removed, vec![0]);
+        let g = cf.complete();
+        assert!(cf.realizes_original(&g));
+    }
+
+    #[test]
+    fn removal_narrows_chi() {
+        let table = TruthTable::from_rows(&["0", "d", "d", "1"]);
+        let mut cf = Cf::from_truth_table(&table);
+        // Record allowed words before.
+        let mut before = Vec::new();
+        for r in 0..4usize {
+            let input: Vec<bool> = (0..2).map(|i| r >> i & 1 == 1).collect();
+            before.push(cf.allowed_words(&input));
+        }
+        cf.reduce_support_variables();
+        for r in 0..4usize {
+            let input: Vec<bool> = (0..2).map(|i| r >> i & 1 == 1).collect();
+            let after = cf.allowed_words(&input);
+            assert!(!after.is_empty());
+            assert!(
+                after.iter().all(|w| before[r].contains(w)),
+                "row {r}: reduction must narrow the allowed sets"
+            );
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Functional decomposition read directly off a BDD_for_CF (§3.1,
+//! Theorem 3.1).
+//!
+//! For a variable order `(X₁, …rest)` where the top `k` levels are input
+//! variables, the nodes hanging below the cut at level `k` are the column
+//! functions; the `H` block maps `X₁` to a code identifying the column and
+//! the `G` block computes the rest. Theorem 3.1: the necessary and
+//! sufficient number of wires between the blocks is `⌈log₂ W⌉` where `W`
+//! is the BDD_for_CF width at the cut.
+
+use bddcf_bdd::hasher::FastMap;
+use bddcf_bdd::{NodeId, FALSE, TRUE};
+use bddcf_core::{Cf, Role};
+
+/// A single-cut decomposition `F(X₁, X₂) = G(H(X₁), X₂)` extracted from a
+/// [`Cf`].
+#[derive(Clone, Debug)]
+pub struct BddDecomposition {
+    /// Number of top levels forming the bound set `X₁` (all inputs).
+    pub num_bound_levels: usize,
+    /// Input indices of the bound set, in level order.
+    pub bound_inputs: Vec<usize>,
+    /// The distinct column nodes below the cut, in code order.
+    pub columns: Vec<NodeId>,
+    /// `code[a]` = column code for bound assignment `a` (bit `k` of `a` is
+    /// the value of `bound_inputs[k]`).
+    pub code: Vec<usize>,
+    /// Rails between the blocks: `⌈log₂ W⌉` (Theorem 3.1).
+    pub rails: usize,
+}
+
+/// Extracts the decomposition of `cf` at the cut below the top `k` levels.
+///
+/// # Panics
+///
+/// Panics if `k` is 0, not below the total variable count, or if any of the
+/// top `k` levels holds an output variable (the bound set must be inputs).
+pub fn decompose_at(cf: &Cf, k: usize) -> BddDecomposition {
+    let mgr = cf.manager();
+    let layout = cf.layout();
+    assert!(k > 0 && k < layout.num_vars(), "cut level out of range");
+    let bound_inputs: Vec<usize> = (0..k as u32)
+        .map(|level| match layout.role(mgr.var_at(level)) {
+            Role::Input(i) => i,
+            Role::Output(j) => panic!("output y{} in the bound set (level {level})", j + 1),
+        })
+        .collect();
+
+    let mut columns: Vec<NodeId> = Vec::new();
+    let mut code_of: FastMap<NodeId, usize> = FastMap::default();
+    let mut code = Vec::with_capacity(1 << k);
+    for a in 0..1usize << k {
+        // Walk the top k levels under assignment a.
+        let mut cur = cf.root();
+        while cur != FALSE && mgr.level_of_node(cur) < k as u32 {
+            let level = mgr.level_of_node(cur) as usize;
+            cur = if a >> level & 1 == 1 {
+                mgr.hi(cur)
+            } else {
+                mgr.lo(cur)
+            };
+        }
+        assert_ne!(cur, FALSE, "live χ cannot reach 0 on an input-only path");
+        let c = *code_of.entry(cur).or_insert_with(|| {
+            columns.push(cur);
+            columns.len() - 1
+        });
+        code.push(c);
+    }
+    let rails = rails_for(columns.len());
+    BddDecomposition {
+        num_bound_levels: k,
+        bound_inputs,
+        columns,
+        code,
+        rails,
+    }
+}
+
+/// `⌈log₂ w⌉` — the Theorem-3.1 wire count for width `w` (0 for `w = 1`:
+/// a single column carries no information).
+pub fn rails_for(w: usize) -> usize {
+    assert!(w > 0);
+    (usize::BITS - (w - 1).leading_zeros()) as usize
+}
+
+impl BddDecomposition {
+    /// Evaluates the decomposed network on a full input assignment: `H`
+    /// maps the bound bits to a column code, then the column is walked with
+    /// the remaining inputs (outputs read off the nodes, prefer-0 for
+    /// absent outputs). Must agree with [`Cf::eval_completed`].
+    pub fn eval(&self, cf: &Cf, input: &[bool]) -> u64 {
+        let layout = cf.layout();
+        assert_eq!(input.len(), layout.num_inputs());
+        let mut a = 0usize;
+        for (k, &i) in self.bound_inputs.iter().enumerate() {
+            if input[i] {
+                a |= 1 << k;
+            }
+        }
+        let mut cur = self.columns[self.code[a]];
+        let mgr = cf.manager();
+        let mut word = 0u64;
+        while cur != TRUE {
+            assert_ne!(cur, FALSE, "column walk reached constant 0");
+            let var = mgr.var_of(cur);
+            match layout.role(var) {
+                Role::Input(i) => {
+                    cur = if input[i] { mgr.hi(cur) } else { mgr.lo(cur) };
+                }
+                Role::Output(j) => {
+                    let lo = mgr.lo(cur);
+                    if lo == FALSE {
+                        word |= 1 << j;
+                        cur = mgr.hi(cur);
+                    } else {
+                        cur = lo;
+                    }
+                }
+            }
+        }
+        word
+    }
+
+    /// Is the decomposition non-trivial, i.e. does the `H` block compress
+    /// (`rails < |X₁|`)?
+    pub fn is_profitable(&self) -> bool {
+        self.rails < self.num_bound_levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_core::{CfLayout, IsfBdds};
+    use bddcf_bdd::Var;
+    use bddcf_logic::TruthTable;
+
+    fn paper_cf() -> Cf {
+        let table = TruthTable::paper_table1();
+        Cf::build_with_order(
+            CfLayout::new(4, 2),
+            &[Var(0), Var(1), Var(2), Var(4), Var(3), Var(5)],
+            |mgr, layout| IsfBdds::from_truth_table(mgr, layout, &table),
+        )
+    }
+
+    #[test]
+    fn rails_formula() {
+        assert_eq!(rails_for(1), 0);
+        assert_eq!(rails_for(2), 1);
+        assert_eq!(rails_for(3), 2);
+        assert_eq!(rails_for(4), 2);
+        assert_eq!(rails_for(5), 3);
+        assert_eq!(rails_for(8), 3);
+        assert_eq!(rails_for(9), 4);
+    }
+
+    #[test]
+    fn columns_match_width_at_cut() {
+        let cf = paper_cf();
+        for k in 1..=3usize {
+            let d = decompose_at(&cf, k);
+            let width = cf.width_profile().at_cut(k);
+            assert_eq!(
+                d.columns.len(),
+                width,
+                "cut {k}: columns must equal the Definition-3.5 width"
+            );
+            assert_eq!(d.rails, rails_for(width));
+        }
+    }
+
+    #[test]
+    fn decomposed_network_agrees_with_direct_evaluation() {
+        let cf = paper_cf();
+        for k in 1..=3usize {
+            let d = decompose_at(&cf, k);
+            for r in 0..16usize {
+                let input: Vec<bool> = (0..4).map(|i| r >> i & 1 == 1).collect();
+                assert_eq!(
+                    d.eval(&cf, &input),
+                    cf.eval_completed(&input),
+                    "cut {k}, row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_after_width_reduction_gets_narrower() {
+        let mut cf = paper_cf();
+        let before = decompose_at(&cf, 3).columns.len();
+        cf.reduce_alg33_default();
+        let after = decompose_at(&cf, 3);
+        assert!(after.columns.len() <= before);
+        // Still a correct realization of the spec.
+        let table = TruthTable::paper_table1();
+        for r in 0..16usize {
+            let input: Vec<bool> = (0..4).map(|i| r >> i & 1 == 1).collect();
+            let word = after.eval(&cf, &input);
+            assert!(
+                (0..2).all(|j| table.get(r, j).admits(word >> j & 1 == 1)),
+                "row {r} word {word:02b}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in the bound set")]
+    fn bound_set_must_be_inputs() {
+        let cf = paper_cf();
+        // Level 3 holds y1 in the paper order — cutting at k=4 includes it.
+        let _ = decompose_at(&cf, 4);
+    }
+
+    #[test]
+    fn profitability_reflects_compression() {
+        // XOR of 3 inputs: width 2 at every cut; cutting below 2 levels
+        // gives rails = 1 < 2: profitable.
+        let mut table = TruthTable::new(3, 1);
+        for r in 0..8usize {
+            let parity = (r.count_ones() & 1) == 1;
+            table.set(r, 0, bddcf_logic::Ternary::from_bool(parity));
+        }
+        let cf = Cf::from_truth_table(&table);
+        let d = decompose_at(&cf, 2);
+        assert_eq!(d.columns.len(), 2);
+        assert!(d.is_profitable());
+    }
+}

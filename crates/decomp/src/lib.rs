@@ -1,0 +1,25 @@
+//! Functional decomposition: decomposition charts, column multiplicity,
+//! and BDD_for_CF-based decomposition (§3.1, Theorem 3.1).
+//!
+//! A decomposition `f(X₁,X₂) = g(h(X₁), X₂)` is profitable when the column
+//! multiplicity `µ` of the chart for the partition `(X₁,X₂)` satisfies
+//! `⌈log₂ µ⌉ < |X₁|`. On a BDD the multiplicity is the width at the cut
+//! between `X₁` and `X₂`; don't cares let compatible columns merge and the
+//! width shrink — that is the whole point of the paper's Algorithms
+//! 3.1/3.3.
+//!
+//! * [`chart`] — explicit ternary decomposition charts (Definition 3.6,
+//!   Tables 2–3), column compatibility, and chart-level merging via
+//!   Algorithm 3.2's clique cover.
+//! * [`bdd_decomp`] — decomposition straight off a [`Cf`](bddcf_core::Cf):
+//!   column extraction at a cut, rail counting (Theorem 3.1), and
+//!   evaluation of the decomposed network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bdd_decomp;
+pub mod chart;
+
+pub use bdd_decomp::BddDecomposition;
+pub use chart::DecompositionChart;

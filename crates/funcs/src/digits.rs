@@ -1,0 +1,212 @@
+//! Binary-coded multi-valued digit layouts shared by the radix-converter
+//! and RNS benchmarks (§4.1).
+//!
+//! A function `f: P₀ × P₁ × … × P_{k−1} → Q` with `Pᵢ = {0,…,pᵢ−1}` is
+//! encoded over `Σ ⌈log₂ pᵢ⌉` binary inputs. When `pᵢ` is not a power of
+//! two, the unused digit codes are *input don't cares*: the ratio of
+//! unspecified input combinations is `1 − Π pᵢ/2^{bᵢ}` (the paper's §4.1
+//! formula, checked in tests against Example 4.7).
+
+use bddcf_bdd::bv::{self, BitVec};
+use bddcf_bdd::{BddManager, NodeId};
+use bddcf_core::CfLayout;
+
+/// The digit structure of a multi-valued input: radix per digit, most
+/// significant digit first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DigitLayout {
+    radixes: Vec<u64>,
+}
+
+impl DigitLayout {
+    /// A layout with the given per-digit radixes (most significant digit
+    /// first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a radix is less than 2.
+    pub fn new(radixes: Vec<u64>) -> Self {
+        assert!(radixes.iter().all(|&p| p >= 2), "radix must be at least 2");
+        DigitLayout { radixes }
+    }
+
+    /// A layout of `k` digits of the same radix.
+    pub fn uniform(radix: u64, k: usize) -> Self {
+        DigitLayout::new(vec![radix; k])
+    }
+
+    /// Number of digits.
+    pub fn num_digits(&self) -> usize {
+        self.radixes.len()
+    }
+
+    /// Radix of digit `i` (0 = most significant).
+    pub fn radix(&self, i: usize) -> u64 {
+        self.radixes[i]
+    }
+
+    /// Bits of digit `i`: `⌈log₂ pᵢ⌉`.
+    pub fn bits(&self, i: usize) -> usize {
+        bv::bits_for(self.radixes[i] - 1)
+    }
+
+    /// First input index of digit `i` (digits packed most significant
+    /// first; within a digit, the first input is the digit's LSB).
+    pub fn offset(&self, i: usize) -> usize {
+        (0..i).map(|d| self.bits(d)).sum()
+    }
+
+    /// Total binary inputs.
+    pub fn total_bits(&self) -> usize {
+        self.offset(self.num_digits())
+    }
+
+    /// The digit's bits as a symbolic bit-vector of the input variables.
+    pub fn digit_bv(&self, mgr: &mut BddManager, layout: &CfLayout, i: usize) -> BitVec {
+        let offset = self.offset(i);
+        (0..self.bits(i))
+            .map(|b| {
+                let var = layout.input_var(offset + b);
+                mgr.var(var)
+            })
+            .collect()
+    }
+
+    /// The valid-input predicate `∧ᵢ digitᵢ < pᵢ`.
+    pub fn valid(&self, mgr: &mut BddManager, layout: &CfLayout) -> NodeId {
+        let mut acc = bddcf_bdd::TRUE;
+        for i in 0..self.num_digits() {
+            let digit = self.digit_bv(mgr, layout, i);
+            let ok = bv::lt_const(mgr, &digit, self.radixes[i]);
+            acc = mgr.and(acc, ok);
+        }
+        acc
+    }
+
+    /// Decodes the digits from a packed input word (`bit i` = input `i`);
+    /// `None` if some digit code is out of range.
+    pub fn decode(&self, input_word: u64) -> Option<Vec<u64>> {
+        let mut digits = Vec::with_capacity(self.num_digits());
+        for i in 0..self.num_digits() {
+            let b = self.bits(i);
+            let code = input_word >> self.offset(i) & ((1u64 << b) - 1);
+            if code >= self.radixes[i] {
+                return None;
+            }
+            digits.push(code);
+        }
+        Some(digits)
+    }
+
+    /// Encodes digit values into a packed input word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or a digit out of range.
+    pub fn encode(&self, digits: &[u64]) -> u64 {
+        assert_eq!(digits.len(), self.num_digits());
+        let mut word = 0u64;
+        for (i, &d) in digits.iter().enumerate() {
+            assert!(d < self.radixes[i], "digit {i} out of range");
+            word |= d << self.offset(i);
+        }
+        word
+    }
+
+    /// §4.1's input-don't-care ratio: `1 − Π pᵢ/2^{bᵢ}`.
+    pub fn dc_ratio(&self) -> f64 {
+        1.0 - (0..self.num_digits())
+            .map(|i| self.radixes[i] as f64 / (1u64 << self.bits(i)) as f64)
+            .product::<f64>()
+    }
+
+    /// Iterates all valid digit combinations (for exhaustive small tests).
+    pub fn valid_combinations(&self) -> impl Iterator<Item = Vec<u64>> + '_ {
+        let k = self.num_digits();
+        let total: u64 = self.radixes.iter().product();
+        (0..total).map(move |mut idx| {
+            let mut digits = vec![0u64; k];
+            for i in (0..k).rev() {
+                digits[i] = idx % self.radixes[i];
+                idx /= self.radixes[i];
+            }
+            digits
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_of_mixed_radixes() {
+        let d = DigitLayout::new(vec![5, 7, 11, 13]);
+        assert_eq!(d.num_digits(), 4);
+        assert_eq!(d.bits(0), 3);
+        assert_eq!(d.bits(2), 4);
+        assert_eq!(d.total_bits(), 3 + 3 + 4 + 4);
+        assert_eq!(d.offset(0), 0);
+        assert_eq!(d.offset(3), 10);
+    }
+
+    #[test]
+    fn example_47_ternary_dc_ratio() {
+        // Example 4.7: 10-digit ternary, only (3/4)^10 = 0.0563 specified.
+        let d = DigitLayout::uniform(3, 10);
+        assert!((d.dc_ratio() - 0.9437).abs() < 5e-5);
+    }
+
+    #[test]
+    fn paper_dc_ratios() {
+        // Table 4 DC column spot checks.
+        assert!((DigitLayout::new(vec![5, 7, 11, 13]).dc_ratio() - 0.695).abs() < 5e-4);
+        assert!((DigitLayout::uniform(10, 6).dc_ratio() - 0.940).abs() < 5e-4);
+        assert!((DigitLayout::uniform(10, 4).dc_ratio() - 0.847).abs() < 5e-4);
+        assert!((DigitLayout::uniform(11, 4).dc_ratio() - 0.777).abs() < 5e-4);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let d = DigitLayout::new(vec![5, 7, 11, 13]);
+        for digits in d.valid_combinations() {
+            let word = d.encode(&digits);
+            assert_eq!(d.decode(word), Some(digits));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_invalid_codes() {
+        let d = DigitLayout::uniform(3, 2); // 2 bits per digit, code 3 invalid
+        assert_eq!(d.decode(0b0011), None);
+        assert_eq!(d.decode(0b1100), None);
+        assert_eq!(d.decode(0b1001), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn valid_predicate_matches_decode() {
+        let d = DigitLayout::new(vec![3, 5]);
+        let layout = CfLayout::new(d.total_bits(), 1);
+        let mut mgr = layout.new_manager();
+        let valid = d.valid(&mut mgr, &layout);
+        for word in 0..1u64 << d.total_bits() {
+            let assignment: Vec<bool> = (0..layout.num_vars())
+                .map(|i| word >> i & 1 == 1)
+                .collect();
+            assert_eq!(
+                mgr.eval(valid, &assignment),
+                d.decode(word).is_some(),
+                "word {word:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_combinations_counts() {
+        let d = DigitLayout::new(vec![3, 5]);
+        assert_eq!(d.valid_combinations().count(), 15);
+        let all: Vec<_> = d.valid_combinations().collect();
+        assert!(all.contains(&vec![2, 4]));
+        assert!(all.contains(&vec![0, 0]));
+    }
+}

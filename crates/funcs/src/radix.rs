@@ -1,0 +1,366 @@
+//! p-nary → binary radix converters (§4.1).
+//!
+//! A `k`-digit `p`-nary number in binary-coded-`p`-nary becomes the binary
+//! number `Σ dᵢ·pⁱ`. Outputs: `⌈log₂ pᵏ⌉` bits, MSB first. Digit codes
+//! `≥ p` are input don't cares.
+
+use crate::digits::DigitLayout;
+use crate::{value_to_word, Benchmark};
+use bddcf_bdd::bv::{self, BitVec};
+use bddcf_bdd::{BddManager, FALSE};
+use bddcf_core::{CfLayout, IsfBdds};
+use bddcf_logic::{MultiOracle, Response};
+
+/// A `k`-digit `p`-nary to binary converter.
+#[derive(Clone, Debug)]
+pub struct RadixConverter {
+    digits: DigitLayout,
+    radix: u64,
+    num_outputs: usize,
+}
+
+impl RadixConverter {
+    /// The `k`-digit radix-`p` converter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2`, `k == 0`, or `pᵏ` overflows `u64`.
+    pub fn new(radix: u64, k: usize) -> Self {
+        assert!(k > 0, "need at least one digit");
+        let max = radix
+            .checked_pow(k as u32)
+            .expect("p^k must fit in u64")
+            - 1;
+        RadixConverter {
+            digits: DigitLayout::uniform(radix, k),
+            radix,
+            num_outputs: bv::bits_for(max),
+        }
+    }
+
+    /// The digit layout of the inputs.
+    pub fn digits(&self) -> &DigitLayout {
+        &self.digits
+    }
+
+    /// Numeric value of a digit vector (most significant digit first).
+    pub fn value_of(&self, digits: &[u64]) -> u64 {
+        digits.iter().fold(0, |acc, &d| acc * self.radix + d)
+    }
+}
+
+impl MultiOracle for RadixConverter {
+    fn num_inputs(&self) -> usize {
+        self.digits.total_bits()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    fn respond(&self, input: &[bool]) -> Response {
+        let word = input
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+        match self.digits.decode(word) {
+            None => Response::DontCare,
+            Some(digits) => {
+                Response::Value(value_to_word(self.value_of(&digits), self.num_outputs))
+            }
+        }
+    }
+}
+
+impl Benchmark for RadixConverter {
+    fn name(&self) -> String {
+        format!(
+            "{}-digit {}-nary to binary",
+            self.digits.num_digits(),
+            self.radix
+        )
+    }
+
+    fn build_isf(&self, mgr: &mut BddManager, layout: &CfLayout) -> IsfBdds {
+        // Horner evaluation over symbolic digits: value = ((d₀·p)+d₁)·p …
+        let mut value: BitVec = Vec::new();
+        for i in 0..self.digits.num_digits() {
+            let scaled = bv::mul_const(mgr, &value, self.radix);
+            let digit = self.digits.digit_bv(mgr, layout, i);
+            value = bv::add(mgr, &scaled, &digit);
+        }
+        let valid = self.digits.valid(mgr, layout);
+        let invalid = mgr.not(valid);
+        // Bits above the output width can only be set by invalid digit
+        // codes (valid values fit ⌈log₂ pᵏ⌉ bits); drop them after checking.
+        for &bit in value.iter().skip(self.num_outputs) {
+            debug_assert_eq!(mgr.and(valid, bit), FALSE, "valid value overflows outputs");
+        }
+        value.truncate(self.num_outputs);
+        let value = bv::resize(&value, self.num_outputs);
+        let mut on = Vec::with_capacity(self.num_outputs);
+        let mut dc = Vec::with_capacity(self.num_outputs);
+        for j in 0..self.num_outputs {
+            let bit = value[self.num_outputs - 1 - j]; // output 0 = MSB
+            on.push(mgr.and(valid, bit));
+            dc.push(invalid);
+        }
+        IsfBdds::from_on_dc(mgr, on, dc)
+    }
+
+    fn dc_ratio(&self) -> f64 {
+        self.digits.dc_ratio()
+    }
+}
+
+/// A binary → `k`-digit `p`-nary converter — the inverse direction of
+/// [`RadixConverter`], covering the other half of the radix-conversion
+/// family the paper's reference \[16\] studies. Inputs are the
+/// `⌈log₂ pᵏ⌉` bits of a binary number `v < pᵏ`; outputs are the `k`
+/// binary-coded `p`-nary digits (most significant digit first, MSB-first
+/// within a digit). Inputs `v ≥ pᵏ` are don't cares.
+#[derive(Clone, Debug)]
+pub struct BinaryToRadix {
+    radix: u64,
+    k: usize,
+    num_inputs: usize,
+}
+
+impl BinaryToRadix {
+    /// The binary → `k`-digit radix-`p` converter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2`, `k == 0`, or `pᵏ` overflows `u64`.
+    pub fn new(radix: u64, k: usize) -> Self {
+        assert!(radix >= 2 && k > 0, "need p ≥ 2 and at least one digit");
+        let max = radix.checked_pow(k as u32).expect("p^k must fit in u64") - 1;
+        BinaryToRadix {
+            radix,
+            k,
+            num_inputs: bv::bits_for(max),
+        }
+    }
+
+    /// Bits per output digit.
+    pub fn digit_bits(&self) -> usize {
+        bv::bits_for(self.radix - 1)
+    }
+
+    /// The digits of `value` (most significant first).
+    pub fn digits_of(&self, mut value: u64) -> Vec<u64> {
+        let mut digits = vec![0u64; self.k];
+        for d in (0..self.k).rev() {
+            digits[d] = value % self.radix;
+            value /= self.radix;
+        }
+        digits
+    }
+}
+
+impl MultiOracle for BinaryToRadix {
+    fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.k * self.digit_bits()
+    }
+
+    fn respond(&self, input: &[bool]) -> Response {
+        let value = input
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+        if value >= self.radix.pow(self.k as u32) {
+            return Response::DontCare;
+        }
+        let b = self.digit_bits();
+        let mut word = 0u64;
+        for (d, digit) in self.digits_of(value).into_iter().enumerate() {
+            for bit in 0..b {
+                if digit >> bit & 1 == 1 {
+                    // MSB-first within the digit block.
+                    word |= 1 << (d * b + (b - 1 - bit));
+                }
+            }
+        }
+        Response::Value(word)
+    }
+}
+
+impl Benchmark for BinaryToRadix {
+    fn name(&self) -> String {
+        format!("binary to {}-digit {}-nary", self.k, self.radix)
+    }
+
+    fn build_isf(&self, mgr: &mut BddManager, layout: &CfLayout) -> IsfBdds {
+        // Repeated symbolic div-mod extracts the digits from the input.
+        let mut value: BitVec = (0..self.num_inputs)
+            .map(|i| mgr.var(layout.input_var(i)))
+            .collect();
+        let b = self.digit_bits();
+        let mut digit_bvs: Vec<BitVec> = Vec::with_capacity(self.k);
+        for _ in 0..self.k - 1 {
+            let (q, r) = bv::divmod_const(mgr, &value, self.radix);
+            let mut digit = r;
+            digit.truncate(b);
+            digit.resize(b, bddcf_bdd::FALSE);
+            digit_bvs.push(digit);
+            value = q;
+        }
+        // The most significant digit is what remains (< p on valid inputs;
+        // wider bits only fire on don't-care inputs).
+        let mut top = value;
+        top.truncate(b);
+        top.resize(b, bddcf_bdd::FALSE);
+        digit_bvs.push(top);
+        digit_bvs.reverse(); // most significant digit first
+
+        let valid = {
+            let input_bv: BitVec = (0..self.num_inputs)
+                .map(|i| mgr.var(layout.input_var(i)))
+                .collect();
+            bv::lt_const(mgr, &input_bv, self.radix.pow(self.k as u32))
+        };
+        let invalid = mgr.not(valid);
+        let m = self.num_outputs();
+        let mut on = Vec::with_capacity(m);
+        let mut dc = Vec::with_capacity(m);
+        for j in 0..m {
+            let d = j / b;
+            let bit = b - 1 - j % b;
+            let value_bit = digit_bvs[d][bit];
+            on.push(mgr.and(valid, value_bit));
+            dc.push(invalid);
+        }
+        IsfBdds::from_on_dc(mgr, on, dc)
+    }
+
+    fn dc_ratio(&self) -> f64 {
+        1.0 - self.radix.pow(self.k as u32) as f64 / 2f64.powi(self.num_inputs as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_core::Cf;
+
+    /// Builds the CF and exhaustively checks it against the oracle.
+    fn check_converter(radix: u64, k: usize) {
+        let conv = RadixConverter::new(radix, k);
+        let n = conv.num_inputs();
+        assert!(n <= 12, "exhaustive test only for small converters");
+        let mut cf = Cf::build(conv.layout(), |mgr, layout| conv.build_isf(mgr, layout));
+        for word in 0..1u64 << n {
+            let input: Vec<bool> = (0..n).map(|i| word >> i & 1 == 1).collect();
+            let got = cf.eval_completed(&input);
+            match conv.respond(&input) {
+                Response::Value(expect) => {
+                    assert_eq!(got, expect, "{} input {word:#x}", conv.name());
+                }
+                Response::DontCare => {} // anything goes
+            }
+        }
+        assert!(cf.is_fully_live());
+    }
+
+    #[test]
+    fn ternary_2_digits() {
+        check_converter(3, 2);
+    }
+
+    #[test]
+    fn ternary_4_digits() {
+        check_converter(3, 4);
+    }
+
+    #[test]
+    fn five_nary_2_digits() {
+        check_converter(5, 2);
+    }
+
+    #[test]
+    fn ten_nary_2_digits() {
+        check_converter(10, 2);
+    }
+
+    #[test]
+    fn thirteen_nary_2_digits() {
+        check_converter(13, 2);
+    }
+
+    #[test]
+    fn paper_arities() {
+        // Table 4's In/Out columns.
+        let cases = [
+            (11, 4, 16, 14),
+            (13, 4, 16, 15),
+            (10, 5, 20, 17),
+            (5, 6, 18, 14),
+            (6, 6, 18, 16),
+            (7, 6, 18, 17),
+            (3, 10, 20, 16),
+        ];
+        for (p, k, inputs, outputs) in cases {
+            let conv = RadixConverter::new(p, k);
+            assert_eq!(conv.num_inputs(), inputs, "{p}-nary {k}-digit inputs");
+            assert_eq!(conv.num_outputs(), outputs, "{p}-nary {k}-digit outputs");
+        }
+    }
+
+    #[test]
+    fn binary_to_ternary_exhaustive() {
+        let conv = BinaryToRadix::new(3, 3); // v < 27, 5 input bits
+        assert_eq!(conv.num_inputs(), 5);
+        assert_eq!(conv.num_outputs(), 6);
+        let cf = Cf::build(conv.layout(), |mgr, layout| conv.build_isf(mgr, layout));
+        for v in 0..1u64 << conv.num_inputs() {
+            let input: Vec<bool> = (0..conv.num_inputs()).map(|i| v >> i & 1 == 1).collect();
+            if let Response::Value(expect) = conv.respond(&input) {
+                assert_eq!(cf.eval_completed(&input), expect, "value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_to_decimal_digits() {
+        let conv = BinaryToRadix::new(10, 2); // v < 100, 7 bits
+        assert_eq!(conv.digits_of(73), vec![7, 3]);
+        let cf = Cf::build(conv.layout(), |mgr, layout| conv.build_isf(mgr, layout));
+        for v in 0..100u64 {
+            let input: Vec<bool> = (0..7).map(|i| v >> i & 1 == 1).collect();
+            let Response::Value(expect) = conv.respond(&input) else {
+                panic!("value {v} must be specified");
+            };
+            assert_eq!(cf.eval_completed(&input), expect, "value {v}");
+        }
+        // dc ratio: 1 - 100/128
+        assert!((conv.dc_ratio() - (1.0 - 100.0 / 128.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_through_both_converters() {
+        // binary -> ternary -> binary must be the identity on valid values.
+        let to_t = BinaryToRadix::new(3, 3);
+        let to_b = RadixConverter::new(3, 3);
+        for v in 0..27u64 {
+            let digits = to_t.digits_of(v);
+            assert_eq!(to_b.value_of(&digits), v);
+        }
+    }
+
+    #[test]
+    fn oracle_values() {
+        let conv = RadixConverter::new(3, 3);
+        // digits (2,1,0) -> 2*9 + 1*3 + 0 = 21.
+        assert_eq!(conv.value_of(&[2, 1, 0]), 21);
+        let word = conv.digits().encode(&[2, 1, 0]);
+        let input: Vec<bool> = (0..conv.num_inputs()).map(|i| word >> i & 1 == 1).collect();
+        assert_eq!(
+            conv.respond(&input),
+            Response::Value(value_to_word(21, conv.num_outputs()))
+        );
+    }
+}

@@ -1,0 +1,435 @@
+//! English word lists as index functions (§4.2, §5.3).
+//!
+//! Each word has up to 8 letters, blank-padded; a letter is one of 27
+//! symbols (`a..z` plus blank) in 5 bits, so a word is `n = 40` input
+//! bits. Word `i` maps to index `i+1` (1-based); in the *exact* variant
+//! every other input maps to 0, in the *widened* variant (Fig. 8) it is
+//! don't care.
+//!
+//! # Substitution note
+//!
+//! The paper's three concrete lists (1730 / 3366 / 4705 words, from \[19\])
+//! are not distributed; this module generates deterministic synthetic
+//! pseudo-English word lists of the same sizes and letter statistics. The
+//! experiments only depend on those statistics (k sparse points in a
+//! 27⁸-point space, DC ratio `1 − k/2⁴⁰ ≈ 99.9 %`), so the qualitative
+//! results are preserved; see DESIGN.md.
+
+use crate::Benchmark;
+use bddcf_bdd::{BddManager, FALSE};
+use bddcf_core::{CfLayout, IsfBdds};
+use bddcf_logic::{MultiOracle, Response};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Number of letters per word.
+pub const WORD_LETTERS: usize = 8;
+/// Bits per letter.
+pub const LETTER_BITS: usize = 5;
+/// The blank (padding) symbol code.
+pub const BLANK: u8 = 26;
+
+/// How inputs outside the registered word set are specified (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum WordListMode {
+    /// Every non-word maps to 0 — the exact index function.
+    Exact,
+    /// Non-words map to 0, but inputs containing an invalid 5-bit letter
+    /// code (27..31) are don't cares: the paper's
+    /// `1 − (27/32)⁸ ≈ 0.74` input-don't-care reading.
+    LetterDc,
+    /// Every non-word is don't care — the Fig. 8 widening,
+    /// `DC = 1 − k/2⁴⁰ ≈ 99.9 %` (what Table 4's word rows use).
+    #[default]
+    Widened,
+}
+
+/// A list of unique words with 1-based indices, plus the chosen
+/// out-of-dictionary semantics ([`WordListMode`]).
+#[derive(Clone, Debug)]
+pub struct WordList {
+    words: Vec<String>,
+    encoded: Vec<u64>,
+    index_of: HashMap<u64, u64>,
+    num_index_bits: usize,
+    mode: WordListMode,
+}
+
+/// Encodes a word (lowercase ASCII, at most 8 letters) into 40 bits:
+/// letter `p` occupies input bits `5p .. 5p+5` (first letter first),
+/// missing positions are blanks.
+///
+/// # Panics
+///
+/// Panics on a non-lowercase-ASCII character or a word longer than 8.
+pub fn encode_word(word: &str) -> u64 {
+    assert!(word.len() <= WORD_LETTERS, "word {word:?} too long");
+    let mut bits = 0u64;
+    for p in 0..WORD_LETTERS {
+        let code = match word.as_bytes().get(p) {
+            Some(&c) => {
+                assert!(c.is_ascii_lowercase(), "invalid character in {word:?}");
+                c - b'a'
+            }
+            None => BLANK,
+        };
+        bits |= u64::from(code) << (LETTER_BITS * p);
+    }
+    bits
+}
+
+/// Generates `count` unique pseudo-English words deterministically from
+/// `seed`, mimicking English letter and length statistics.
+pub fn synthetic_words(count: usize, seed: u64) -> Vec<String> {
+    // Rough English letter frequencies (per mille), a..z.
+    const FREQ: [u32; 26] = [
+        82, 15, 28, 43, 127, 22, 20, 61, 70, 2, 8, 40, 24, 67, 75, 19, 1, 60, 63, 91, 28, 10, 24,
+        2, 20, 1,
+    ];
+    let total: u32 = FREQ.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut words = Vec::with_capacity(count);
+    while words.len() < count {
+        let len = *[3usize, 4, 4, 5, 5, 5, 6, 6, 7, 8]
+            .get(rng.gen_range(0..10))
+            .expect("index in range");
+        let word: String = (0..len)
+            .map(|_| {
+                let mut pick = rng.gen_range(0..total);
+                for (i, &f) in FREQ.iter().enumerate() {
+                    if pick < f {
+                        return (b'a' + i as u8) as char;
+                    }
+                    pick -= f;
+                }
+                'e'
+            })
+            .collect();
+        if seen.insert(word.clone()) {
+            words.push(word);
+        }
+    }
+    words
+}
+
+impl WordList {
+    /// Builds a word list function. `widened = false` is shorthand for
+    /// [`WordListMode::Exact`], `widened = true` for
+    /// [`WordListMode::Widened`]; use [`WordList::with_mode`] for the
+    /// letter-code variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate words or an empty list.
+    pub fn new(words: Vec<String>, widened: bool) -> Self {
+        WordList::with_mode(
+            words,
+            if widened {
+                WordListMode::Widened
+            } else {
+                WordListMode::Exact
+            },
+        )
+    }
+
+    /// Builds a word list function with explicit out-of-dictionary
+    /// semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate words or an empty list.
+    pub fn with_mode(words: Vec<String>, mode: WordListMode) -> Self {
+        assert!(!words.is_empty());
+        let encoded: Vec<u64> = words.iter().map(|w| encode_word(w)).collect();
+        let mut index_of = HashMap::with_capacity(encoded.len());
+        for (i, &e) in encoded.iter().enumerate() {
+            assert!(
+                index_of.insert(e, (i + 1) as u64).is_none(),
+                "duplicate word {:?}",
+                words[i]
+            );
+        }
+        let k = words.len() as u64;
+        let num_index_bits = (64 - k.leading_zeros()) as usize;
+        WordList {
+            words,
+            encoded,
+            index_of,
+            num_index_bits,
+            mode,
+        }
+    }
+
+    /// Synthetic list of `count` words (deterministic in `count`).
+    pub fn synthetic(count: usize, widened: bool) -> Self {
+        WordList::new(synthetic_words(count, 0x5a5a + count as u64), widened)
+    }
+
+    /// Synthetic list with explicit semantics.
+    pub fn synthetic_with_mode(count: usize, mode: WordListMode) -> Self {
+        WordList::with_mode(synthetic_words(count, 0x5a5a + count as u64), mode)
+    }
+
+    /// Does `input_bits` contain an invalid 5-bit letter code (≥ 27)?
+    pub fn has_invalid_letter(input_bits: u64) -> bool {
+        (0..WORD_LETTERS).any(|p| (input_bits >> (LETTER_BITS * p)) & 0x1f > u64::from(BLANK))
+    }
+
+    /// The three paper list sizes: 1730, 3366, 4705 (m = 11, 12, 13).
+    pub fn paper_sizes() -> [usize; 3] {
+        [1730, 3366, 4705]
+    }
+
+    /// The words.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// The 40-bit encodings, in index order.
+    pub fn encoded(&self) -> &[u64] {
+        &self.encoded
+    }
+
+    /// Number of registered words `k`.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Is this the widened (Fig. 8) variant?
+    pub fn is_widened(&self) -> bool {
+        self.mode == WordListMode::Widened
+    }
+
+    /// The out-of-dictionary semantics.
+    pub fn mode(&self) -> WordListMode {
+        self.mode
+    }
+}
+
+impl MultiOracle for WordList {
+    fn num_inputs(&self) -> usize {
+        WORD_LETTERS * LETTER_BITS
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.num_index_bits
+    }
+
+    fn respond(&self, input: &[bool]) -> Response {
+        let word = input
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+        match self.index_of.get(&word) {
+            Some(&index) => Response::Value(index),
+            None => match self.mode {
+                WordListMode::Widened => Response::DontCare,
+                WordListMode::LetterDc if WordList::has_invalid_letter(word) => {
+                    Response::DontCare
+                }
+                _ => Response::Value(0),
+            },
+        }
+    }
+}
+
+impl Benchmark for WordList {
+    fn name(&self) -> String {
+        let suffix = match self.mode {
+            WordListMode::Exact => "",
+            WordListMode::LetterDc => " (letter dc)",
+            WordListMode::Widened => " (widened)",
+        };
+        format!("{} words{}", self.len(), suffix)
+    }
+
+    fn build_isf(&self, mgr: &mut BddManager, layout: &CfLayout) -> IsfBdds {
+        let input_vars = layout.input_vars();
+        let m = self.num_outputs();
+        let mut on = Vec::with_capacity(m);
+        for j in 0..m {
+            let minterms: Vec<u64> = self
+                .encoded
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i + 1) as u64 >> j & 1 == 1)
+                .map(|(_, &w)| w)
+                .collect();
+            on.push(mgr.from_minterms(&input_vars, &minterms));
+        }
+        let dc = match self.mode {
+            WordListMode::Widened => {
+                let any = mgr.from_minterms(&input_vars, &self.encoded);
+                let outside = mgr.not(any);
+                vec![outside; m]
+            }
+            WordListMode::LetterDc => {
+                // Some letter position holds a code ≥ 27. No registered
+                // word contains one, so this set is disjoint from the ON
+                // sets by construction.
+                let mut invalid = FALSE;
+                for p in 0..WORD_LETTERS {
+                    let bits: Vec<_> = (0..LETTER_BITS)
+                        .map(|b| mgr.var(layout.input_var(LETTER_BITS * p + b)))
+                        .collect();
+                    let ge27 = bddcf_bdd::bv::ge_const(mgr, &bits, 27);
+                    invalid = mgr.or(invalid, ge27);
+                }
+                vec![invalid; m]
+            }
+            WordListMode::Exact => vec![FALSE; m],
+        };
+        IsfBdds::from_on_dc(mgr, on, dc)
+    }
+
+    fn dc_ratio(&self) -> f64 {
+        match self.mode {
+            WordListMode::Widened => {
+                1.0 - self.len() as f64 / 2f64.powi(self.num_inputs() as i32)
+            }
+            // §4.2: 1 − (27/32)^8 ≈ 0.74 (word minterms are negligible).
+            WordListMode::LetterDc => 1.0 - (27.0f64 / 32.0).powi(WORD_LETTERS as i32),
+            WordListMode::Exact => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_core::Cf;
+
+    #[test]
+    fn encoding_layout() {
+        let e = encode_word("ab");
+        assert_eq!(e & 0x1f, 0, "'a' = 0 in the first letter slot");
+        assert_eq!(e >> 5 & 0x1f, 1, "'b' = 1 in the second slot");
+        assert_eq!(e >> 10 & 0x1f, u64::from(BLANK), "padding is blank");
+        assert_eq!(encode_word(""), encode_word(""));
+    }
+
+    #[test]
+    #[should_panic(expected = "too long")]
+    fn rejects_long_words() {
+        let _ = encode_word("abcdefghi");
+    }
+
+    #[test]
+    fn synthetic_words_are_unique_and_deterministic() {
+        let a = synthetic_words(500, 7);
+        let b = synthetic_words(500, 7);
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 500);
+        assert!(a.iter().all(|w| (3..=8).contains(&w.len())));
+    }
+
+    #[test]
+    fn index_bits_match_paper() {
+        assert_eq!(WordList::synthetic(1730, true).num_outputs(), 11);
+        assert_eq!(WordList::synthetic(3366, true).num_outputs(), 12);
+        assert_eq!(WordList::synthetic(4705, true).num_outputs(), 13);
+    }
+
+    #[test]
+    fn letter_dc_mode_matches_section_42() {
+        let list = WordList::synthetic_with_mode(100, WordListMode::LetterDc);
+        assert!((list.dc_ratio() - 0.7428).abs() < 1e-3, "1-(27/32)^8 ≈ 0.74");
+        // A word with an invalid letter code is don't care…
+        let mut bad = encode_word("cat");
+        bad |= 31 << (LETTER_BITS * 7); // code 31 in the last slot
+        assert!(WordList::has_invalid_letter(bad));
+        let input: Vec<bool> = (0..40).map(|i| bad >> i & 1 == 1).collect();
+        assert_eq!(list.respond(&input), Response::DontCare);
+        // …a valid-letter non-word is 0.
+        let good = encode_word("zzzzzzzz");
+        assert!(!WordList::has_invalid_letter(good));
+        let input: Vec<bool> = (0..40).map(|i| good >> i & 1 == 1).collect();
+        assert_eq!(list.respond(&input), Response::Value(0));
+    }
+
+    #[test]
+    fn letter_dc_isf_is_consistent_with_oracle() {
+        let list = WordList::with_mode(
+            vec!["ab".into(), "ba".into(), "cc".into()],
+            WordListMode::LetterDc,
+        );
+        let mut cf = bddcf_core::Cf::build(list.layout(), |mgr, layout| {
+            list.build_isf(mgr, layout)
+        });
+        // Registered word: exact index.
+        let ab: Vec<bool> = (0..40).map(|i| encode_word("ab") >> i & 1 == 1).collect();
+        assert_eq!(cf.allowed_words(&ab), vec![1]);
+        // Valid-letter non-word: forced 0.
+        let xy: Vec<bool> = (0..40).map(|i| encode_word("xy") >> i & 1 == 1).collect();
+        assert_eq!(cf.allowed_words(&xy), vec![0]);
+        // Invalid letter code: free.
+        let mut bad = encode_word("ab");
+        bad |= 30 << (LETTER_BITS * 3);
+        let input: Vec<bool> = (0..40).map(|i| bad >> i & 1 == 1).collect();
+        assert_eq!(cf.allowed_words(&input).len(), 4);
+    }
+
+    #[test]
+    fn widened_dc_ratio_is_high() {
+        let list = WordList::synthetic(1730, true);
+        assert!(list.dc_ratio() > 0.999);
+        let exact = WordList::synthetic(1730, false);
+        assert_eq!(exact.dc_ratio(), 0.0);
+    }
+
+    #[test]
+    fn oracle_answers() {
+        let list = WordList::new(vec!["cat".into(), "dog".into()], false);
+        let cat: Vec<bool> = (0..40).map(|i| encode_word("cat") >> i & 1 == 1).collect();
+        assert_eq!(list.respond(&cat), Response::Value(1));
+        let dog: Vec<bool> = (0..40).map(|i| encode_word("dog") >> i & 1 == 1).collect();
+        assert_eq!(list.respond(&dog), Response::Value(2));
+        let cow: Vec<bool> = (0..40).map(|i| encode_word("cow") >> i & 1 == 1).collect();
+        assert_eq!(list.respond(&cow), Response::Value(0));
+        let widened = WordList::new(vec!["cat".into(), "dog".into()], true);
+        assert_eq!(widened.respond(&cow), Response::DontCare);
+    }
+
+    #[test]
+    fn cf_of_a_small_list_matches_oracle() {
+        let list = WordList::new(
+            vec!["ape".into(), "bee".into(), "cat".into(), "doe".into(), "elk".into()],
+            false,
+        );
+        let cf = Cf::build(list.layout(), |mgr, layout| list.build_isf(mgr, layout));
+        for w in list.words() {
+            let bits = encode_word(w);
+            let input: Vec<bool> = (0..40).map(|i| bits >> i & 1 == 1).collect();
+            if let Response::Value(expect) = list.respond(&input) {
+                assert_eq!(cf.eval_completed(&input), expect, "word {w}");
+            }
+        }
+        // A couple of non-words must give 0 in the exact variant.
+        for w in ["fox", "gnu", "hen"] {
+            let bits = encode_word(w);
+            let input: Vec<bool> = (0..40).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(cf.eval_completed(&input), 0, "non-word {w}");
+        }
+    }
+
+    #[test]
+    fn widened_cf_admits_anything_outside() {
+        let list = WordList::new(vec!["hi".into(), "yo".into()], true);
+        let mut cf = Cf::build(list.layout(), |mgr, layout| list.build_isf(mgr, layout));
+        let outside: Vec<bool> = (0..40).map(|i| encode_word("no") >> i & 1 == 1).collect();
+        let words = cf.allowed_words(&outside);
+        assert_eq!(words.len(), 4, "2 index bits all free");
+        let hi: Vec<bool> = (0..40).map(|i| encode_word("hi") >> i & 1 == 1).collect();
+        assert_eq!(cf.allowed_words(&hi), vec![1]);
+    }
+}

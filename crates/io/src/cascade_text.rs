@@ -1,0 +1,247 @@
+//! A plain-text serialization of synthesized LUT cascades, so tables can
+//! be generated once and shipped (or diffed) without re-running synthesis.
+//!
+//! Format (line oriented, `#` comments allowed):
+//!
+//! ```text
+//! bddcf-cascade v1
+//! inputs <n> outputs <m>
+//! cell rails_in=<r> inputs=<i1,i2,..> rails_out=<s> outputs=<j1,..>
+//! table <hex> <hex> ...          # 2^(r+k) entries, LSB-address first
+//! ...
+//! end
+//! ```
+
+use bddcf_cascade::{Cascade, LutCell};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Parse failures for the cascade text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CascadeTextError {
+    /// 1-based line of the problem (0 = end of input).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CascadeTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CascadeTextError {}
+
+fn err(line: usize, message: impl Into<String>) -> CascadeTextError {
+    CascadeTextError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes a cascade.
+pub fn write_cascade(cascade: &Cascade) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "bddcf-cascade v1");
+    let _ = writeln!(
+        out,
+        "inputs {} outputs {}",
+        cascade.num_inputs(),
+        cascade.num_outputs()
+    );
+    for cell in cascade.cells() {
+        let ids = |v: &[usize]| -> String {
+            v.iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = writeln!(
+            out,
+            "cell rails_in={} inputs={} rails_out={} outputs={}",
+            cell.rails_in(),
+            ids(cell.input_ids()),
+            cell.rails_out(),
+            ids(cell.output_ids())
+        );
+        let _ = write!(out, "table");
+        for address in 0..1u64 << cell.num_inputs() {
+            let rail_in = if cell.rails_in() == 0 {
+                0
+            } else {
+                address & ((1u64 << cell.rails_in()) - 1)
+            };
+            let inputs: Vec<bool> = (0..cell.input_ids().len())
+                .map(|k| address >> (cell.rails_in() + k) & 1 == 1)
+                .collect();
+            let (outs, rail_out) = cell.lookup(rail_in, &inputs);
+            let word = outs | (rail_out << cell.output_ids().len());
+            let _ = write!(out, " {word:x}");
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses a cascade previously written by [`write_cascade`].
+///
+/// # Errors
+///
+/// Returns [`CascadeTextError`] on malformed input.
+pub fn read_cascade(text: &str) -> Result<Cascade, CascadeTextError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let (line, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if header != "bddcf-cascade v1" {
+        return Err(err(line, "missing `bddcf-cascade v1` header"));
+    }
+    let (line, sizes) = lines.next().ok_or_else(|| err(0, "missing sizes line"))?;
+    let mut parts = sizes.split_whitespace();
+    let num_inputs = expect_kv(&mut parts, "inputs", line)?;
+    let num_outputs = expect_kv(&mut parts, "outputs", line)?;
+
+    let mut cells: Vec<LutCell> = Vec::new();
+    loop {
+        let (line, decl) = lines.next().ok_or_else(|| err(0, "missing `end`"))?;
+        if decl == "end" {
+            break;
+        }
+        let Some(rest) = decl.strip_prefix("cell ") else {
+            return Err(err(line, format!("expected `cell …` or `end`, got {decl:?}")));
+        };
+        let mut rails_in = None;
+        let mut rails_out = None;
+        let mut input_ids = None;
+        let mut output_ids = None;
+        for field in rest.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| err(line, format!("malformed field {field:?}")))?;
+            match key {
+                "rails_in" => rails_in = Some(parse_num(value, line)?),
+                "rails_out" => rails_out = Some(parse_num(value, line)?),
+                "inputs" => input_ids = Some(parse_ids(value, line)?),
+                "outputs" => output_ids = Some(parse_ids(value, line)?),
+                other => return Err(err(line, format!("unknown field {other:?}"))),
+            }
+        }
+        let rails_in = rails_in.ok_or_else(|| err(line, "missing rails_in"))?;
+        let rails_out = rails_out.ok_or_else(|| err(line, "missing rails_out"))?;
+        let input_ids = input_ids.unwrap_or_default();
+        let output_ids = output_ids.unwrap_or_default();
+
+        let (tline, tdecl) = lines.next().ok_or_else(|| err(0, "missing table line"))?;
+        let Some(entries) = tdecl.strip_prefix("table") else {
+            return Err(err(tline, "expected `table …`"));
+        };
+        let table: Vec<u64> = entries
+            .split_whitespace()
+            .map(|h| u64::from_str_radix(h, 16).map_err(|e| err(tline, format!("{h:?}: {e}"))))
+            .collect::<Result<_, _>>()?;
+        let expected_len = 1usize << (rails_in + input_ids.len());
+        if table.len() != expected_len {
+            return Err(err(
+                tline,
+                format!("expected {expected_len} table entries, got {}", table.len()),
+            ));
+        }
+        cells.push(LutCell::new(rails_in, input_ids, rails_out, output_ids, table));
+    }
+    Cascade::from_cells(cells, num_inputs, num_outputs).map_err(|message| err(0, message))
+}
+
+fn expect_kv<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    key: &str,
+    line: usize,
+) -> Result<usize, CascadeTextError> {
+    match (parts.next(), parts.next()) {
+        (Some(k), Some(v)) if k == key => parse_num(v, line),
+        _ => Err(err(line, format!("expected `{key} <n>`"))),
+    }
+}
+
+fn parse_num(value: &str, line: usize) -> Result<usize, CascadeTextError> {
+    value
+        .parse()
+        .map_err(|e| err(line, format!("{value:?}: {e}")))
+}
+
+fn parse_ids(value: &str, line: usize) -> Result<Vec<usize>, CascadeTextError> {
+    if value.is_empty() {
+        return Ok(Vec::new());
+    }
+    value.split(',').map(|v| parse_num(v, line)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_cascade::{synthesize, CascadeOptions};
+    use bddcf_core::Cf;
+    use bddcf_logic::TruthTable;
+
+    fn sample() -> Cascade {
+        let mut cf = Cf::from_truth_table(&TruthTable::paper_table1());
+        synthesize(
+            &mut cf,
+            &CascadeOptions {
+                max_cell_inputs: 4,
+                max_cell_outputs: 4,
+                ..CascadeOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let original = sample();
+        let text = write_cascade(&original);
+        let restored = read_cascade(&text).expect("self-written text parses");
+        assert_eq!(restored.num_cells(), original.num_cells());
+        assert_eq!(restored.memory_bits(), original.memory_bits());
+        for r in 0..16u32 {
+            let input: Vec<bool> = (0..4).map(|i| r >> i & 1 == 1).collect();
+            assert_eq!(restored.eval(&input), original.eval(&input), "input {r}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_tolerated() {
+        let original = sample();
+        let mut text = String::from("# saved by a test\n\n");
+        text.push_str(&write_cascade(&original));
+        let restored = read_cascade(&text).unwrap();
+        assert_eq!(restored.num_cells(), original.num_cells());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert!(read_cascade("").is_err());
+        assert!(read_cascade("wrong header\n").is_err());
+        let e = read_cascade("bddcf-cascade v1\ninputs 2 outputs 1\ncell rails_in=0 inputs=0,1 rails_out=0 outputs=0\ntable 0 1\nend\n")
+            .unwrap_err();
+        assert!(e.message.contains("expected 4 table entries"), "{e}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_rails() {
+        // Second cell claims 3 incoming rails but the first provides 0.
+        let text = "bddcf-cascade v1\n\
+                    inputs 2 outputs 1\n\
+                    cell rails_in=0 inputs=0 rails_out=0 outputs=\n\
+                    table 0 0\n\
+                    cell rails_in=3 inputs=1 rails_out=0 outputs=0\n\
+                    table 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0\n\
+                    end\n";
+        let e = read_cascade(text).unwrap_err();
+        assert!(e.message.contains("rail"), "{e}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the PLA layer: arbitrary explicit ISFs written and
+//! re-parsed must mean the same function, and arbitrary cube files must
+//! never panic the parser.
+
+use bddcf_io::{parse_pla, write_pla};
+use bddcf_logic::{Ternary, TruthTable};
+use proptest::prelude::*;
+
+fn arb_table(n: usize, m: usize) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(0u8..3, (1 << n) * m).prop_map(move |digits| {
+        let mut t = TruthTable::new(n, m);
+        for r in 0..1 << n {
+            for j in 0..m {
+                t.set(
+                    r,
+                    j,
+                    match digits[r * m + j] {
+                        0 => Ternary::Zero,
+                        1 => Ternary::One,
+                        _ => Ternary::DontCare,
+                    },
+                );
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn write_parse_roundtrip_preserves_semantics(table in arb_table(4, 2)) {
+        let text = write_pla(&table, None);
+        let pla = parse_pla(&text).expect("self-written PLA parses");
+        let mut cf = pla.to_cf().expect("minterm PLAs cannot conflict");
+        for r in 0..16usize {
+            let input: Vec<bool> = (0..4).map(|i| r >> i & 1 == 1).collect();
+            for w in 0..4u64 {
+                let expect = (0..2).all(|j| table.get(r, j).admits(w >> j & 1 == 1));
+                prop_assert_eq!(cf.admits(&input, w), expect, "row {} word {:02b}", r, w);
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_random_cube_soup(
+        cubes in prop::collection::vec(
+            (prop::collection::vec(0u8..4, 3), prop::collection::vec(0u8..4, 2)),
+            0..12
+        )
+    ) {
+        let mut text = String::from(".i 3\n.o 2\n");
+        for (ins, outs) in &cubes {
+            for &c in ins {
+                text.push(match c { 0 => '0', 1 => '1', 2 => '-', _ => 'z' });
+            }
+            text.push(' ');
+            for &c in outs {
+                text.push(match c { 0 => '0', 1 => '1', 2 => '-', _ => '9' });
+            }
+            text.push('\n');
+        }
+        text.push_str(".e\n");
+        // Must return Ok or a structured error — never panic.
+        let _ = parse_pla(&text);
+    }
+
+    #[test]
+    fn valid_cubes_always_build_or_conflict(
+        cubes in prop::collection::vec(
+            (prop::collection::vec(0u8..3, 3), prop::collection::vec(0u8..3, 2)),
+            1..10
+        )
+    ) {
+        let mut text = String::from(".i 3\n.o 2\n");
+        for (ins, outs) in &cubes {
+            for &c in ins {
+                text.push(['0', '1', '-'][c as usize]);
+            }
+            text.push(' ');
+            for &c in outs {
+                text.push(['0', '1', '-'][c as usize]);
+            }
+            text.push('\n');
+        }
+        text.push_str(".e\n");
+        let pla = parse_pla(&text).expect("well-formed cube file");
+        let mut mgr = pla.layout().new_manager();
+        match pla.build_isf(&mut mgr) {
+            Ok(isf) => prop_assert!(isf.validate(&mut mgr)),
+            Err(bddcf_io::PlaError::Conflict { .. }) => {} // legitimate
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Logic substrate: ternary values, incompletely specified truth tables,
+//! and oracle interfaces for multiple-output functions.
+//!
+//! An *incompletely specified function* (ISF) maps `{0,1}ⁿ → {0,1,d}` where
+//! `d` is the don't care (Definition 2.1 of the paper). A multiple-output
+//! ISF bundles `m` such functions over a shared input space.
+//!
+//! This crate provides:
+//!
+//! * [`Ternary`] — the three-valued codomain with compatibility and
+//!   intersection operators (Definition 3.7 lifted pointwise).
+//! * [`TruthTable`] — an explicit multiple-output ISF for small input
+//!   counts; the representation used by decomposition charts and the
+//!   worked examples of the paper.
+//! * [`MultiOracle`] — a black-box interface for *large* multiple-output
+//!   ISFs (the benchmark generators implement it); sampled verification of
+//!   synthesized circuits is driven through it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oracle;
+pub mod table;
+pub mod ternary;
+
+pub use oracle::{MultiOracle, Response};
+pub use table::TruthTable;
+pub use ternary::Ternary;

@@ -1,0 +1,110 @@
+//! Black-box oracles for large multiple-output incompletely specified
+//! functions.
+//!
+//! The paper's benchmark functions have up to 40 inputs; their truth tables
+//! cannot be materialized. A [`MultiOracle`] answers point queries instead:
+//! given one input assignment, it either returns the specified output word
+//! or reports that the whole row is don't care. (All of the paper's
+//! benchmarks have this all-or-nothing structure — unused input codes make
+//! *every* output unspecified; the general per-output case is covered by
+//! [`TruthTable`].)
+//!
+//! Oracles are the ground truth for the sampled end-to-end verification of
+//! synthesized LUT cascades.
+
+use crate::table::TruthTable;
+
+/// The answer of a [`MultiOracle`] for one input assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// All outputs specified, packed LSB-first (`bit j` = output `j`).
+    Value(u64),
+    /// Every output is don't care on this input.
+    DontCare,
+}
+
+impl Response {
+    /// Does the concrete output word `word` satisfy this specification row?
+    pub fn admits(self, word: u64, num_outputs: usize) -> bool {
+        match self {
+            Response::DontCare => true,
+            Response::Value(v) => {
+                let mask = if num_outputs >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << num_outputs) - 1
+                };
+                v & mask == word & mask
+            }
+        }
+    }
+}
+
+/// A multiple-output incompletely specified function queried pointwise.
+pub trait MultiOracle {
+    /// Number of input bits.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of output bits (at most 64).
+    fn num_outputs(&self) -> usize;
+
+    /// Evaluates the specification on one input assignment
+    /// (`input.len() == num_inputs()`, `input[i]` = input bit `i`).
+    fn respond(&self, input: &[bool]) -> Response;
+
+    /// Convenience: evaluate on a packed input word (`bit i` = input `i`).
+    fn respond_word(&self, word: u64) -> Response {
+        let input: Vec<bool> = (0..self.num_inputs()).map(|i| word >> i & 1 == 1).collect();
+        self.respond(&input)
+    }
+}
+
+impl MultiOracle for TruthTable {
+    fn num_inputs(&self) -> usize {
+        TruthTable::num_inputs(self)
+    }
+
+    fn num_outputs(&self) -> usize {
+        TruthTable::num_outputs(self)
+    }
+
+    fn respond(&self, input: &[bool]) -> Response {
+        let r = self.row_index(input);
+        let row = self.row(r);
+        if row.iter().all(|v| v.is_dont_care()) {
+            return Response::DontCare;
+        }
+        // Partially specified rows are reported as a value with don't cares
+        // resolved to 0 — callers needing exact per-output don't care
+        // handling should use the TruthTable API directly.
+        let mut word = 0u64;
+        for (j, v) in row.iter().enumerate() {
+            if v.specified() == Some(true) {
+                word |= 1 << j;
+            }
+        }
+        Response::Value(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_admits_masks_outputs() {
+        assert!(Response::Value(0b101).admits(0b101, 3));
+        assert!(Response::Value(0b101).admits(0b1101, 3), "bit 3 ignored");
+        assert!(!Response::Value(0b101).admits(0b100, 3));
+        assert!(Response::DontCare.admits(0b111, 3));
+    }
+
+    #[test]
+    fn truth_table_as_oracle() {
+        let t = TruthTable::from_rows(&["01", "10", "dd", "11"]);
+        assert_eq!(t.respond(&[false, false]), Response::Value(0b10));
+        assert_eq!(t.respond(&[true, false]), Response::Value(0b01));
+        assert_eq!(t.respond(&[false, true]), Response::DontCare);
+        assert_eq!(t.respond_word(0b11), Response::Value(0b11));
+    }
+}

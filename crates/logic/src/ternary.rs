@@ -1,0 +1,162 @@
+//! The three-valued codomain `{0, 1, d}` of incompletely specified
+//! functions.
+
+use std::fmt;
+
+/// A value of an incompletely specified Boolean function: `0`, `1`, or
+/// don't care (`d`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ternary {
+    /// Specified 0.
+    Zero,
+    /// Specified 1.
+    One,
+    /// Unspecified — may be realized as either value.
+    DontCare,
+}
+
+impl Ternary {
+    /// Parses `'0'`, `'1'`, `'d'`/`'D'`/`'-'`/`'*'`.
+    pub fn from_char(c: char) -> Option<Ternary> {
+        match c {
+            '0' => Some(Ternary::Zero),
+            '1' => Some(Ternary::One),
+            'd' | 'D' | '-' | '*' => Some(Ternary::DontCare),
+            _ => None,
+        }
+    }
+
+    /// The specified value wrapped in `Some`, or `None` for don't care.
+    pub fn specified(self) -> Option<bool> {
+        match self {
+            Ternary::Zero => Some(false),
+            Ternary::One => Some(true),
+            Ternary::DontCare => None,
+        }
+    }
+
+    /// Lifts a Boolean into a specified ternary value.
+    pub fn from_bool(b: bool) -> Ternary {
+        if b {
+            Ternary::One
+        } else {
+            Ternary::Zero
+        }
+    }
+
+    /// Is this value the don't care?
+    pub fn is_dont_care(self) -> bool {
+        self == Ternary::DontCare
+    }
+
+    /// Pointwise compatibility (Definition 3.7): two values are compatible
+    /// unless one is a specified 0 and the other a specified 1.
+    pub fn compatible(self, other: Ternary) -> bool {
+        !matches!(
+            (self, other),
+            (Ternary::Zero, Ternary::One) | (Ternary::One, Ternary::Zero)
+        )
+    }
+
+    /// Intersection of the realizable sets: the "logical product" the paper
+    /// takes when merging compatible columns (Lemma 3.1). Returns `None`
+    /// for incompatible values.
+    pub fn intersect(self, other: Ternary) -> Option<Ternary> {
+        match (self, other) {
+            (Ternary::DontCare, x) => Some(x),
+            (x, Ternary::DontCare) => Some(x),
+            (a, b) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Does a concrete Boolean value realize this specification point?
+    pub fn admits(self, value: bool) -> bool {
+        match self {
+            Ternary::Zero => !value,
+            Ternary::One => value,
+            Ternary::DontCare => true,
+        }
+    }
+}
+
+impl fmt::Display for Ternary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Ternary::Zero => '0',
+            Ternary::One => '1',
+            Ternary::DontCare => 'd',
+        };
+        write!(f, "{c}")
+    }
+}
+
+impl From<bool> for Ternary {
+    fn from(b: bool) -> Ternary {
+        Ternary::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Ternary::*;
+
+    #[test]
+    fn parsing_and_display_roundtrip() {
+        for (c, v) in [('0', Zero), ('1', One), ('d', DontCare)] {
+            assert_eq!(Ternary::from_char(c), Some(v));
+        }
+        assert_eq!(Ternary::from_char('-'), Some(DontCare));
+        assert_eq!(Ternary::from_char('x'), None);
+        assert_eq!(One.to_string(), "1");
+        assert_eq!(DontCare.to_string(), "d");
+    }
+
+    #[test]
+    fn compatibility_table() {
+        assert!(Zero.compatible(Zero));
+        assert!(One.compatible(One));
+        assert!(!Zero.compatible(One));
+        assert!(!One.compatible(Zero));
+        for v in [Zero, One, DontCare] {
+            assert!(DontCare.compatible(v));
+            assert!(v.compatible(DontCare));
+        }
+    }
+
+    #[test]
+    fn intersection_narrows_dont_cares() {
+        assert_eq!(DontCare.intersect(One), Some(One));
+        assert_eq!(Zero.intersect(DontCare), Some(Zero));
+        assert_eq!(DontCare.intersect(DontCare), Some(DontCare));
+        assert_eq!(One.intersect(One), Some(One));
+        assert_eq!(One.intersect(Zero), None);
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_matches_compatibility() {
+        for a in [Zero, One, DontCare] {
+            for b in [Zero, One, DontCare] {
+                assert_eq!(a.intersect(b), b.intersect(a));
+                assert_eq!(a.intersect(b).is_some(), a.compatible(b));
+            }
+        }
+    }
+
+    #[test]
+    fn admits_realizations() {
+        assert!(One.admits(true));
+        assert!(!One.admits(false));
+        assert!(Zero.admits(false));
+        assert!(DontCare.admits(true) && DontCare.admits(false));
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Ternary::from(true), One);
+        assert_eq!(Ternary::from(false), Zero);
+        assert_eq!(One.specified(), Some(true));
+        assert_eq!(DontCare.specified(), None);
+    }
+}

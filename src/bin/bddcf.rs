@@ -1,0 +1,288 @@
+//! `bddcf` — command-line front end.
+//!
+//! ```text
+//! bddcf stats   <file.pla> [--sift N]
+//!     BDD_for_CF widths/nodes for DC=0, DC=1, ISF, Alg 3.1, Alg 3.3.
+//!
+//! bddcf reduce  <file.pla> [--method alg31|alg33|fixpoint] [--sift N] [-o out.pla]
+//!     Reduce and (for ≤ 16 inputs) write the completed function as a PLA.
+//!
+//! bddcf cascade <file.pla> [--max-in K] [--max-out L] [--sift N]
+//!               [--verilog out.v] [--save out.cas]
+//!     Synthesize an LUT cascade; optionally emit Verilog and/or save the
+//!     cell tables.
+//!
+//! bddcf sim <file.cas> <bits>
+//!     Evaluate a saved cascade on an input bit string (input 0 first).
+//! ```
+//!
+//! PLA semantics follow `bddcf_io::pla` (`fr`-type: uncovered minterms are
+//! don't cares; add `.type fd` to the file for unlisted-means-0).
+
+use bddcf::bdd::ReorderCost;
+use bddcf::cascade::{synthesize, CascadeOptions};
+use bddcf::core::{Alg33Options, Cf};
+use bddcf::io::{cascade_to_verilog, parse_pla, read_cascade, write_cascade, write_pla};
+use bddcf::logic::{Ternary, TruthTable};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `bddcf help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing subcommand (stats | reduce | cascade | help)".into());
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        "stats" => stats(&args[1..]),
+        "reduce" => reduce(&args[1..]),
+        "cascade" => cascade(&args[1..]),
+        "sim" => sim(&args[1..]),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+const USAGE: &str = "\
+bddcf — BDD_for_CF width reduction and LUT cascade synthesis
+
+USAGE:
+  bddcf stats   <file.pla> [--sift N]
+  bddcf reduce  <file.pla> [--method alg31|alg33|fixpoint] [--sift N] [-o out.pla]
+  bddcf cascade <file.pla> [--max-in K] [--max-out L] [--sift N]
+                [--verilog out.v] [--save out.cas]
+  bddcf sim <file.cas> <input-bits>
+";
+
+struct Flags {
+    positional: Vec<String>,
+    sift: usize,
+    method: String,
+    output: Option<String>,
+    max_in: usize,
+    max_out: usize,
+    verilog: Option<String>,
+    save: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        positional: Vec::new(),
+        sift: 1,
+        method: "alg33".into(),
+        output: None,
+        max_in: 12,
+        max_out: 10,
+        verilog: None,
+        save: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut grab = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--sift" => flags.sift = grab("--sift")?.parse().map_err(|e| format!("--sift: {e}"))?,
+            "--method" => flags.method = grab("--method")?,
+            "-o" | "--output" => flags.output = Some(grab("-o")?),
+            "--max-in" => {
+                flags.max_in = grab("--max-in")?.parse().map_err(|e| format!("--max-in: {e}"))?
+            }
+            "--max-out" => {
+                flags.max_out = grab("--max-out")?
+                    .parse()
+                    .map_err(|e| format!("--max-out: {e}"))?
+            }
+            "--verilog" => flags.verilog = Some(grab("--verilog")?),
+            "--save" => flags.save = Some(grab("--save")?),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => flags.positional.push(other.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+fn load_cf(path: &str, sift_passes: usize) -> Result<Cf, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let pla = parse_pla(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut cf = pla.to_cf().map_err(|e| format!("{path}: {e}"))?;
+    if sift_passes > 0 {
+        cf.optimize_order(ReorderCost::SumOfWidths, sift_passes);
+    }
+    Ok(cf)
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("stats takes exactly one PLA file".into());
+    };
+    let cf = load_cf(path, flags.sift)?;
+    println!(
+        "{}: {} inputs, {} outputs",
+        path,
+        cf.layout().num_inputs(),
+        cf.layout().num_outputs()
+    );
+    println!("ISF:      width {:>6}  nodes {:>7}", cf.max_width(), cf.node_count());
+    let mut a31 = cf.clone();
+    let s31 = a31.reduce_alg31();
+    println!(
+        "Alg 3.1:  width {:>6}  nodes {:>7}  ({} merges)",
+        s31.max_width_after, s31.nodes_after, s31.merges
+    );
+    let mut a33 = cf.clone();
+    let s33 = a33.reduce_alg33_default();
+    println!(
+        "Alg 3.3:  width {:>6}  nodes {:>7}  ({} columns merged)",
+        s33.max_width_after, s33.nodes_after, s33.columns_merged
+    );
+    let mut sup = cf;
+    let removed = sup.reduce_support_variables();
+    println!(
+        "§3.3:     {} redundant input(s) removable: {:?}",
+        removed.len(),
+        removed.iter().map(|i| format!("x{}", i + 1)).collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+fn reduce(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("reduce takes exactly one PLA file".into());
+    };
+    let mut cf = load_cf(path, flags.sift)?;
+    let before = (cf.max_width(), cf.node_count());
+    match flags.method.as_str() {
+        "alg31" => {
+            cf.reduce_alg31();
+        }
+        "alg33" => {
+            cf.reduce_alg33_default();
+        }
+        "fixpoint" => {
+            cf.reduce_to_fixpoint(&Alg33Options::default(), 4);
+        }
+        other => return Err(format!("unknown --method {other}")),
+    }
+    println!(
+        "width {} -> {}, nodes {} -> {}",
+        before.0,
+        cf.max_width(),
+        before.1,
+        cf.node_count()
+    );
+    if let Some(out_path) = flags.output {
+        let n = cf.layout().num_inputs();
+        if n > 16 {
+            return Err("-o only supported for functions with <= 16 inputs".into());
+        }
+        let m = cf.layout().num_outputs();
+        let mut table = TruthTable::new(n, m);
+        for r in 0..1usize << n {
+            let input: Vec<bool> = (0..n).map(|i| r >> i & 1 == 1).collect();
+            let word = cf.eval_completed(&input);
+            for j in 0..m {
+                table.set(r, j, Ternary::from_bool(word >> j & 1 == 1));
+            }
+        }
+        std::fs::write(&out_path, write_pla(&table, None))
+            .map_err(|e| format!("{out_path}: {e}"))?;
+        println!("completed function written to {out_path}");
+    }
+    Ok(())
+}
+
+fn cascade(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("cascade takes exactly one PLA file".into());
+    };
+    let mut cf = load_cf(path, flags.sift)?;
+    cf.reduce_alg33_default();
+    let options = CascadeOptions {
+        max_cell_inputs: flags.max_in,
+        max_cell_outputs: flags.max_out,
+        ..CascadeOptions::default()
+    };
+    let result = synthesize(&mut cf, &options).map_err(|e| {
+        format!("{e} — try larger cells or split the outputs (see bddcf_cascade::multi)")
+    })?;
+    println!(
+        "cascade: {} cells, {} LUT outputs, {} memory bits, max {} rails",
+        result.num_cells(),
+        result.lut_outputs(),
+        result.memory_bits(),
+        result.max_rails()
+    );
+    for (i, cell) in result.cells().iter().enumerate() {
+        println!(
+            "  cell {i}: {} rails + inputs {:?} -> {} rails + outputs {:?}",
+            cell.rails_in(),
+            cell.input_ids().iter().map(|i| i + 1).collect::<Vec<_>>(),
+            cell.rails_out(),
+            cell.output_ids().iter().map(|j| j + 1).collect::<Vec<_>>()
+        );
+    }
+    if let Some(cas_path) = flags.save {
+        std::fs::write(&cas_path, write_cascade(&result))
+            .map_err(|e| format!("{cas_path}: {e}"))?;
+        println!("cell tables written to {cas_path}");
+    }
+    if let Some(v_path) = flags.verilog {
+        let module = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("cascade")
+            .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
+        std::fs::write(&v_path, cascade_to_verilog(&result, &module))
+            .map_err(|e| format!("{v_path}: {e}"))?;
+        println!("Verilog written to {v_path}");
+    }
+    Ok(())
+}
+
+fn sim(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [path, bits] = flags.positional.as_slice() else {
+        return Err("sim takes a .cas file and an input bit string".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let cascade = read_cascade(&text).map_err(|e| format!("{path}: {e}"))?;
+    if bits.len() != cascade.num_inputs() {
+        return Err(format!(
+            "expected {} input bits, got {}",
+            cascade.num_inputs(),
+            bits.len()
+        ));
+    }
+    let input: Vec<bool> = bits
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("invalid input bit {other:?}")),
+        })
+        .collect::<Result<_, _>>()?;
+    let word = cascade.eval(&input);
+    let rendered: String = (0..cascade.num_outputs())
+        .map(|j| if word >> j & 1 == 1 { '1' } else { '0' })
+        .collect();
+    println!("{rendered}");
+    Ok(())
+}

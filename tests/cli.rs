@@ -1,0 +1,177 @@
+//! Integration tests for the `bddcf` command-line tool (driven through the
+//! built binary, like a user would).
+
+use std::process::Command;
+
+fn bddcf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bddcf"))
+}
+
+fn sample_pla() -> tempdir::TempPla {
+    tempdir::TempPla::new(
+        "\
+.i 4
+.o 2
+.ilb a b c d
+.ob s t
+0-0- -1
+0010 00
+0011 00
+0110 10
+0111 11
+1-0- 01
+1010 10
+1011 10
+1110 -0
+1111 -1
+.e
+",
+    )
+}
+
+/// Minimal temp-file helper (no external crates).
+mod tempdir {
+    use std::path::PathBuf;
+
+    pub struct TempPla {
+        pub path: PathBuf,
+    }
+
+    impl TempPla {
+        pub fn new(content: &str) -> Self {
+            let mut path = std::env::temp_dir();
+            path.push(format!(
+                "bddcf-cli-test-{}-{}.pla",
+                std::process::id(),
+                content.len()
+            ));
+            std::fs::write(&path, content).expect("write temp pla");
+            TempPla { path }
+        }
+    }
+
+    impl Drop for TempPla {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bddcf().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("cascade"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_message() {
+    let out = bddcf().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"));
+}
+
+#[test]
+fn stats_reports_all_treatments() {
+    let pla = sample_pla();
+    let out = bddcf().arg("stats").arg(&pla.path).output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ISF:"));
+    assert!(text.contains("Alg 3.1:"));
+    assert!(text.contains("Alg 3.3:"));
+}
+
+#[test]
+fn reduce_writes_a_parseable_completion() {
+    let pla = sample_pla();
+    let out_path = std::env::temp_dir().join(format!("bddcf-out-{}.pla", std::process::id()));
+    let out = bddcf()
+        .args(["reduce"])
+        .arg(&pla.path)
+        .args(["--method", "fixpoint", "-o"])
+        .arg(&out_path)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let written = std::fs::read_to_string(&out_path).expect("output written");
+    let parsed = bddcf::io::parse_pla(&written).expect("self-written PLA parses");
+    assert_eq!(parsed.num_inputs, 4);
+    assert_eq!(parsed.num_outputs, 2);
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn cascade_emits_verilog() {
+    let pla = sample_pla();
+    let v_path = std::env::temp_dir().join(format!("bddcf-v-{}.v", std::process::id()));
+    let out = bddcf()
+        .arg("cascade")
+        .arg(&pla.path)
+        .args(["--max-in", "4", "--max-out", "4", "--verilog"])
+        .arg(&v_path)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cascade:"));
+    let verilog = std::fs::read_to_string(&v_path).expect("verilog written");
+    assert!(verilog.contains("module"));
+    assert!(verilog.contains("endmodule"));
+    let _ = std::fs::remove_file(&v_path);
+}
+
+#[test]
+fn save_and_sim_roundtrip() {
+    let pla = sample_pla();
+    let cas_path = std::env::temp_dir().join(format!("bddcf-cas-{}.cas", std::process::id()));
+    let out = bddcf()
+        .arg("cascade")
+        .arg(&pla.path)
+        .args(["--max-in", "4", "--max-out", "4", "--save"])
+        .arg(&cas_path)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Simulate a couple of inputs through the saved tables.
+    for bits in ["0000", "1010", "1111"] {
+        let out = bddcf().arg("sim").arg(&cas_path).arg(bits).output().expect("spawn");
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        let line = text.trim();
+        assert_eq!(line.len(), 2, "two output bits, got {line:?}");
+        assert!(line.chars().all(|c| c == '0' || c == '1'));
+    }
+    // Wrong arity is rejected.
+    let out = bddcf().arg("sim").arg(&cas_path).arg("01").output().expect("spawn");
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(&cas_path);
+}
+
+#[test]
+fn conflicting_pla_is_rejected() {
+    let pla = tempdir::TempPla::new(".i 2\n.o 1\n0- 1\n00 0\n.e\n");
+    let out = bddcf().arg("stats").arg(&pla.path).output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("driven both"), "stderr: {err}");
+}
