@@ -254,7 +254,9 @@ mod tests {
     use crate::manager::Var;
 
     /// A 4-bit symbolic input over vars v0..v3 plus an exhaustive checker.
-    fn with_nibble(check: impl Fn(&mut BddManager, &BitVec, &dyn Fn(&BddManager, &BitVec, u64) -> u64)) {
+    fn with_nibble(
+        check: impl Fn(&mut BddManager, &BitVec, &dyn Fn(&BddManager, &BitVec, u64) -> u64),
+    ) {
         let mut mgr = BddManager::new(4);
         let x: BitVec = (0..4).map(|i| mgr.var(Var(i))).collect();
         let evaluate = |mgr: &BddManager, bv: &BitVec, input: u64| -> u64 {

@@ -108,7 +108,11 @@ impl BddManager {
     ///
     /// Panics if `order` is not a permutation of the manager's variables.
     pub fn rebuild_order(&mut self, roots: &[NodeId], order: &[Var]) -> Vec<NodeId> {
-        assert_eq!(order.len(), self.num_vars(), "order must cover all variables");
+        assert_eq!(
+            order.len(),
+            self.num_vars(),
+            "order must cover all variables"
+        );
         let mut seen = vec![false; self.num_vars()];
         for &v in order {
             assert!(

@@ -55,7 +55,7 @@ pub mod mtbdd;
 pub mod reorder;
 pub mod width;
 
-pub use manager::{BddManager, NodeId, Var, FALSE, TRUE};
 pub use exact::ExactWidth;
+pub use manager::{BddManager, IntegrityViolation, NodeId, Var, FALSE, TRUE};
 pub use reorder::{ReorderCost, SiftConstraints};
 pub use width::WidthProfile;

@@ -184,7 +184,11 @@ impl BddManager {
     /// or if any non-terminal node exists (rebuilding is the job of the
     /// reordering module).
     pub fn set_order(&mut self, order: &[Var]) {
-        assert_eq!(order.len(), self.num_vars(), "order must cover all variables");
+        assert_eq!(
+            order.len(),
+            self.num_vars(),
+            "order must cover all variables"
+        );
         assert!(
             self.nodes.len() == 2,
             "set_order may only be used on an empty manager; use reordering otherwise"
@@ -382,7 +386,10 @@ impl BddManager {
             return FALSE;
         }
         assert!(!vars.is_empty(), "minterms over an empty variable set");
-        assert!(vars.len() <= 64, "from_minterms supports at most 64 variables");
+        assert!(
+            vars.len() <= 64,
+            "from_minterms supports at most 64 variables"
+        );
         let width = vars.len();
         if width < 64 {
             for &m in minterms {
@@ -853,7 +860,11 @@ impl BddManager {
         let mut cur = f;
         while !self.is_const(cur) {
             let n = self.nodes[cur.0 as usize];
-            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+            cur = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         cur == TRUE
     }
@@ -926,7 +937,11 @@ impl BddManager {
                     let key = (node.var, lo, hi);
                     let id = *new_unique.entry(key).or_insert_with(|| {
                         let id = NodeId(new_nodes.len() as u32);
-                        new_nodes.push(Node { var: node.var, lo, hi });
+                        new_nodes.push(Node {
+                            var: node.var,
+                            lo,
+                            hi,
+                        });
                         id
                     });
                     remap.insert(n, id);
@@ -942,6 +957,291 @@ impl BddManager {
         self.unique = new_unique;
         self.clear_caches();
         result
+    }
+
+    // ---------------------------------------------------------------------
+    // Integrity audit
+    // ---------------------------------------------------------------------
+
+    /// Audits the whole manager against its structural invariants.
+    ///
+    /// Checks, in order:
+    ///
+    /// 1. the two terminal slots are well-formed and no interior node uses
+    ///    the terminal sentinel variable;
+    /// 2. the `Var` ↔ level permutation tables are mutually inverse
+    ///    bijections;
+    /// 3. every interior node has in-arena children, a strict reduction
+    ///    (`lo != hi`), a valid variable index, and children strictly below
+    ///    it under the *current* level permutation;
+    /// 4. the unique table and the interior arena are in bijection (each
+    ///    node registered under exactly its `(var, lo, hi)` key — the
+    ///    canonicity that makes `NodeId` equality mean function equality);
+    /// 5. every operation-cache entry references only in-arena nodes and
+    ///    in-range variables (caches are cleared on [`BddManager::gc`] and
+    ///    level swaps, so anything cached must point into the live arena).
+    ///
+    /// Returns all violations found, or `Ok(())`. Runs in `O(nodes +
+    /// cache entries)`; intended for debug assertions and the workspace
+    /// `bddcf check` analysis pass, not per-operation use.
+    pub fn check_integrity(&self) -> Result<(), Vec<IntegrityViolation>> {
+        use IntegrityViolation as V;
+        let mut out = Vec::new();
+        let len = self.nodes.len();
+        let num_vars = self.num_vars() as u32;
+
+        // 1. Terminals.
+        if len < 2 {
+            out.push(V::MalformedTerminal { id: FALSE });
+            return Err(out);
+        }
+        for id in [FALSE, TRUE] {
+            if self.nodes[id.0 as usize].var != TERMINAL_VAR {
+                out.push(V::MalformedTerminal { id });
+            }
+        }
+
+        // 2. Permutation tables.
+        if self.var_at_level.len() != self.level_of_var.len() {
+            out.push(V::BrokenPermutation { level: 0 });
+        } else {
+            for (lvl, &v) in self.var_at_level.iter().enumerate() {
+                if v.0 >= num_vars || self.level_of_var[v.0 as usize] != lvl as u32 {
+                    out.push(V::BrokenPermutation { level: lvl as u32 });
+                }
+            }
+        }
+
+        // 3. Interior nodes.
+        for (i, node) in self.nodes.iter().enumerate().skip(2) {
+            let id = NodeId(i as u32);
+            if node.var == TERMINAL_VAR {
+                out.push(V::MalformedTerminal { id });
+                continue;
+            }
+            if node.var >= num_vars {
+                out.push(V::InvalidVariable { id, var: node.var });
+                continue;
+            }
+            let mut dangling = false;
+            for child in [node.lo, node.hi] {
+                if child.0 as usize >= len {
+                    out.push(V::DanglingChild { id, child });
+                    dangling = true;
+                }
+            }
+            if dangling {
+                continue;
+            }
+            if node.lo == node.hi {
+                out.push(V::RedundantNode { id });
+            }
+            let level = self.level_of_var[node.var as usize];
+            for child in [node.lo, node.hi] {
+                if self.level_of_node(child) <= level {
+                    out.push(V::LevelInversion { id, child });
+                }
+            }
+        }
+
+        // 4. Unique table ↔ arena bijection.
+        for (i, node) in self.nodes.iter().enumerate().skip(2) {
+            let id = NodeId(i as u32);
+            if node.var == TERMINAL_VAR || node.lo.0 as usize >= len || node.hi.0 as usize >= len {
+                continue; // already reported above
+            }
+            match self.unique.get(&(node.var, node.lo, node.hi)) {
+                Some(&mapped) if mapped == id => {}
+                Some(&mapped) => out.push(V::DuplicateNode {
+                    id,
+                    canonical: mapped,
+                }),
+                None => out.push(V::UnregisteredNode { id }),
+            }
+        }
+        for (&(var, lo, hi), &id) in &self.unique {
+            let stale = (id.0 as usize) >= len
+                || id.0 < 2
+                || self.nodes[id.0 as usize].var != var
+                || self.nodes[id.0 as usize].lo != lo
+                || self.nodes[id.0 as usize].hi != hi;
+            if stale {
+                out.push(V::StaleUniqueEntry { id });
+            }
+        }
+
+        // 5. Operation caches reference only live nodes.
+        let live = |id: NodeId| (id.0 as usize) < len;
+        for (&(f, g, h), &r) in &self.ite_cache {
+            if ![f, g, h, r].into_iter().all(live) {
+                out.push(V::StaleCacheEntry { cache: "ite" });
+            }
+        }
+        for (&(f, c), &r) in &self.exists_cache {
+            if ![f, c, r].into_iter().all(live) {
+                out.push(V::StaleCacheEntry { cache: "exists" });
+            }
+        }
+        for (&(f, g, c), &r) in &self.and_exists_cache {
+            if ![f, g, c, r].into_iter().all(live) {
+                out.push(V::StaleCacheEntry {
+                    cache: "and_exists",
+                });
+            }
+        }
+        for (&(f, var, g), &r) in &self.compose_cache {
+            if ![f, g, r].into_iter().all(live) || var >= num_vars {
+                out.push(V::StaleCacheEntry { cache: "compose" });
+            }
+        }
+
+        if out.is_empty() {
+            Ok(())
+        } else {
+            Err(out)
+        }
+    }
+
+    /// Deliberately violates one manager invariant. Test-only hook used to
+    /// prove that [`BddManager::check_integrity`] (and the `bddcf check`
+    /// pass built on it) actually detects corruption; never call this
+    /// outside tests.
+    #[doc(hidden)]
+    pub fn corrupt_for_testing(&mut self, kind: TestCorruption) {
+        match kind {
+            TestCorruption::RedundantNode => {
+                let i = self.nodes.len() - 1;
+                assert!(i >= 2, "corrupting needs at least one interior node");
+                self.nodes[i].hi = self.nodes[i].lo;
+            }
+            TestCorruption::UnregisterNode => {
+                let node = *self.nodes.last().expect("nonempty arena");
+                self.unique.remove(&(node.var, node.lo, node.hi));
+            }
+            TestCorruption::DanglingCacheEntry => {
+                let dangling = NodeId(self.nodes.len() as u32);
+                self.ite_cache.insert((FALSE, TRUE, FALSE), dangling);
+            }
+            TestCorruption::PermutationClash => {
+                assert!(self.num_vars() >= 2, "corrupting needs two variables");
+                self.level_of_var[0] = self.level_of_var[1];
+            }
+        }
+    }
+}
+
+/// Which invariant [`BddManager::corrupt_for_testing`] should break.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TestCorruption {
+    /// Make the newest interior node unreduced (`lo == hi`).
+    RedundantNode,
+    /// Drop the newest interior node's unique-table registration.
+    UnregisterNode,
+    /// Insert an op-cache entry whose result id is out of the arena.
+    DanglingCacheEntry,
+    /// Make two variables claim the same level.
+    PermutationClash,
+}
+
+/// One structural-invariant violation found by
+/// [`BddManager::check_integrity`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntegrityViolation {
+    /// A terminal slot is malformed, or an interior node uses the terminal
+    /// sentinel variable.
+    MalformedTerminal {
+        /// The offending node.
+        id: NodeId,
+    },
+    /// `var_at_level` and `level_of_var` disagree at this level.
+    BrokenPermutation {
+        /// The level at which the tables disagree.
+        level: u32,
+    },
+    /// An interior node's variable index is out of range.
+    InvalidVariable {
+        /// The offending node.
+        id: NodeId,
+        /// Its out-of-range variable index.
+        var: u32,
+    },
+    /// A child id points outside the arena.
+    DanglingChild {
+        /// The parent node.
+        id: NodeId,
+        /// The out-of-arena child id.
+        child: NodeId,
+    },
+    /// An interior node with `lo == hi` (the reduction rule forbids these).
+    RedundantNode {
+        /// The offending node.
+        id: NodeId,
+    },
+    /// A child's level is not strictly below its parent's under the current
+    /// variable order.
+    LevelInversion {
+        /// The parent node.
+        id: NodeId,
+        /// The child whose level is not strictly below the parent's.
+        child: NodeId,
+    },
+    /// Two arena nodes share one `(var, lo, hi)` triple; `canonical` is the
+    /// one the unique table maps the key to.
+    DuplicateNode {
+        /// The non-canonical duplicate.
+        id: NodeId,
+        /// The node the unique table considers canonical.
+        canonical: NodeId,
+    },
+    /// An interior node missing from the unique table.
+    UnregisteredNode {
+        /// The offending node.
+        id: NodeId,
+    },
+    /// A unique-table entry pointing at a nonexistent or mismatched node.
+    StaleUniqueEntry {
+        /// The target of the stale entry.
+        id: NodeId,
+    },
+    /// An operation-cache entry referencing an out-of-arena node.
+    StaleCacheEntry {
+        /// Which cache (`"ite"`, `"exists"`, `"and_exists"`, `"compose"`).
+        cache: &'static str,
+    },
+}
+
+impl fmt::Display for IntegrityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use IntegrityViolation as V;
+        match *self {
+            V::MalformedTerminal { id } => write!(f, "malformed terminal slot {id:?}"),
+            V::BrokenPermutation { level } => {
+                write!(f, "var/level permutation tables disagree at level {level}")
+            }
+            V::InvalidVariable { id, var } => {
+                write!(f, "node {id:?} has out-of-range variable x{var}")
+            }
+            V::DanglingChild { id, child } => {
+                write!(f, "node {id:?} has out-of-arena child {child:?}")
+            }
+            V::RedundantNode { id } => write!(f, "node {id:?} is unreduced (lo == hi)"),
+            V::LevelInversion { id, child } => {
+                write!(f, "child {child:?} of {id:?} is not strictly below it")
+            }
+            V::DuplicateNode { id, canonical } => {
+                write!(f, "node {id:?} duplicates canonical node {canonical:?}")
+            }
+            V::UnregisteredNode { id } => {
+                write!(f, "node {id:?} is missing from the unique table")
+            }
+            V::StaleUniqueEntry { id } => {
+                write!(f, "unique-table entry maps to stale node {id:?}")
+            }
+            V::StaleCacheEntry { cache } => {
+                write!(f, "{cache} cache entry references a non-live node")
+            }
+        }
     }
 }
 
@@ -1154,7 +1454,16 @@ mod tests {
     #[test]
     fn and_exists_equals_and_then_exists() {
         let (mut mgr, a, b, c) = setup3();
-        let candidates = [a, b, c, mgr.xor(a, b), mgr.and(b, c), mgr.or(a, c), TRUE, FALSE];
+        let candidates = [
+            a,
+            b,
+            c,
+            mgr.xor(a, b),
+            mgr.and(b, c),
+            mgr.or(a, c),
+            TRUE,
+            FALSE,
+        ];
         let cube_bc = mgr.cube(&[(Var(1), true), (Var(2), true)]);
         let cube_a = mgr.cube(&[(Var(0), true)]);
         for &f in &candidates {
@@ -1198,8 +1507,7 @@ mod tests {
         let fast = mgr.from_minterms(&vars, &minterms);
         let mut slow = FALSE;
         for &m in &minterms {
-            let lits: Vec<(Var, bool)> =
-                (0..5).map(|j| (vars[j], m >> j & 1 == 1)).collect();
+            let lits: Vec<(Var, bool)> = (0..5).map(|j| (vars[j], m >> j & 1 == 1)).collect();
             let cube = mgr.cube(&lits);
             slow = mgr.or(slow, cube);
         }
@@ -1240,7 +1548,10 @@ mod tests {
         assert!(mgr.arena_len() <= arena_before);
         let after_eval: Vec<bool> = (0..8u32)
             .map(|bits| {
-                mgr.eval(roots[0], &[(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0])
+                mgr.eval(
+                    roots[0],
+                    &[(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0],
+                )
             })
             .collect();
         assert_eq!(before_eval, after_eval);
@@ -1310,5 +1621,69 @@ mod tests {
         let d = mgr.descendants(&[f]);
         assert_eq!(d.len(), 2);
         assert!(!d.contains(&TRUE));
+    }
+
+    fn busy_manager() -> (BddManager, NodeId) {
+        let (mut mgr, a, b, c) = setup3();
+        let ab = mgr.and(a, b);
+        let f = mgr.xor(ab, c);
+        let g = mgr.exists(f, &[Var(1)]);
+        let h = mgr.or(f, g);
+        (mgr, h)
+    }
+
+    #[test]
+    fn integrity_passes_on_healthy_manager() {
+        let (mgr, _) = busy_manager();
+        mgr.check_integrity().expect("fresh manager is sound");
+    }
+
+    #[test]
+    fn integrity_passes_after_gc_and_reorder() {
+        let (mut mgr, h) = busy_manager();
+        let roots = mgr.gc(&[h]);
+        mgr.check_integrity().expect("post-gc manager is sound");
+        let roots = mgr.swap_adjacent(0, &roots);
+        mgr.check_integrity().expect("post-swap manager is sound");
+        let not_h = mgr.not(roots[0]);
+        assert_ne!(not_h, roots[0]);
+        mgr.check_integrity()
+            .expect("post-reorder manager is sound");
+    }
+
+    #[test]
+    fn integrity_detects_each_seeded_corruption() {
+        for kind in [
+            TestCorruption::RedundantNode,
+            TestCorruption::UnregisterNode,
+            TestCorruption::DanglingCacheEntry,
+            TestCorruption::PermutationClash,
+        ] {
+            let (mut mgr, _) = busy_manager();
+            mgr.corrupt_for_testing(kind);
+            let violations = mgr
+                .check_integrity()
+                .expect_err("corruption must be detected");
+            assert!(!violations.is_empty(), "{kind:?} produced no violations");
+            let matched = violations.iter().any(|v| {
+                matches!(
+                    (kind, v),
+                    (
+                        TestCorruption::RedundantNode,
+                        IntegrityViolation::RedundantNode { .. }
+                    ) | (
+                        TestCorruption::UnregisterNode,
+                        IntegrityViolation::UnregisteredNode { .. }
+                    ) | (
+                        TestCorruption::DanglingCacheEntry,
+                        IntegrityViolation::StaleCacheEntry { .. }
+                    ) | (
+                        TestCorruption::PermutationClash,
+                        IntegrityViolation::BrokenPermutation { .. }
+                    )
+                )
+            });
+            assert!(matched, "{kind:?} not matched in {violations:?}");
+        }
     }
 }

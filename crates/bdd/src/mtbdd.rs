@@ -27,7 +27,11 @@ impl fmt::Debug for MtNodeId {
 #[derive(Clone, Copy, Debug)]
 enum MtNode {
     Terminal(u64),
-    Internal { var: u32, lo: MtNodeId, hi: MtNodeId },
+    Internal {
+        var: u32,
+        lo: MtNodeId,
+        hi: MtNodeId,
+    },
 }
 
 /// A reduced ordered multi-terminal BDD store.
@@ -120,7 +124,10 @@ impl MtbddManager {
     /// `mgr`, or `mgr` was reordered since).
     #[allow(clippy::wrong_self_convention)] // reads naturally: the store builds *from* BDDs
     pub fn from_bdds(&mut self, mgr: &BddManager, outputs: &[NodeId]) -> MtNodeId {
-        assert!(outputs.len() <= 64, "terminal packing supports at most 64 outputs");
+        assert!(
+            outputs.len() <= 64,
+            "terminal packing supports at most 64 outputs"
+        );
         assert_eq!(
             self.num_vars,
             mgr.num_vars(),
@@ -275,14 +282,16 @@ impl MtbddManager {
         let t = self.num_vars;
         let mut crossing: Vec<crate::hasher::FastSet<MtNodeId>> =
             vec![crate::hasher::FastSet::default(); t + 1];
-        let record =
-            |from: i64, to: MtNodeId, to_level: u32, crossing: &mut Vec<crate::hasher::FastSet<MtNodeId>>| {
-                let topmost = (from + 1).max(0) as usize;
-                let bottom = (to_level as usize).min(t);
-                for set in crossing.iter_mut().take(bottom + 1).skip(topmost) {
-                    set.insert(to);
-                }
-            };
+        let record = |from: i64,
+                      to: MtNodeId,
+                      to_level: u32,
+                      crossing: &mut Vec<crate::hasher::FastSet<MtNodeId>>| {
+            let topmost = (from + 1).max(0) as usize;
+            let bottom = (to_level as usize).min(t);
+            for set in crossing.iter_mut().take(bottom + 1).skip(topmost) {
+                set.insert(to);
+            }
+        };
         record(-1, root, self.level_of_node(root), &mut crossing);
         for n in self.reachable(root) {
             if let MtNode::Internal { lo, hi, .. } = self.nodes[n.0 as usize] {

@@ -8,10 +8,10 @@
 //! * Algorithm 3.3's cover engine: full pairwise graph vs first-fit.
 
 #![allow(clippy::single_range_in_vec_init)] // the partition API takes lists of ranges
+use bddcf_bdd::ReorderCost;
 use bddcf_core::cover::{CompatGraph, CoverHeuristic};
 use bddcf_core::partition::partition_outputs;
 use bddcf_core::{Alg33Options, Cf};
-use bddcf_bdd::ReorderCost;
 use bddcf_funcs::{build_isf_pieces, RadixConverter, RnsConverter};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -22,7 +22,9 @@ fn random_graph(n: usize, edge_per_mille: u64) -> CompatGraph {
     let mut state = 0x9e3779b97f4a7c15u64;
     for i in 0..n {
         for j in i + 1..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if (state >> 20) % 1000 < edge_per_mille {
                 g.add_edge(i, j);
             }
@@ -34,7 +36,10 @@ fn random_graph(n: usize, edge_per_mille: u64) -> CompatGraph {
 fn bench_cover_heuristics(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_cover");
     let g = random_graph(300, 200);
-    for heuristic in [CoverHeuristic::MinDegreeFirst, CoverHeuristic::MaxDegreeFirst] {
+    for heuristic in [
+        CoverHeuristic::MinDegreeFirst,
+        CoverHeuristic::MaxDegreeFirst,
+    ] {
         group.bench_function(format!("{heuristic:?}"), |b| {
             b.iter(|| black_box(g.clique_cover(heuristic).len()));
         });
@@ -42,7 +47,9 @@ fn bench_cover_heuristics(c: &mut Criterion) {
     // Quality snapshot (once, printed): fewer cliques is better.
     let min = g.clique_cover(CoverHeuristic::MinDegreeFirst).len();
     let max = g.clique_cover(CoverHeuristic::MaxDegreeFirst).len();
-    println!("cover quality on G(300, 20%): min-degree-first {min} cliques, max-degree-first {max}");
+    println!(
+        "cover quality on G(300, 20%): min-degree-first {min} cliques, max-degree-first {max}"
+    );
     group.finish();
 }
 

@@ -12,8 +12,8 @@
 //!   node count of the output list and the width of the shared forest.
 //! * `BDD_for_CF + Alg3.3`: the paper's method; width per Definition 3.5.
 
-use bddcf_bench::TableWriter;
 use bddcf_bdd::ReorderCost;
+use bddcf_bench::TableWriter;
 use bddcf_core::partition::bipartition;
 use bddcf_funcs::{build_isf_pieces, table4_benchmarks};
 
@@ -43,10 +43,7 @@ fn main() {
             let mut plain = Vec::with_capacity(m);
             let mut restricted = Vec::with_capacity(m);
             for j in 0..m {
-                let care = {
-                    
-                    mgr2.or(isf_rec.on[j], isf_rec.off[j])
-                };
+                let care = { mgr2.or(isf_rec.on[j], isf_rec.off[j]) };
                 plain.push(isf_rec.on[j]);
                 restricted.push(mgr2.restrict_care(isf_rec.on[j], care));
             }

@@ -6,8 +6,8 @@
 //! ways (same sifted input order) and sizes are compared.
 
 #![allow(clippy::single_range_in_vec_init)] // the partition API takes lists of ranges
-use bddcf_bench::TableWriter;
 use bddcf_bdd::mtbdd::MtbddManager;
+use bddcf_bench::TableWriter;
 use bddcf_core::partition::bipartition;
 use bddcf_funcs::{build_isf_pieces, table4_benchmarks};
 
@@ -20,13 +20,23 @@ fn compare_part(cf: &mut bddcf_core::Cf) -> (usize, usize, usize, usize) {
     let mut mt = MtbddManager::with_order_of(cf.manager());
     let root = mt.from_bdds(cf.manager(), &outputs);
     let mt_width = mt.width_profile(root).into_iter().max().unwrap_or(1);
-    (cf.node_count(), cf.max_width(), mt.node_count(root), mt_width)
+    (
+        cf.node_count(),
+        cf.max_width(),
+        mt.node_count(root),
+        mt_width,
+    )
 }
 
 fn main() {
     let suite = table4_benchmarks();
     let mut table = TableWriter::new(&[
-        "Function", "part", "CF nodes", "CF maxW", "MTBDD nodes", "MTBDD maxW",
+        "Function",
+        "part",
+        "CF nodes",
+        "CF maxW",
+        "MTBDD nodes",
+        "MTBDD maxW",
     ]);
     for entry in &suite[..13] {
         eprintln!("comparing {} …", entry.label);

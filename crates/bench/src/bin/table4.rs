@@ -41,9 +41,21 @@ fn main() {
         let m = measure_benchmark(entry.benchmark.as_ref(), &options);
         for (hi, h) in m.halves.iter().enumerate() {
             table.row(&[
-                if hi == 0 { m.label.clone() } else { String::new() },
-                if hi == 0 { m.inputs.to_string() } else { String::new() },
-                if hi == 0 { m.outputs.to_string() } else { String::new() },
+                if hi == 0 {
+                    m.label.clone()
+                } else {
+                    String::new()
+                },
+                if hi == 0 {
+                    m.inputs.to_string()
+                } else {
+                    String::new()
+                },
+                if hi == 0 {
+                    m.outputs.to_string()
+                } else {
+                    String::new()
+                },
                 if hi == 0 {
                     // Floor to one decimal so 99.9998% prints as the
                     // paper's 99.9, not a misleading 100.0.
@@ -88,7 +100,13 @@ fn main() {
                 h.alg31.max_width,
                 h.alg33.max_width,
             ];
-            let ns = [h.dc0.nodes, h.dc1.nodes, h.isf.nodes, h.alg31.nodes, h.alg33.nodes];
+            let ns = [
+                h.dc0.nodes,
+                h.dc1.nodes,
+                h.isf.nodes,
+                h.alg31.nodes,
+                h.alg33.nodes,
+            ];
             for (k, w) in ws.iter().enumerate() {
                 ratio[k] += *w as f64 / w0;
             }

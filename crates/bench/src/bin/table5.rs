@@ -10,8 +10,8 @@
 //! on sampled valid inputs before being reported.
 
 #![allow(clippy::single_range_in_vec_init)] // the partition API takes lists of ranges
-use bddcf_bench::TableWriter;
 use bddcf_bdd::ReorderCost;
+use bddcf_bench::TableWriter;
 use bddcf_cascade::{synthesize_partitioned, CascadeOptions, MultiCascade};
 use bddcf_funcs::{build_isf_pieces, table4_benchmarks, Benchmark};
 use bddcf_logic::Response;
@@ -29,7 +29,8 @@ fn verify(multi: &MultiCascade, benchmark: &dyn Benchmark, samples: usize) {
         if let Response::Value(expect) = benchmark.respond(&input) {
             let got = multi.eval(&input);
             assert_eq!(
-                got, expect,
+                got,
+                expect,
                 "{}: cascade disagrees with oracle on {word:#x}",
                 benchmark.name()
             );
@@ -39,11 +40,7 @@ fn verify(multi: &MultiCascade, benchmark: &dyn Benchmark, samples: usize) {
     let _ = m;
 }
 
-fn realize(
-    benchmark: &dyn Benchmark,
-    optimized: bool,
-    cells: &CascadeOptions,
-) -> MultiCascade {
+fn realize(benchmark: &dyn Benchmark, optimized: bool, cells: &CascadeOptions) -> MultiCascade {
     let (mut mgr, layout, isf) = build_isf_pieces(benchmark);
     let isf = if optimized {
         isf
@@ -77,15 +74,12 @@ fn main() {
         let optimized = realize(entry.benchmark.as_ref(), true, &cells);
         verify(&baseline, entry.benchmark.as_ref(), 300);
         verify(&optimized, entry.benchmark.as_ref(), 300);
-        let red = 100.0
-            * (baseline.num_cells() as f64 - optimized.num_cells() as f64)
+        let red = 100.0 * (baseline.num_cells() as f64 - optimized.num_cells() as f64)
             / baseline.num_cells() as f64;
         total_red += red;
-        total_lut_red += 100.0
-            * (baseline.lut_outputs() as f64 - optimized.lut_outputs() as f64)
+        total_lut_red += 100.0 * (baseline.lut_outputs() as f64 - optimized.lut_outputs() as f64)
             / baseline.lut_outputs() as f64;
-        total_mem_red += 100.0
-            * (baseline.memory_bits() as f64 - optimized.memory_bits() as f64)
+        total_mem_red += 100.0 * (baseline.memory_bits() as f64 - optimized.memory_bits() as f64)
             / baseline.memory_bits() as f64;
         table.row(&[
             entry.label.to_string(),
@@ -111,5 +105,7 @@ fn main() {
         total_lut_red / n,
         total_mem_red / n
     );
-    println!("All cascades verified against the generator oracles on 300 random valid inputs each.");
+    println!(
+        "All cascades verified against the generator oracles on 300 random valid inputs each."
+    );
 }

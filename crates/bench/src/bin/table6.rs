@@ -11,8 +11,8 @@
 //! (`--quick` uses 200/400/600-word lists).
 
 #![allow(clippy::single_range_in_vec_init)] // the partition API takes lists of ranges
-use bddcf_bench::TableWriter;
 use bddcf_bdd::ReorderCost;
+use bddcf_bench::TableWriter;
 use bddcf_cascade::{
     synthesize_partitioned, try_synthesize_partitioned, AddressGenerator, CascadeOptions,
     MultiCascade,

@@ -91,6 +91,21 @@ pub struct Measurement {
     pub time_sift: Duration,
 }
 
+/// Phase-boundary audit (``check`` feature only): manager integrity, the
+/// CF lints, and the refinement oracle must all hold before a shape is
+/// recorded in a table.
+#[cfg(feature = "check")]
+fn audit(cf: &mut Cf, phase: &str) {
+    let mut report = bddcf_check::CheckReport::new();
+    report.absorb(phase, bddcf_check::check_manager(cf.manager()));
+    report.absorb(phase, bddcf_check::check_cf(cf));
+    report.absorb(phase, bddcf_check::check_refinement(cf));
+    report.assert_clean("bench pipeline");
+}
+
+#[cfg(not(feature = "check"))]
+fn audit(_cf: &mut Cf, _phase: &str) {}
+
 fn shape_of(cf: &Cf) -> Shape {
     Shape {
         max_width: cf.max_width(),
@@ -129,9 +144,12 @@ pub fn measure_benchmark(benchmark: &dyn Benchmark, options: &PipelineOptions) -
         }
         time_sift += t0.elapsed();
 
+        audit(&mut cf, "after sift");
+
         let mut removed_inputs = 0;
         if options.reduce_support {
             removed_inputs = cf.reduce_support_variables().len();
+            audit(&mut cf, "after support reduction");
         }
 
         let isf_shape = shape_of(&cf);
@@ -142,11 +160,13 @@ pub fn measure_benchmark(benchmark: &dyn Benchmark, options: &PipelineOptions) -
         let t31 = Instant::now();
         cf31.reduce_alg31();
         let time_alg31 = t31.elapsed();
+        audit(&mut cf31, "after Algorithm 3.1");
 
         let mut cf33 = cf;
         let t33 = Instant::now();
         cf33.reduce_alg33(&options.alg33);
         let time_alg33 = t33.elapsed();
+        audit(&mut cf33, "after Algorithm 3.3");
 
         halves.push(HalfMeasurement {
             range,

@@ -86,7 +86,9 @@ impl AddressGenerator {
 
     /// Looks up a word: its index `1..=k` if registered, else `0`.
     pub fn lookup(&self, word: u64) -> u64 {
-        let input: Vec<bool> = (0..self.num_input_bits).map(|i| word >> i & 1 == 1).collect();
+        let input: Vec<bool> = (0..self.num_input_bits)
+            .map(|i| word >> i & 1 == 1)
+            .collect();
         let candidate = self.cascades.eval(&input);
         if candidate == 0 || candidate > self.stored.len() as u64 {
             return 0;
@@ -182,10 +184,7 @@ mod tests {
         );
         let gen = AddressGenerator::new(multi, words, 6);
         assert_eq!(gen.aux_memory_bits(), 6 * 4);
-        assert_eq!(
-            gen.total_memory_bits(),
-            gen.cascades().memory_bits() + 24
-        );
+        assert_eq!(gen.total_memory_bits(), gen.cascades().memory_bits() + 24);
         assert_eq!(gen.num_index_bits(), 2);
         assert_eq!(gen.num_words(), 3);
     }

@@ -1,0 +1,272 @@
+//! Layer 4: LUT-cascade lints.
+//!
+//! Structural: walking the cells head to tail, each cell boundary
+//! corresponds to a cut of the `BDD_for_CF` the cascade was extracted from
+//! (a cell spanning levels `[s, e)` consumes `num_inputs + num_outputs`
+//! variables). At each boundary the rail bundle must carry exactly
+//! `⌈log₂ W⌉` wires, where `W` is the number of distinct non-zero columns
+//! at that cut — Theorem 3.1. The column count is recomputed here from the
+//! BDD, independently of the synthesizer's cached values.
+//!
+//! Semantic: the cell tables, chained through the rails, must agree with
+//! the prefer-0 completion of χ ([`Cf::eval_completed`]) on every sampled
+//! input, and the full output word must be admitted by the specification
+//! oracle.
+
+use crate::{CheckReport, Layer};
+use bddcf_cascade::Cascade;
+use bddcf_core::Cf;
+use bddcf_decomp::bdd_decomp::rails_for;
+use bddcf_logic::MultiOracle;
+use std::collections::HashSet;
+
+/// Checks one cascade against the (reduced) `Cf` it was synthesized from:
+/// Theorem-3.1 rail counts at every cell boundary and sampled agreement
+/// with the prefer-0 completion of χ.
+pub fn check_cascade(cascade: &Cascade, cf: &Cf, samples: u64) -> CheckReport {
+    let mut report = CheckReport::new();
+    rail_counts(cascade, cf, &mut report);
+    sampled_agreement(cascade, cf, samples, &mut report);
+    report
+}
+
+/// Checks a cascade's sampled behaviour directly against a specification
+/// oracle: on every sampled input, the word the cascade computes must be
+/// admitted (specified rows must match exactly; don't-care rows admit
+/// anything).
+///
+/// The oracle must have the all-or-nothing don't-care structure of the
+/// paper's benchmark generators (a row is either fully specified or fully
+/// don't care). `TruthTable`'s pointwise oracle resolves partial don't
+/// cares to 0 and would report false positives here — use
+/// [`check_cascade`] against the `Cf` for per-output don't-care handling.
+pub fn check_cascade_against_oracle(
+    cascade: &Cascade,
+    oracle: &dyn MultiOracle,
+    samples: u64,
+) -> CheckReport {
+    let mut report = CheckReport::new();
+    let n = cascade.num_inputs();
+    assert_eq!(n, oracle.num_inputs(), "oracle arity mismatch");
+    let mut rng = SplitMix64::new(0x5eed_cafe);
+    for _ in 0..samples {
+        let input = random_input(&mut rng, n);
+        let word = cascade.eval(&input);
+        if !oracle.respond(&input).admits(word, oracle.num_outputs()) {
+            report.push(
+                Layer::Cascade,
+                format!(
+                    "cascade output {word:#b} is rejected by the specification \
+                     oracle on input {input:?}"
+                ),
+            );
+            break; // one counterexample is enough
+        }
+    }
+    report
+}
+
+/// Sampled check of a partitioned realization against the specification
+/// oracle: the reassembled full output word must be admitted on every
+/// sampled input.
+pub fn check_multi_cascade_against_oracle(
+    multi: &bddcf_cascade::MultiCascade,
+    oracle: &dyn MultiOracle,
+    samples: u64,
+) -> CheckReport {
+    let mut report = CheckReport::new();
+    let n = oracle.num_inputs();
+    let mut rng = SplitMix64::new(0x0dd_ba11);
+    for _ in 0..samples {
+        let input = random_input(&mut rng, n);
+        let word = multi.eval(&input);
+        if !oracle.respond(&input).admits(word, oracle.num_outputs()) {
+            report.push(
+                Layer::Cascade,
+                format!(
+                    "partitioned cascade output {word:#b} is rejected by the \
+                     specification oracle on input {input:?}"
+                ),
+            );
+            break; // one counterexample is enough
+        }
+    }
+    report
+}
+
+/// Theorem 3.1 at every cell boundary: rails = `⌈log₂ W⌉`.
+fn rail_counts(cascade: &Cascade, cf: &Cf, report: &mut CheckReport) {
+    let t = cf.layout().num_vars();
+    let mut cut = 0usize;
+    for (i, cell) in cascade.cells().iter().enumerate() {
+        let width = columns_below(cf, cut as u32).max(1);
+        let expected = rails_for(width);
+        if cell.rails_in() != expected {
+            report.push(
+                Layer::Cascade,
+                format!(
+                    "cell {i} has {} incoming rails but the BDD_for_CF has \
+                     {width} columns at cut {cut} (Theorem 3.1 wants {expected})",
+                    cell.rails_in()
+                ),
+            );
+        }
+        // A cell spanning levels [s, e) consumes exactly the primary
+        // inputs/outputs placed in that range; its rail bits are not
+        // variable levels (num_inputs()/num_outputs() include rails).
+        cut += cell.input_ids().len() + cell.output_ids().len();
+    }
+    if cut != t {
+        report.push(
+            Layer::Cascade,
+            format!("cells cover {cut} variable levels but the layout has {t}"),
+        );
+    }
+    if let Some(last) = cascade.cells().last() {
+        if last.rails_out() != 0 {
+            report.push(
+                Layer::Cascade,
+                format!("last cell leaves {} dangling rails", last.rails_out()),
+            );
+        }
+    }
+}
+
+/// Distinct non-zero nodes hanging below `cut` — the rail alphabet,
+/// recomputed from the BDD independently of the synthesizer.
+fn columns_below(cf: &Cf, cut: u32) -> usize {
+    let mgr = cf.manager();
+    let root = cf.root();
+    let mut set: HashSet<bddcf_bdd::NodeId> = HashSet::new();
+    if root != bddcf_bdd::FALSE && mgr.level_of_node(root) >= cut {
+        set.insert(root);
+    }
+    for n in mgr.descendants(&[root]) {
+        if mgr.level_of_node(n) >= cut {
+            continue; // edges out of n start at or below the cut
+        }
+        for child in [mgr.lo(n), mgr.hi(n)] {
+            if child != bddcf_bdd::FALSE && mgr.level_of_node(child) >= cut {
+                set.insert(child);
+            }
+        }
+    }
+    set.len()
+}
+
+/// The hardware model must compute exactly the BDD walk's completion.
+fn sampled_agreement(cascade: &Cascade, cf: &Cf, samples: u64, report: &mut CheckReport) {
+    let n = cascade.num_inputs();
+    let mut rng = SplitMix64::new(0xb0a7_1e55);
+    for _ in 0..samples {
+        let input = random_input(&mut rng, n);
+        let hardware = cascade.eval(&input);
+        let software = cf.eval_completed(&input);
+        if hardware != software {
+            report.push(
+                Layer::Cascade,
+                format!(
+                    "cell tables disagree with χ's completion on input {input:?}: \
+                     cascade {hardware:#b}, BDD walk {software:#b}"
+                ),
+            );
+            break; // one counterexample is enough
+        }
+    }
+}
+
+/// Minimal deterministic generator for input sampling (kept local so this
+/// crate adds no runtime dependencies).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn random_input(rng: &mut SplitMix64, n: usize) -> Vec<bool> {
+    (0..n).map(|_| rng.next() & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_cascade::{synthesize, CascadeOptions};
+    use bddcf_logic::TruthTable;
+
+    fn synthesized_paper_example() -> (Cascade, Cf, TruthTable) {
+        let table = TruthTable::paper_table1();
+        let mut cf = Cf::from_truth_table(&table);
+        cf.reduce_alg33_default();
+        let cascade = synthesize(
+            &mut cf,
+            &CascadeOptions {
+                max_cell_inputs: 4,
+                max_cell_outputs: 4,
+                ..CascadeOptions::default()
+            },
+        )
+        .expect("paper example fits one cascade");
+        (cascade, cf, table)
+    }
+
+    #[test]
+    fn paper_cascade_is_clean() {
+        let (cascade, cf, table) = synthesized_paper_example();
+        let report = check_cascade(&cascade, &cf, 64);
+        assert!(report.is_clean(), "{report}");
+        // Per-output admission against the (partially specified) table.
+        for r in 0..16usize {
+            let input: Vec<bool> = (0..4).map(|i| r >> i & 1 == 1).collect();
+            let word = cascade.eval(&input);
+            for j in 0..2 {
+                assert!(
+                    table.get(r, j).admits(word >> j & 1 == 1),
+                    "row {r} output {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fully_specified_oracle_check_is_clean() {
+        // On a completely specified function every completion is the
+        // function itself, so the all-or-nothing oracle check applies.
+        let table = TruthTable::paper_table1().completed(false);
+        let mut cf = Cf::from_truth_table(&table);
+        let cascade = synthesize(
+            &mut cf,
+            &CascadeOptions {
+                max_cell_inputs: 4,
+                max_cell_outputs: 4,
+                ..CascadeOptions::default()
+            },
+        )
+        .expect("completed paper example fits one cascade");
+        let report = check_cascade_against_oracle(&cascade, &table, 64);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn mismatched_cf_is_flagged() {
+        // Check the cascade against a *different* function: the sampled
+        // semantic layer must notice.
+        let (cascade, _, _) = synthesized_paper_example();
+        let other = TruthTable::paper_table1().completed(true);
+        let other_cf = Cf::from_truth_table(&other);
+        let report = check_cascade(&cascade, &other_cf, 256);
+        assert!(
+            !report.is_clean(),
+            "cascade for the DC=1 completion must differ somewhere"
+        );
+    }
+}

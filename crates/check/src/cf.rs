@@ -1,0 +1,154 @@
+//! Layer 2: `BDD_for_CF` semantic lints.
+//!
+//! Checks the invariants Definition 2.3/2.4 of the paper give a
+//! characteristic function χ(X, Y):
+//!
+//! * **Ordering rule** (Definition 2.4): each output variable `y_j` sits
+//!   strictly below the *essential* support of its function (inputs that
+//!   only influence the don't-care set impose no constraint — they are
+//!   what legitimizes interleaved orders like the decimal adder's carry
+//!   chain) in the current variable order.
+//! * **Single occurrence**: no path of χ tests an output variable twice
+//!   (trivially true in a sound ROBDD, but checked independently here so a
+//!   broken manager cannot mask it).
+//! * **Partition**: for every output, ON/OFF/DC are pairwise disjoint and
+//!   cover the whole input space.
+//! * **Validity**: `∀X ∃Y. χ = 1` — every input admits at least one output
+//!   word (Definition 2.3 guarantees it on construction; reductions must
+//!   preserve it).
+//! * **Forced output nodes**: every reachable output-variable node has
+//!   exactly one edge to constant 0 (the Fig.-1 shape that makes cascade
+//!   cell extraction deterministic).
+
+use crate::{CheckReport, Layer};
+use bddcf_core::{Cf, Role};
+use std::collections::HashMap;
+
+/// Runs every CF lint on `cf`. Needs `&mut` because partition and validity
+/// checks build scratch BDDs in the shared manager.
+pub fn check_cf(cf: &mut Cf) -> CheckReport {
+    let mut report = CheckReport::new();
+    ordering_rule(cf, &mut report);
+    single_occurrence(cf, &mut report);
+    partition(cf, &mut report);
+    validity(cf, &mut report);
+    forced_output_nodes(cf, &mut report);
+    report
+}
+
+/// Definition 2.4: `y_j` strictly below the essential support of its
+/// function (needs `&mut Cf` — the incompatible-cofactor test builds
+/// scratch BDDs).
+fn ordering_rule(cf: &mut Cf, report: &mut CheckReport) {
+    let isf = cf.isf().clone();
+    for j in 0..cf.layout().num_outputs() {
+        let essential = isf.essential_support_of_output(cf.manager_mut(), j);
+        let mgr = cf.manager();
+        let layout = cf.layout();
+        let y = layout.output_var(j);
+        let y_level = mgr.level_of(y);
+        for var in essential {
+            if mgr.level_of(var) >= y_level {
+                report.push(
+                    Layer::CfLints,
+                    format!(
+                        "Definition 2.4 violated: output {} (level {y_level}) is not \
+                         strictly below essential support variable {} (level {})",
+                        layout.var_name(y),
+                        layout.var_name(var),
+                        mgr.level_of(var)
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// No output variable twice on any path of χ. Computed bottom-up: for each
+/// node, the set of output variables occurring anywhere below it; a node
+/// testing `y_j` with `y_j` already below it lies on a repeating path.
+fn single_occurrence(cf: &Cf, report: &mut CheckReport) {
+    let mgr = cf.manager();
+    let layout = cf.layout();
+    let m = layout.num_outputs();
+    let words = m.div_ceil(64).max(1);
+
+    let mut nodes = mgr.descendants(&[cf.root()]);
+    // Deepest first, so children are always processed before parents.
+    nodes.sort_by_key(|&n| std::cmp::Reverse(mgr.level_of_node(n)));
+    let mut below: HashMap<bddcf_bdd::NodeId, Vec<u64>> = HashMap::new();
+    for &n in &nodes {
+        let mut set = vec![0u64; words];
+        for child in [mgr.lo(n), mgr.hi(n)] {
+            if let Some(child_set) = below.get(&child) {
+                for (acc, w) in set.iter_mut().zip(child_set) {
+                    *acc |= w;
+                }
+            }
+        }
+        if let Role::Output(j) = layout.role(mgr.var_of(n)) {
+            if set[j / 64] >> (j % 64) & 1 == 1 {
+                report.push(
+                    Layer::CfLints,
+                    format!(
+                        "output variable {} occurs more than once on a path of χ",
+                        layout.var_name(mgr.var_of(n))
+                    ),
+                );
+            }
+            set[j / 64] |= 1 << (j % 64);
+        }
+        below.insert(n, set);
+    }
+}
+
+/// ON/OFF/DC partition the input space for every output.
+fn partition(cf: &mut Cf, report: &mut CheckReport) {
+    let isf = cf.isf().clone();
+    if !isf.validate(cf.manager_mut()) {
+        report.push(
+            Layer::CfLints,
+            "ON/OFF/DC sets do not partition the input space",
+        );
+    }
+}
+
+/// `∀X ∃Y. χ = 1`: the function admits an output word on every input.
+fn validity(cf: &mut Cf, report: &mut CheckReport) {
+    if !cf.is_fully_live() {
+        report.push(
+            Layer::CfLints,
+            "χ is not fully live: some input admits no output word (∀X ∃Y χ = 1 violated)",
+        );
+    }
+}
+
+/// Every reachable output node has exactly one 0-edge.
+fn forced_output_nodes(cf: &Cf, report: &mut CheckReport) {
+    if !cf.output_nodes_well_formed() {
+        report.push(
+            Layer::CfLints,
+            "an output-variable node of χ does not have exactly one edge to constant 0",
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_logic::TruthTable;
+
+    #[test]
+    fn paper_example_is_clean() {
+        let mut cf = Cf::from_truth_table(&TruthTable::paper_table1());
+        assert!(check_cf(&mut cf).is_clean());
+    }
+
+    #[test]
+    fn reduced_paper_example_stays_clean() {
+        let mut cf = Cf::from_truth_table(&TruthTable::paper_table1());
+        cf.reduce_alg33_default();
+        let report = check_cf(&mut cf);
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Layer 1: ROBDD manager integrity.
+//!
+//! Thin adapter over [`BddManager::check_integrity`] (which lives in
+//! `bddcf-bdd` because it needs private arena access) that renders the
+//! typed violations into a [`CheckReport`].
+
+use crate::{CheckReport, Layer};
+use bddcf_bdd::BddManager;
+
+/// Audits the manager's arena, unique table, variable permutation, and
+/// operation caches. See [`BddManager::check_integrity`] for the exact
+/// invariant list.
+pub fn check_manager(mgr: &BddManager) -> CheckReport {
+    let mut report = CheckReport::new();
+    if let Err(violations) = mgr.check_integrity() {
+        for violation in violations {
+            report.push(Layer::Manager, violation.to_string());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_bdd::manager::TestCorruption;
+    use bddcf_bdd::Var;
+
+    #[test]
+    fn clean_manager_passes() {
+        let mut mgr = BddManager::new(4);
+        let a = mgr.var(Var(0));
+        let b = mgr.var(Var(1));
+        let f = mgr.and(a, b);
+        let _ = mgr.or(f, a);
+        assert!(check_manager(&mgr).is_clean());
+    }
+
+    #[test]
+    fn corrupted_manager_is_flagged() {
+        let mut mgr = BddManager::new(4);
+        let a = mgr.var(Var(0));
+        let b = mgr.var(Var(1));
+        let _ = mgr.xor(a, b);
+        mgr.corrupt_for_testing(TestCorruption::RedundantNode);
+        let report = check_manager(&mgr);
+        assert!(!report.is_clean());
+        assert!(report.findings().iter().all(|f| f.layer == Layer::Manager));
+    }
+}

@@ -1,0 +1,143 @@
+//! Layer 3: the refinement oracle.
+//!
+//! Every reduction of the paper (Algorithm 3.1 merges, Algorithm 3.3
+//! clique-cover merges, support-variable removal) is only allowed to
+//! *complete don't cares*: the reduced χ' must admit a subset of the
+//! input-output pairs the original χ admitted, i.e. `χ' ⇒ χ` as Boolean
+//! functions. [`check_refinement`] re-derives the original χ from the
+//! preserved ISF record ([`Cf::original_chi`]) and verifies the implication
+//! by BDD reasoning — exact, not sampled.
+//!
+//! It also recounts the Definition-3.5 width profile with an independent
+//! per-cut algorithm ([`naive_width_profile`]) and compares it against the
+//! incremental difference-array implementation in `bddcf-bdd`, so a bug in
+//! either is caught by the other.
+
+use crate::{CheckReport, Layer};
+use bddcf_bdd::{BddManager, NodeId, FALSE, TRUE};
+use bddcf_core::Cf;
+use std::collections::HashSet;
+
+/// Checks that `cf`'s current χ refines the original specification and
+/// that its width profile matches an independent recount.
+pub fn check_refinement(cf: &mut Cf) -> CheckReport {
+    let mut report = CheckReport::new();
+
+    // χ_current ⇒ χ_original, by exact BDD implication.
+    let original = cf.original_chi();
+    let root = cf.root();
+    if cf.manager_mut().implies(root, original) != TRUE {
+        report.push(
+            Layer::Refinement,
+            "reduction is not a refinement: current χ admits an input-output \
+             pair the original specification forbids (χ' ⇒ χ fails)",
+        );
+    }
+
+    // Width profile: incremental implementation vs naive recount.
+    let reported = cf.width_profile();
+    let recount = naive_width_profile(cf.manager(), &[cf.root()]);
+    if reported.cuts() != recount.as_slice() {
+        report.push(
+            Layer::Refinement,
+            format!(
+                "width profile mismatch: incremental {:?} vs naive recount {:?}",
+                reported.cuts(),
+                recount
+            ),
+        );
+    }
+
+    report
+}
+
+/// Definition 3.5 computed the slow, obviously-correct way: for every cut
+/// `c`, collect the distinct non-zero nodes that hang below `c` (targets of
+/// an edge from above `c` — external root pointers count as edges from
+/// above every cut — whose level is at or below `c`), clamping empty cuts
+/// to the defined minimum 1. Quadratic in the worst case; meant to
+/// cross-check [`BddManager::width_profile`], not to replace it.
+pub fn naive_width_profile(mgr: &BddManager, roots: &[NodeId]) -> Vec<usize> {
+    let t = mgr.num_vars();
+    // Every edge of the shared graph, as (source level, target). Root
+    // pointers come from "level -1", above every cut.
+    let mut edges: Vec<(i64, NodeId)> = Vec::new();
+    for &root in roots {
+        if root != FALSE {
+            edges.push((-1, root));
+        }
+    }
+    for n in mgr.descendants(roots) {
+        let level = i64::from(mgr.level_of_node(n));
+        for child in [mgr.lo(n), mgr.hi(n)] {
+            if child != FALSE {
+                edges.push((level, child));
+            }
+        }
+    }
+    (0..=t)
+        .map(|cut| {
+            let cut = cut as i64;
+            let hanging: HashSet<NodeId> = edges
+                .iter()
+                .filter(|&&(src_level, target)| {
+                    src_level < cut && i64::from(mgr.level_of_node(target)) >= cut
+                })
+                .map(|&(_, target)| target)
+                .collect();
+            hanging.len().max(1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddcf_bdd::Var;
+    use bddcf_core::Alg33Options;
+    use bddcf_logic::TruthTable;
+
+    #[test]
+    fn naive_recount_matches_incremental_on_random_shapes() {
+        let mut mgr = BddManager::new(6);
+        let a = mgr.var(Var(0));
+        let b = mgr.var(Var(2));
+        let c = mgr.var(Var(5));
+        let f = mgr.and(a, b);
+        let g = mgr.xor(f, c);
+        let h = mgr.or(g, a);
+        for roots in [vec![g], vec![h], vec![g, h], vec![TRUE], vec![FALSE]] {
+            let incremental = mgr.width_profile(&roots);
+            assert_eq!(
+                incremental.cuts(),
+                naive_width_profile(&mgr, &roots).as_slice(),
+                "roots {roots:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reductions_pass_the_oracle() {
+        let mut cf = Cf::from_truth_table(&TruthTable::paper_table1());
+        assert!(check_refinement(&mut cf).is_clean(), "identity refines");
+        cf.reduce_alg31();
+        let report = check_refinement(&mut cf);
+        assert!(report.is_clean(), "{report}");
+        cf.reduce_alg33(&Alg33Options::default());
+        cf.reduce_support_variables();
+        let report = check_refinement(&mut cf);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn widening_would_be_flagged() {
+        // TRUE admits everything, which is *not* a refinement of the paper
+        // example (it has OFF entries): the implication the oracle relies
+        // on must reject it, while the untouched cf itself stays clean.
+        let mut cf = Cf::from_truth_table(&TruthTable::paper_table1());
+        let original = cf.original_chi();
+        let ok = cf.manager_mut().implies(TRUE, original) == TRUE;
+        assert!(!ok, "TRUE must not refine a specification with OFF rows");
+        assert!(check_refinement(&mut cf).is_clean());
+    }
+}

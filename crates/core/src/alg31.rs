@@ -113,7 +113,10 @@ mod tests {
                 let expect = (0..2).all(|j| table.get(r, j).admits(w >> j & 1 == 1));
                 assert!(expect, "row {r} word {w:02b} must be admitted by the spec");
             }
-            assert!(!cf.allowed_words(&input).is_empty(), "row {r} lost liveness");
+            assert!(
+                !cf.allowed_words(&input).is_empty(),
+                "row {r} lost liveness"
+            );
         }
     }
 

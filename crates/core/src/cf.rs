@@ -266,7 +266,10 @@ impl Cf {
             layout.num_outputs(),
             "ISF arity disagrees with the layout"
         );
-        assert!(isf.validate(&mut mgr), "ON/OFF/DC must partition the input space");
+        assert!(
+            isf.validate(&mut mgr),
+            "ON/OFF/DC must partition the input space"
+        );
         for j in 0..isf.num_outputs() {
             for var in isf.support_of_output(&mgr, j) {
                 assert!(
@@ -330,6 +333,70 @@ impl Cf {
         &self.isf
     }
 
+    /// Rebuilds the χ of the *original* specification (Definition 2.3)
+    /// from the preserved ISF record. The record is kept alive through
+    /// every garbage collection, so this is valid at any point of a
+    /// reduction pipeline — unlike a `NodeId` for the original root, which
+    /// [`Cf::collect`] would invalidate. Use it as the right-hand side of
+    /// refinement checks: every reduction must keep `root ⇒ original_chi`.
+    pub fn original_chi(&mut self) -> NodeId {
+        chi_of(&mut self.mgr, &self.layout, &self.isf)
+    }
+
+    /// Phase-boundary assertion used by the pipeline driver when the
+    /// `check` feature is enabled (and available unconditionally for
+    /// tests): panics with `context` unless manager integrity, the
+    /// Definition-2.4 ordering rule, the ON/OFF/DC partition, validity
+    /// (`∀X ∃Y χ = 1`), and the refinement property (`χ ⇒ χ_original`)
+    /// all hold. Collects garbage afterwards to drop the scratch BDDs the
+    /// checks build.
+    ///
+    /// The full four-layer analysis (including cascade lints and the
+    /// width-profile recount) lives in the `bddcf-check` crate; this is
+    /// the dependency-cycle-free subset `bddcf-core` can check about
+    /// itself.
+    pub fn assert_pipeline_invariants(&mut self, context: &str) {
+        if let Err(violations) = self.mgr.check_integrity() {
+            let rendered: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+            panic!(
+                "{context}: manager integrity violated: {}",
+                rendered.join("; ")
+            );
+        }
+        // Definition 2.4 over the *essential* support: inputs that only
+        // influence the don't-care set impose no ordering constraint (this
+        // is what legitimizes interleaved orders like the decimal adder's
+        // carry chain; the sifting constraints enforce exactly this set).
+        for j in 0..self.layout.num_outputs() {
+            let y = self.layout.output_var(j);
+            let isf = self.isf.clone();
+            for var in isf.essential_support_of_output(&mut self.mgr, j) {
+                assert!(
+                    self.mgr.level_of(var) < self.mgr.level_of(y),
+                    "{context}: Definition 2.4 violated for output {} and essential support {}",
+                    self.layout.var_name(y),
+                    self.layout.var_name(var)
+                );
+            }
+        }
+        let isf = self.isf.clone();
+        assert!(
+            isf.validate(&mut self.mgr),
+            "{context}: ON/OFF/DC no longer partition the input space"
+        );
+        assert!(
+            self.is_fully_live(),
+            "{context}: χ is not fully live (∀X ∃Y χ = 1 violated)"
+        );
+        let original = self.original_chi();
+        let root = self.root;
+        assert!(
+            self.mgr.implies(root, original) == TRUE,
+            "{context}: reduction widened χ (χ' ⇒ χ fails)"
+        );
+        self.collect();
+    }
+
     /// Splits the borrow into (manager, layout, root, isf) for algorithms
     /// that need simultaneous mutable manager access.
     pub(crate) fn parts_mut(&mut self) -> (&mut BddManager, &CfLayout, NodeId, &IsfBdds) {
@@ -348,6 +415,14 @@ impl Cf {
     pub(crate) fn install_root(&mut self, new_root: NodeId) {
         self.root = new_root;
         self.collect();
+    }
+
+    /// Test-only hook: installs an arbitrary root so checkers can be shown
+    /// a χ that no longer matches the recorded ISF. Never call this from
+    /// production code — it deliberately breaks the `Cf` invariants.
+    #[doc(hidden)]
+    pub fn set_root_for_testing(&mut self, new_root: NodeId) {
+        self.install_root(new_root);
     }
 
     /// Garbage-collects the manager, keeping χ and the ISF record alive.
@@ -602,7 +677,10 @@ impl Cf {
     /// Panics if χ is not fully live (some input admits no output — cannot
     /// happen for a `Cf` built by this crate).
     pub fn complete(&mut self) -> Vec<NodeId> {
-        assert!(self.is_fully_live(), "χ must admit an output for every input");
+        assert!(
+            self.is_fully_live(),
+            "χ must admit an output for every input"
+        );
         let ycube = self.layout.output_cube(&mut self.mgr);
         let mut cur = self.root;
         let mut outputs = Vec::with_capacity(self.layout.num_outputs());
@@ -692,11 +770,7 @@ mod tests {
             let input: Vec<bool> = (0..4).map(|i| r >> i & 1 == 1).collect();
             for word in 0..4u64 {
                 let expect = (0..2).all(|j| table.get(r, j).admits(word >> j & 1 == 1));
-                assert_eq!(
-                    cf.admits(&input, word),
-                    expect,
-                    "row {r} word {word:02b}"
-                );
+                assert_eq!(cf.admits(&input, word), expect, "row {r} word {word:02b}");
             }
         }
     }
@@ -829,7 +903,11 @@ mod tests {
             // Completely specified: exactly one word per input.
             for r in 0..16usize {
                 let input: Vec<bool> = (0..4).map(|i| r >> i & 1 == 1).collect();
-                assert_eq!(variant.allowed_words(&input).len(), 1, "fill={fill} row {r}");
+                assert_eq!(
+                    variant.allowed_words(&input).len(),
+                    1,
+                    "fill={fill} row {r}"
+                );
             }
             // The variant's word is admitted by the original χ.
             let mut original = paper_cf();

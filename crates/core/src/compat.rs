@@ -158,7 +158,9 @@ mod tests {
         assert_eq!(all_dc, TRUE, "all-dc single output CF is the tautology");
         let mgr = cf.manager_mut();
         let y = mgr.var(Var(1));
-        let merged = ctx.merge(mgr, all_dc, y).expect("TRUE is compatible with y");
+        let merged = ctx
+            .merge(mgr, all_dc, y)
+            .expect("TRUE is compatible with y");
         assert_eq!(merged, y);
         assert_eq!(ctx.live(mgr, merged), TRUE);
     }

@@ -70,9 +70,7 @@ impl CompatGraph {
     }
 
     fn degree_within(&self, v: usize, alive: &[bool]) -> usize {
-        (0..self.n)
-            .filter(|&u| alive[u] && self.adj[v][u])
-            .count()
+        (0..self.n).filter(|&u| alive[u] && self.adj[v][u]).count()
     }
 
     /// Algorithm 3.2: heuristic minimal clique cover. Returns the cliques
@@ -126,12 +124,8 @@ impl CompatGraph {
                     }
                     mask
                 };
-                let vj = pick(
-                    &mut sb
-                        .iter()
-                        .map(|&u| (self.degree_within(u, &sb_alive), u)),
-                )
-                .expect("S_b is non-empty");
+                let vj = pick(&mut sb.iter().map(|&u| (self.degree_within(u, &sb_alive), u)))
+                    .expect("S_b is non-empty");
                 clique.push(vj);
                 sb.retain(|&u| u != vj && self.adj[vj][u]);
             }
@@ -168,12 +162,7 @@ impl CompatGraph {
         best
     }
 
-    fn exact_rec(
-        &self,
-        v: usize,
-        assignment: &mut Vec<Vec<usize>>,
-        best: &mut Vec<Vec<usize>>,
-    ) {
+    fn exact_rec(&self, v: usize, assignment: &mut Vec<Vec<usize>>, best: &mut Vec<Vec<usize>>) {
         if assignment.len() >= best.len() {
             return; // cannot beat the incumbent
         }
@@ -291,7 +280,10 @@ mod tests {
         for (i, j) in [(0, 1), (1, 2), (0, 2), (3, 4), (2, 3), (4, 5)] {
             g.add_edge(i, j);
         }
-        for heuristic in [CoverHeuristic::MinDegreeFirst, CoverHeuristic::MaxDegreeFirst] {
+        for heuristic in [
+            CoverHeuristic::MinDegreeFirst,
+            CoverHeuristic::MaxDegreeFirst,
+        ] {
             let cover = g.clique_cover(heuristic);
             assert!(g.is_valid_cover(&cover), "{heuristic:?}");
         }

@@ -35,11 +35,19 @@ impl Cf {
         let mut current = initial;
         let mut removed_inputs = 0;
         let mut iterations = 0;
+        #[cfg(feature = "check")]
+        self.assert_pipeline_invariants("fixpoint: before reduction");
         while iterations < max_iterations.max(1) {
             iterations += 1;
             removed_inputs += self.reduce_support_variables().len();
+            #[cfg(feature = "check")]
+            self.assert_pipeline_invariants("fixpoint: after support reduction");
             self.reduce_alg31();
+            #[cfg(feature = "check")]
+            self.assert_pipeline_invariants("fixpoint: after Algorithm 3.1");
             self.reduce_alg33(options);
+            #[cfg(feature = "check")]
+            self.assert_pipeline_invariants("fixpoint: after Algorithm 3.3");
             let now = (self.max_width(), self.node_count());
             if now >= current {
                 break;

@@ -44,7 +44,7 @@ pub mod sift;
 pub mod support;
 
 pub use alg33::Alg33Options;
-pub use driver::FixpointStats;
 pub use cf::{Cf, IsfBdds};
 pub use cover::CompatGraph;
+pub use driver::FixpointStats;
 pub use layout::{CfLayout, Role};

@@ -129,11 +129,7 @@ pub fn bipartition(mgr: &BddManager, layout: &CfLayout, isf: &IsfBdds) -> Vec<Cf
 /// Recombines completed halves for verification: evaluates each part's
 /// completed outputs on `input` and re-assembles the full output word in
 /// the original output numbering (parts listed in `parts` order).
-pub fn eval_parts(
-    parts: &[(&Cf, &[NodeId])],
-    ranges: &[Range<usize>],
-    input: &[bool],
-) -> u64 {
+pub fn eval_parts(parts: &[(&Cf, &[NodeId])], ranges: &[Range<usize>], input: &[bool]) -> u64 {
     assert_eq!(parts.len(), ranges.len());
     let mut word = 0u64;
     for ((cf, outputs), range) in parts.iter().zip(ranges) {

@@ -132,8 +132,8 @@ impl BddDecomposition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bddcf_core::{CfLayout, IsfBdds};
     use bddcf_bdd::Var;
+    use bddcf_core::{CfLayout, IsfBdds};
     use bddcf_logic::TruthTable;
 
     fn paper_cf() -> Cf {

@@ -43,7 +43,10 @@ impl DecompositionChart {
         let mut seen = vec![false; n];
         for &b in bound {
             assert!(b < n, "bound input {b} out of range");
-            assert!(!std::mem::replace(&mut seen[b], true), "duplicate bound input {b}");
+            assert!(
+                !std::mem::replace(&mut seen[b], true),
+                "duplicate bound input {b}"
+            );
         }
         let free: Vec<usize> = (0..n).filter(|i| !seen[*i]).collect();
         let mut cols = vec![vec![Ternary::DontCare; 1 << free.len()]; 1 << bound.len()];
@@ -162,7 +165,9 @@ impl DecompositionChart {
             let mut merged = self.cols[clique[0]].clone();
             for &c in &clique[1..] {
                 for (m, v) in merged.iter_mut().zip(&self.cols[c]) {
-                    *m = m.intersect(*v).expect("pairwise-compatible ternary cliques intersect");
+                    *m = m
+                        .intersect(*v)
+                        .expect("pairwise-compatible ternary cliques intersect");
                 }
             }
             for &c in clique {
@@ -349,12 +354,8 @@ mod tests {
 
     #[test]
     fn realization_of_fully_specified_chart_is_exact() {
-        let chart = DecompositionChart::from_columns(vec![
-            vec![O, I],
-            vec![I, O],
-            vec![O, O],
-            vec![I, I],
-        ]);
+        let chart =
+            DecompositionChart::from_columns(vec![vec![O, I], vec![I, O], vec![O, O], vec![I, I]]);
         let realization = chart.realize(CoverHeuristic::MinDegreeFirst);
         assert_eq!(realization.rails(), 2);
         for c in 0..4 {
@@ -377,12 +378,8 @@ mod tests {
 
     #[test]
     fn fully_specified_chart_has_no_mergeable_columns() {
-        let chart = DecompositionChart::from_columns(vec![
-            vec![O, I],
-            vec![I, O],
-            vec![O, O],
-            vec![I, I],
-        ]);
+        let chart =
+            DecompositionChart::from_columns(vec![vec![O, I], vec![I, O], vec![O, O], vec![I, I]]);
         let (merged, codes) = chart.merge_compatible(CoverHeuristic::MinDegreeFirst);
         assert_eq!(merged.multiplicity(), 4);
         let mut codes_sorted = codes.clone();

@@ -190,9 +190,8 @@ mod tests {
         let mut mgr = layout.new_manager();
         let valid = d.valid(&mut mgr, &layout);
         for word in 0..1u64 << d.total_bits() {
-            let assignment: Vec<bool> = (0..layout.num_vars())
-                .map(|i| word >> i & 1 == 1)
-                .collect();
+            let assignment: Vec<bool> =
+                (0..layout.num_vars()).map(|i| word >> i & 1 == 1).collect();
             assert_eq!(
                 mgr.eval(valid, &assignment),
                 d.decode(word).is_some(),

@@ -31,7 +31,7 @@ pub mod words;
 
 pub use bcd::{DecimalAdder, DecimalMultiplier};
 pub use radix::{BinaryToRadix, RadixConverter};
-pub use registry::{table4_benchmarks, BenchmarkEntry};
+pub use registry::{small_benchmarks, table4_benchmarks, BenchmarkEntry};
 pub use rns::RnsConverter;
 pub use words::WordList;
 

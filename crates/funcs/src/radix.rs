@@ -27,10 +27,7 @@ impl RadixConverter {
     /// Panics if `p < 2`, `k == 0`, or `pᵏ` overflows `u64`.
     pub fn new(radix: u64, k: usize) -> Self {
         assert!(k > 0, "need at least one digit");
-        let max = radix
-            .checked_pow(k as u32)
-            .expect("p^k must fit in u64")
-            - 1;
+        let max = radix.checked_pow(k as u32).expect("p^k must fit in u64") - 1;
         RadixConverter {
             digits: DigitLayout::uniform(radix, k),
             radix,

@@ -92,6 +92,34 @@ pub fn table4_benchmarks() -> Vec<BenchmarkEntry> {
     ]
 }
 
+/// Scaled-down siblings of the Table-4 rows, small enough for smoke runs
+/// (tests, CI, `bddcf check`) where the full suite would take minutes.
+/// One entry per generator family.
+pub fn small_benchmarks() -> Vec<BenchmarkEntry> {
+    vec![
+        BenchmarkEntry {
+            label: "3-5 RNS",
+            benchmark: Box::new(RnsConverter::new(vec![3, 5])),
+        },
+        BenchmarkEntry {
+            label: "2-digit 3-nary to binary",
+            benchmark: Box::new(RadixConverter::new(3, 2)),
+        },
+        BenchmarkEntry {
+            label: "1-digit decimal adder",
+            benchmark: Box::new(DecimalAdder::new(1)),
+        },
+        BenchmarkEntry {
+            label: "1-digit decimal multiplier",
+            benchmark: Box::new(DecimalMultiplier::new(1)),
+        },
+        BenchmarkEntry {
+            label: "12 words",
+            benchmark: Box::new(WordList::synthetic(12, true)),
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -231,9 +231,7 @@ impl MultiOracle for WordList {
             Some(&index) => Response::Value(index),
             None => match self.mode {
                 WordListMode::Widened => Response::DontCare,
-                WordListMode::LetterDc if WordList::has_invalid_letter(word) => {
-                    Response::DontCare
-                }
+                WordListMode::LetterDc if WordList::has_invalid_letter(word) => Response::DontCare,
                 _ => Response::Value(0),
             },
         }
@@ -291,9 +289,7 @@ impl Benchmark for WordList {
 
     fn dc_ratio(&self) -> f64 {
         match self.mode {
-            WordListMode::Widened => {
-                1.0 - self.len() as f64 / 2f64.powi(self.num_inputs() as i32)
-            }
+            WordListMode::Widened => 1.0 - self.len() as f64 / 2f64.powi(self.num_inputs() as i32),
             // §4.2: 1 − (27/32)^8 ≈ 0.74 (word minterms are negligible).
             WordListMode::LetterDc => 1.0 - (27.0f64 / 32.0).powi(WORD_LETTERS as i32),
             WordListMode::Exact => 0.0,
@@ -343,7 +339,10 @@ mod tests {
     #[test]
     fn letter_dc_mode_matches_section_42() {
         let list = WordList::synthetic_with_mode(100, WordListMode::LetterDc);
-        assert!((list.dc_ratio() - 0.7428).abs() < 1e-3, "1-(27/32)^8 ≈ 0.74");
+        assert!(
+            (list.dc_ratio() - 0.7428).abs() < 1e-3,
+            "1-(27/32)^8 ≈ 0.74"
+        );
         // A word with an invalid letter code is don't care…
         let mut bad = encode_word("cat");
         bad |= 31 << (LETTER_BITS * 7); // code 31 in the last slot
@@ -363,9 +362,8 @@ mod tests {
             vec!["ab".into(), "ba".into(), "cc".into()],
             WordListMode::LetterDc,
         );
-        let mut cf = bddcf_core::Cf::build(list.layout(), |mgr, layout| {
-            list.build_isf(mgr, layout)
-        });
+        let mut cf =
+            bddcf_core::Cf::build(list.layout(), |mgr, layout| list.build_isf(mgr, layout));
         // Registered word: exact index.
         let ab: Vec<bool> = (0..40).map(|i| encode_word("ab") >> i & 1 == 1).collect();
         assert_eq!(cf.allowed_words(&ab), vec![1]);
@@ -403,7 +401,13 @@ mod tests {
     #[test]
     fn cf_of_a_small_list_matches_oracle() {
         let list = WordList::new(
-            vec!["ape".into(), "bee".into(), "cat".into(), "doe".into(), "elk".into()],
+            vec![
+                "ape".into(),
+                "bee".into(),
+                "cat".into(),
+                "doe".into(),
+                "elk".into(),
+            ],
             false,
         );
         let cf = Cf::build(list.layout(), |mgr, layout| list.build_isf(mgr, layout));

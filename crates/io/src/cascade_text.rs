@@ -52,10 +52,7 @@ pub fn write_cascade(cascade: &Cascade) -> String {
     );
     for cell in cascade.cells() {
         let ids = |v: &[usize]| -> String {
-            v.iter()
-                .map(usize::to_string)
-                .collect::<Vec<_>>()
-                .join(",")
+            v.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
         };
         let _ = writeln!(
             out,
@@ -113,7 +110,10 @@ pub fn read_cascade(text: &str) -> Result<Cascade, CascadeTextError> {
             break;
         }
         let Some(rest) = decl.strip_prefix("cell ") else {
-            return Err(err(line, format!("expected `cell …` or `end`, got {decl:?}")));
+            return Err(err(
+                line,
+                format!("expected `cell …` or `end`, got {decl:?}"),
+            ));
         };
         let mut rails_in = None;
         let mut rails_out = None;
@@ -151,7 +151,9 @@ pub fn read_cascade(text: &str) -> Result<Cascade, CascadeTextError> {
                 format!("expected {expected_len} table entries, got {}", table.len()),
             ));
         }
-        cells.push(LutCell::new(rails_in, input_ids, rails_out, output_ids, table));
+        cells.push(LutCell::new(
+            rails_in, input_ids, rails_out, output_ids, table,
+        ));
     }
     Cascade::from_cells(cells, num_inputs, num_outputs).map_err(|message| err(0, message))
 }

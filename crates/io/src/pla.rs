@@ -75,7 +75,11 @@ impl fmt::Display for PlaError {
             PlaError::Syntax(line, what) => write!(f, "line {line}: {what}"),
             PlaError::MissingHeader => write!(f, ".i/.o must precede the first cube"),
             PlaError::Conflict { output } => {
-                write!(f, "output {} is driven both 0 and 1 on some minterm", output + 1)
+                write!(
+                    f,
+                    "output {} is driven both 0 and 1 on some minterm",
+                    output + 1
+                )
             }
         }
     }
@@ -200,10 +204,8 @@ pub fn parse_pla(text: &str) -> Result<Pla, PlaError> {
         (Some(n), Some(m)) if n > 0 && m > 0 => (n, m),
         _ => return Err(PlaError::MissingHeader),
     };
-    let input_names =
-        input_names.unwrap_or_else(|| (1..=n).map(|i| format!("x{i}")).collect());
-    let output_names =
-        output_names.unwrap_or_else(|| (1..=m).map(|j| format!("f{j}")).collect());
+    let input_names = input_names.unwrap_or_else(|| (1..=n).map(|i| format!("x{i}")).collect());
+    let output_names = output_names.unwrap_or_else(|| (1..=m).map(|j| format!("f{j}")).collect());
     if input_names.len() != n {
         return Err(PlaError::Syntax(0, ".ilb arity disagrees with .i".into()));
     }
@@ -362,7 +364,10 @@ mod tests {
         assert_eq!(pla.output_names[1], "f2");
         assert_eq!(pla.cubes.len(), 4);
         assert_eq!(pla.cubes[0].0, vec![Some(false), None, Some(false), None]);
-        assert_eq!(pla.cubes[0].1, vec![OutputSpec::Unspecified, OutputSpec::On]);
+        assert_eq!(
+            pla.cubes[0].1,
+            vec![OutputSpec::Unspecified, OutputSpec::On]
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ fn main() {
         let index = generator.lookup(encode_word(probe));
         match index {
             0 => println!("  {probe:<8} -> not in the dictionary"),
-            i => println!("  {probe:<8} -> index {i} ({})", dictionary[(i - 1) as usize]),
+            i => println!(
+                "  {probe:<8} -> index {i} ({})",
+                dictionary[(i - 1) as usize]
+            ),
         }
     }
 

@@ -7,17 +7,20 @@
 //!
 //! Run with: `cargo run --example decomposition`
 
+use bddcf::bdd::Var;
 use bddcf::core::cover::CoverHeuristic;
 use bddcf::core::{Cf, CfLayout, IsfBdds};
 use bddcf::decomp::bdd_decomp::{decompose_at, rails_for};
 use bddcf::decomp::DecompositionChart;
 use bddcf::logic::TruthTable;
-use bddcf::bdd::Var;
 
 fn main() {
     // --- Chart view (Tables 2 and 3) ---------------------------------
     let chart = DecompositionChart::paper_table2();
-    println!("Decomposition chart (Table 2): µ = {}", chart.multiplicity());
+    println!(
+        "Decomposition chart (Table 2): µ = {}",
+        chart.multiplicity()
+    );
     for c in 0..chart.num_columns() {
         let pattern: String = chart.column(c).iter().map(|v| v.to_string()).collect();
         println!("  Φ{} = {}", c + 1, pattern);
@@ -40,7 +43,10 @@ fn main() {
     let mut cf = Cf::build_with_order(CfLayout::new(4, 2), &order, |mgr, layout| {
         IsfBdds::from_truth_table(mgr, layout, &table)
     });
-    println!("\nBDD_for_CF of Table 1: width profile {:?}", cf.width_profile().cuts());
+    println!(
+        "\nBDD_for_CF of Table 1: width profile {:?}",
+        cf.width_profile().cuts()
+    );
     for k in [1usize, 2, 3] {
         let d = decompose_at(&cf, k);
         println!(

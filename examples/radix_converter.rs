@@ -15,11 +15,16 @@ use bddcf::funcs::{build_isf_pieces, value_to_word, Benchmark, RadixConverter};
 
 fn main() {
     let conv = RadixConverter::new(3, 6);
-    println!("{}: {} inputs, {} outputs, DC ratio {:.1}%", conv.name(),
-        conv.digits().total_bits(), {
+    println!(
+        "{}: {} inputs, {} outputs, DC ratio {:.1}%",
+        conv.name(),
+        conv.digits().total_bits(),
+        {
             use bddcf::logic::MultiOracle;
             conv.num_outputs()
-        }, conv.dc_ratio() * 100.0);
+        },
+        conv.dc_ratio() * 100.0
+    );
 
     // Build the ISF symbolically and split the outputs in two (§5.1).
     let (mgr, layout, isf) = build_isf_pieces(&conv);

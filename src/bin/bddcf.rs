@@ -14,6 +14,12 @@
 //!
 //! bddcf sim <file.cas> <bits>
 //!     Evaluate a saved cascade on an input bit string (input 0 first).
+//!
+//! bddcf check [label-substring...] [--suite small|table4] [--samples N]
+//!             [--max-iter N]
+//!     Run the bddcf-check invariant layers (manager integrity, CF lints,
+//!     refinement oracle, cascade lints) over registry benchmarks; exits
+//!     nonzero if any layer reports a finding.
 //! ```
 //!
 //! PLA semantics follow `bddcf_io::pla` (`fr`-type: uncovered minterms are
@@ -51,6 +57,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "reduce" => reduce(&args[1..]),
         "cascade" => cascade(&args[1..]),
         "sim" => sim(&args[1..]),
+        "check" => check(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -64,6 +71,8 @@ USAGE:
   bddcf cascade <file.pla> [--max-in K] [--max-out L] [--sift N]
                 [--verilog out.v] [--save out.cas]
   bddcf sim <file.cas> <input-bits>
+  bddcf check [label-substring...] [--suite small|table4] [--samples N]
+              [--max-iter N]
 ";
 
 struct Flags {
@@ -75,6 +84,9 @@ struct Flags {
     max_out: usize,
     verilog: Option<String>,
     save: Option<String>,
+    suite: String,
+    samples: u64,
+    max_iter: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -87,6 +99,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         max_out: 10,
         verilog: None,
         save: None,
+        suite: "small".into(),
+        samples: 128,
+        max_iter: 4,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -96,11 +111,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--sift" => flags.sift = grab("--sift")?.parse().map_err(|e| format!("--sift: {e}"))?,
+            "--sift" => {
+                flags.sift = grab("--sift")?
+                    .parse()
+                    .map_err(|e| format!("--sift: {e}"))?
+            }
             "--method" => flags.method = grab("--method")?,
             "-o" | "--output" => flags.output = Some(grab("-o")?),
             "--max-in" => {
-                flags.max_in = grab("--max-in")?.parse().map_err(|e| format!("--max-in: {e}"))?
+                flags.max_in = grab("--max-in")?
+                    .parse()
+                    .map_err(|e| format!("--max-in: {e}"))?
             }
             "--max-out" => {
                 flags.max_out = grab("--max-out")?
@@ -109,6 +130,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--verilog" => flags.verilog = Some(grab("--verilog")?),
             "--save" => flags.save = Some(grab("--save")?),
+            "--suite" => flags.suite = grab("--suite")?,
+            "--samples" => {
+                flags.samples = grab("--samples")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?
+            }
+            "--max-iter" => {
+                flags.max_iter = grab("--max-iter")?
+                    .parse()
+                    .map_err(|e| format!("--max-iter: {e}"))?
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => flags.positional.push(other.to_string()),
         }
@@ -138,7 +170,11 @@ fn stats(args: &[String]) -> Result<(), String> {
         cf.layout().num_inputs(),
         cf.layout().num_outputs()
     );
-    println!("ISF:      width {:>6}  nodes {:>7}", cf.max_width(), cf.node_count());
+    println!(
+        "ISF:      width {:>6}  nodes {:>7}",
+        cf.max_width(),
+        cf.node_count()
+    );
     let mut a31 = cf.clone();
     let s31 = a31.reduce_alg31();
     println!(
@@ -156,7 +192,10 @@ fn stats(args: &[String]) -> Result<(), String> {
     println!(
         "§3.3:     {} redundant input(s) removable: {:?}",
         removed.len(),
-        removed.iter().map(|i| format!("x{}", i + 1)).collect::<Vec<_>>()
+        removed
+            .iter()
+            .map(|i| format!("x{}", i + 1))
+            .collect::<Vec<_>>()
     );
     Ok(())
 }
@@ -284,5 +323,69 @@ fn sim(args: &[String]) -> Result<(), String> {
         .map(|j| if word >> j & 1 == 1 { '1' } else { '0' })
         .collect();
     println!("{rendered}");
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let suite = match flags.suite.as_str() {
+        "small" => bddcf::funcs::small_benchmarks(),
+        "table4" => bddcf::funcs::table4_benchmarks(),
+        other => return Err(format!("unknown --suite {other} (small | table4)")),
+    };
+    let selected: Vec<_> = suite
+        .into_iter()
+        .filter(|entry| {
+            flags.positional.is_empty()
+                || flags
+                    .positional
+                    .iter()
+                    .any(|needle| entry.label.to_lowercase().contains(&needle.to_lowercase()))
+        })
+        .collect();
+    if selected.is_empty() {
+        return Err(format!(
+            "no benchmark in the {:?} suite matches {:?}",
+            flags.suite, flags.positional
+        ));
+    }
+    let options = bddcf::check::CheckOptions {
+        samples: flags.samples,
+        max_iterations: flags.max_iter,
+        ..bddcf::check::CheckOptions::default()
+    };
+    let mut failures = 0usize;
+    for entry in &selected {
+        let result = bddcf::check::check_benchmark(entry.benchmark.as_ref(), &options);
+        let verdict = if result.report.is_clean() {
+            "ok"
+        } else {
+            "FAIL"
+        };
+        println!(
+            "{verdict:4} {:<28} width {} -> {}, {} cascade(s), {} cell(s)",
+            entry.label,
+            result.max_width.0,
+            result.max_width.1,
+            result.num_cascades,
+            result.num_cells
+        );
+        if !result.report.is_clean() {
+            failures += 1;
+            for finding in result.report.findings() {
+                println!("     {finding}");
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} benchmark(s) violated pipeline invariants",
+            selected.len()
+        ));
+    }
+    println!(
+        "all {} benchmark(s) pass every invariant layer",
+        selected.len()
+    );
     Ok(())
 }

@@ -15,9 +15,13 @@
 //!   generator architecture.
 //! * [`funcs`] — benchmark function generators.
 //! * [`io`] — PLA input/output and Verilog emission.
+//! * [`check`] — layered structural/semantic invariant analysis
+//!   (`bddcf check`, and phase-boundary assertions behind the `check`
+//!   cargo feature).
 
 pub use bddcf_bdd as bdd;
 pub use bddcf_cascade as cascade;
+pub use bddcf_check as check;
 pub use bddcf_core as core;
 pub use bddcf_decomp as decomp;
 pub use bddcf_funcs as funcs;

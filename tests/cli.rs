@@ -154,7 +154,12 @@ fn save_and_sim_roundtrip() {
     );
     // Simulate a couple of inputs through the saved tables.
     for bits in ["0000", "1010", "1111"] {
-        let out = bddcf().arg("sim").arg(&cas_path).arg(bits).output().expect("spawn");
+        let out = bddcf()
+            .arg("sim")
+            .arg(&cas_path)
+            .arg(bits)
+            .output()
+            .expect("spawn");
         assert!(out.status.success());
         let text = String::from_utf8_lossy(&out.stdout);
         let line = text.trim();
@@ -162,7 +167,12 @@ fn save_and_sim_roundtrip() {
         assert!(line.chars().all(|c| c == '0' || c == '1'));
     }
     // Wrong arity is rejected.
-    let out = bddcf().arg("sim").arg(&cas_path).arg("01").output().expect("spawn");
+    let out = bddcf()
+        .arg("sim")
+        .arg(&cas_path)
+        .arg("01")
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
     let _ = std::fs::remove_file(&cas_path);
 }

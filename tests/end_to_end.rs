@@ -129,6 +129,44 @@ fn alg31_and_alg33_compose_through_cascade() {
 }
 
 #[test]
+fn fixpoint_driver_through_cascade() {
+    // Same shape as `pipeline_exhaustive`, but reducing with the full
+    // fixpoint driver. With `--features bddcf/check` this test walks the
+    // driver's phase-boundary invariant assertions (manager integrity,
+    // Definition 2.4, validity, refinement) after every reduction phase.
+    for benchmark in [
+        Box::new(RadixConverter::new(3, 3)) as Box<dyn Benchmark>,
+        Box::new(DecimalAdder::new(1)),
+    ] {
+        let n = benchmark.num_inputs();
+        let (mgr, layout, isf) = build_isf_pieces(benchmark.as_ref());
+        let m = layout.num_outputs();
+        let half = m.div_ceil(2);
+        let parts = [0..half, half..m];
+        let cells = CascadeOptions {
+            max_cell_inputs: 7,
+            max_cell_outputs: 6,
+            ..CascadeOptions::default()
+        };
+        let multi = synthesize_partitioned(&mgr, &layout, &isf, &parts, &cells, |cf| {
+            cf.optimize_order(ReorderCost::SumOfWidths, 1);
+            cf.reduce_to_fixpoint(&bddcf::core::Alg33Options::default(), 3);
+        });
+        for word in 0..1u64 << n {
+            let input: Vec<bool> = (0..n).map(|i| word >> i & 1 == 1).collect();
+            if let Response::Value(expect) = benchmark.respond(&input) {
+                assert_eq!(
+                    multi.eval(&input),
+                    expect,
+                    "{} input {word:#x}",
+                    benchmark.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn reductions_only_narrow_the_specification() {
     // On every input (care or don't care), the completed function after
     // reductions must satisfy what the ISF originally allowed.

@@ -1,0 +1,175 @@
+//! Offline stand-in for the slice of the `criterion` crate this workspace
+//! uses: `Criterion`, `benchmark_group` / `bench_function`, `Bencher::iter`
+//! / `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this mini-harness instead. It runs every registered routine a
+//! small fixed number of times and reports the mean wall-clock time — no
+//! warm-up, outlier analysis, or statistics. Numbers from this harness are
+//! smoke-level only; real measurement requires the upstream crate.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between measurements. Accepted for API
+/// compatibility; this harness treats every variant the same.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One input per measurement; setup cost excluded from timing.
+    SmallInput,
+    /// Same behaviour here as [`BatchSize::SmallInput`].
+    LargeInput,
+    /// Same behaviour here as [`BatchSize::SmallInput`].
+    PerIteration,
+}
+
+/// Timing handle passed to each benchmark routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over this bencher's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the reported duration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// A named set of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration budget (the real crate's sample
+    /// count; here, used directly as the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs `f` with a timing handle and prints the mean time per
+    /// iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let iterations = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size) as u64;
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean = bencher.elapsed.as_secs_f64() / iterations.max(1) as f64 * 1e6;
+        println!("{}/{id}: {mean:.1} us/iter ({iterations} iters)", self.name);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark registry and runner, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 25,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Registers a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function from a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups (benches use
+/// `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routines(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("iter", |b| b.iter(|| 1u64 + 1));
+        group.bench_function(format!("batched_{}", 2), |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, routines);
+
+    #[test]
+    fn harness_runs_registered_benchmarks() {
+        benches();
+    }
+}

@@ -1,0 +1,293 @@
+//! Offline stand-in for the slice of the `proptest` crate this workspace
+//! uses: the `proptest!` macro, `Strategy` with `prop_map` /
+//! `prop_recursive`, `prop_oneof!`, `any::<T>()`, integer-range and tuple
+//! strategies, `prop::collection::vec`, and the `prop_assert*` macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this mini-harness instead. Semantics: each `#[test]` runs
+//! `ProptestConfig::cases` random cases from a deterministic per-test seed
+//! and panics with the `Debug` rendering of the failing inputs. There is no
+//! shrinking and no failure persistence — regressions should be promoted to
+//! explicit unit tests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator threaded through strategies.
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded from the test name, so every test gets a stable
+    /// but distinct stream.
+    pub fn for_test(name: &str) -> TestRng {
+        use rand::SeedableRng;
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw below `bound` (which must be nonzero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        use rand::Rng;
+        self.inner.gen_range(0..bound)
+    }
+}
+
+/// Error carried out of a failing property body (`prop_assert*`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+/// `Result` alias used by generated property bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives one property: draws `config.cases` inputs and runs `body` on
+/// each, panicking with the offending input on the first failure. Called by
+/// the generated code of [`proptest!`]; not part of the public proptest
+/// API surface.
+pub fn run_property<V: Debug, S: Strategy<Value = V>>(
+    test_name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    mut body: impl FnMut(V) -> TestCaseResult,
+) {
+    let mut rng = TestRng::for_test(test_name);
+    for case in 0..config.cases.max(1) {
+        let value = strategy.new_value(&mut rng);
+        let rendered = format!("{value:?}");
+        if let Err(TestCaseError(message)) = body(value) {
+            panic!(
+                "proptest case {case} of {test_name} failed: {message}\n\
+                 input: {rendered}"
+            );
+        }
+    }
+}
+
+/// Namespace mirror of the real crate's `prop` module.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::collection::{vec, SizeRange, VecStrategy};
+    }
+}
+
+/// Everything a property test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+    };
+}
+
+/// Declares property tests. Supports the subset of the real macro's
+/// grammar used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn name(x in strategy, y in strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategy = ($($strat,)+);
+            $crate::run_property(
+                stringify!($name),
+                &config,
+                &strategy,
+                |($($pat,)+)| -> $crate::TestCaseResult {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args…)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` / `prop_assert_eq!(a, b, "fmt", args…)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "{} ({:?} != {:?})",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` / `prop_assert_ne!(a, b, "fmt", args…)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Uniform choice between several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Shared handle used by boxed/recursive strategies.
+pub(crate) type DynStrategy<T> = Arc<dyn Fn(&mut TestRng) -> T>;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u8..9, b in 0u64..5, c in 1usize..2) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b < 5, "b = {}", b);
+            prop_assert_eq!(c, 1);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in prop::collection::vec(0u8..3, 7), w in prop::collection::vec(0u64..10, 1..5)) {
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|&d| d < 3));
+            prop_assert!((1..5).contains(&w.len()));
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(pair in (0u32..4, 0u32..4).prop_map(|(x, y)| x * 10 + y)) {
+            prop_assert!(pair % 10 < 4 && pair / 10 < 4);
+        }
+
+        #[test]
+        fn oneof_picks_all_arms(x in prop_oneof![Just(1u32), Just(2u32), 5u32..8]) {
+            prop_assert!(x == 1 || x == 2 || (5..8).contains(&x));
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        Leaf(#[allow(dead_code)] u32),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_strategies_terminate(t in (0u32..10).prop_map(Tree::Leaf).prop_recursive(4, 32, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        })) {
+            prop_assert!(depth(&t) <= 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_input() {
+        crate::run_property(
+            "always_fails",
+            &ProptestConfig::with_cases(3),
+            &(0u32..10),
+            |_| Err(crate::TestCaseError("nope".into())),
+        );
+    }
+}
