@@ -1,0 +1,212 @@
+//! Resource governance for BDD operations: node quotas, step and time
+//! budgets, and cooperative cancellation.
+//!
+//! A [`Budget`] is installed on a [`BddManager`](crate::BddManager) with
+//! [`set_budget`](crate::BddManager::set_budget). While a budget is active,
+//! the fallible operation variants (`try_ite`, `try_apply`, `try_and_many`,
+//! `try_exists`, …) return an [`Error`] instead of growing the arena
+//! unboundedly. The infallible variants (`ite`, `and`, …) are thin wrappers
+//! that temporarily suspend the budget and therefore keep their historical
+//! never-fails behavior.
+//!
+//! Budgets are *cooperative*: they are checked at operation-recursion
+//! boundaries, so an exhausted budget surfaces within a bounded number of
+//! node allocations, not instantaneously. A budget never corrupts the
+//! manager: when a `try_*` operation fails, every node built so far is a
+//! well-formed (if unreferenced) ROBDD node, reclaimable by
+//! [`gc`](crate::BddManager::gc).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a budgeted (`try_*`) BDD operation gave up.
+///
+/// The manager is always left structurally sound when one of these is
+/// returned; see the [module docs](self).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// The arena reached the configured node quota and the operation needed
+    /// a node that is not already in the unique table.
+    NodeLimit {
+        /// The configured quota (total arena slots, terminals included).
+        limit: usize,
+    },
+    /// The operation-step budget ran out.
+    StepLimit {
+        /// The configured number of charged operation steps.
+        limit: u64,
+    },
+    /// The wall-clock deadline passed.
+    TimeBudget,
+    /// The [`CancelToken`] was fired (or the deterministic
+    /// [`cancel_at_step`](Budget::with_cancel_at_step) hook tripped).
+    Cancelled,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Error::NodeLimit { limit } => write!(f, "node quota exhausted (limit {limit})"),
+            Error::StepLimit { limit } => write!(f, "step budget exhausted (limit {limit})"),
+            Error::TimeBudget => write!(f, "time budget exhausted"),
+            Error::Cancelled => write!(f, "operation cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A cloneable, thread-safe cancellation flag.
+///
+/// Clones share one flag: firing any clone cancels every operation that
+/// observes the token. Checking is a relaxed atomic load, cheap enough for
+/// the operation hot path.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token. Idempotent; cannot be unfired.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the token been fired?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Resource limits for budgeted BDD operations.
+///
+/// The default budget is unlimited; builder methods add individual limits:
+///
+/// ```
+/// use bddcf_bdd::{BddManager, Budget, Var};
+/// use std::time::Duration;
+///
+/// let mut mgr = BddManager::new(8);
+/// mgr.set_budget(
+///     Budget::default()
+///         .with_node_limit(10_000)
+///         .with_time_budget(Duration::from_secs(5)),
+/// );
+/// let a = mgr.var(Var(0)); // infallible ops still never fail
+/// let b = mgr.var(Var(1));
+/// let ab = mgr.try_and(a, b).expect("tiny BDD fits any quota");
+/// # let _ = ab;
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Maximum arena size (total node slots, terminals included) that
+    /// budgeted operations may grow the manager to.
+    pub node_limit: Option<usize>,
+    /// Maximum number of charged operation steps (recursive op calls) since
+    /// the budget was installed.
+    pub step_limit: Option<u64>,
+    /// Wall-clock allowance; converted to a deadline when the budget is
+    /// installed on a manager.
+    pub time_budget: Option<Duration>,
+    /// Deadline in absolute time. Set automatically from `time_budget` by
+    /// [`set_budget`](crate::BddManager::set_budget); may also be supplied
+    /// directly.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag, checked periodically.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault-injection hook: behave as if the cancel token
+    /// fired once the manager's step counter reaches this value. Used by the
+    /// seeded fault-injection harness; reproducible, unlike wall-clock or
+    /// thread-based cancellation.
+    pub cancel_at_step: Option<u64>,
+}
+
+impl Budget {
+    /// An explicitly unlimited budget (same as `Budget::default()`).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps the arena at `limit` total node slots.
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Caps charged operation steps at `limit`.
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = Some(limit);
+        self
+    }
+
+    /// Grants `allowance` of wall-clock time, starting when the budget is
+    /// installed on a manager.
+    pub fn with_time_budget(mut self, allowance: Duration) -> Self {
+        self.time_budget = Some(allowance);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Arms the deterministic cancellation hook at the given step count.
+    pub fn with_cancel_at_step(mut self, step: u64) -> Self {
+        self.cancel_at_step = Some(step);
+        self
+    }
+
+    /// Does this budget impose no limit at all?
+    pub fn is_unlimited(&self) -> bool {
+        self.node_limit.is_none()
+            && self.step_limit.is_none()
+            && self.time_budget.is_none()
+            && self.deadline.is_none()
+            && self.cancel.is_none()
+            && self.cancel_at_step.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn builder_composes_limits() {
+        let b = Budget::unlimited()
+            .with_node_limit(100)
+            .with_step_limit(7)
+            .with_time_budget(Duration::from_millis(1));
+        assert_eq!(b.node_limit, Some(100));
+        assert_eq!(b.step_limit, Some(7));
+        assert!(!b.is_unlimited());
+        assert!(Budget::default().is_unlimited());
+    }
+
+    #[test]
+    fn error_messages_name_the_limit() {
+        assert_eq!(
+            Error::NodeLimit { limit: 42 }.to_string(),
+            "node quota exhausted (limit 42)"
+        );
+        assert_eq!(Error::Cancelled.to_string(), "operation cancelled");
+    }
+}

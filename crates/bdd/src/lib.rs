@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod bv;
 pub mod dot;
 pub mod exact;
@@ -55,7 +56,8 @@ pub mod mtbdd;
 pub mod reorder;
 pub mod width;
 
+pub use budget::{Budget, CancelToken, Error};
 pub use exact::ExactWidth;
-pub use manager::{BddManager, IntegrityViolation, NodeId, Var, FALSE, TRUE};
+pub use manager::{BddManager, BinOp, IntegrityViolation, NodeId, OrderError, Var, FALSE, TRUE};
 pub use reorder::{ReorderCost, SiftConstraints};
 pub use width::WidthProfile;

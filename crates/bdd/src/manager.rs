@@ -20,6 +20,7 @@
 //!   caches are invalidated on garbage collection and on level swaps — after
 //!   a swap a cached result may no longer be in canonical variable order.
 
+use crate::budget::{Budget, Error};
 use crate::hasher::FastMap;
 use std::fmt;
 
@@ -93,6 +94,8 @@ pub struct BddManager {
     compose_cache: FastMap<(NodeId, u32, NodeId), NodeId>,
     var_at_level: Vec<Var>,
     level_of_var: Vec<u32>,
+    budget: Budget,
+    steps: u64,
 }
 
 impl fmt::Debug for BddManager {
@@ -117,6 +120,8 @@ impl BddManager {
             compose_cache: FastMap::default(),
             var_at_level: (0..num_vars as u32).map(Var).collect(),
             level_of_var: (0..num_vars as u32).collect(),
+            budget: Budget::default(),
+            steps: 0,
         };
         mgr.nodes.push(Node {
             var: TERMINAL_VAR,
@@ -182,26 +187,49 @@ impl BddManager {
     ///
     /// Panics if `order` is not a permutation of this manager's variables,
     /// or if any non-terminal node exists (rebuilding is the job of the
-    /// reordering module).
+    /// reordering module). [`try_set_order`](Self::try_set_order) is the
+    /// non-panicking variant.
     pub fn set_order(&mut self, order: &[Var]) {
-        assert_eq!(
-            order.len(),
-            self.num_vars(),
-            "order must cover all variables"
-        );
-        assert!(
-            self.nodes.len() == 2,
-            "set_order may only be used on an empty manager; use reordering otherwise"
-        );
+        match self.try_set_order(order) {
+            Ok(()) => {}
+            Err(OrderError::WrongLength { .. }) => panic!("order must cover all variables"),
+            Err(OrderError::DuplicateVar { var }) => {
+                panic!("duplicate variable {var:?} in order")
+            }
+            Err(OrderError::NonEmptyManager { .. }) => {
+                panic!("set_order may only be used on an empty manager; use reordering otherwise")
+            }
+        }
+    }
+
+    /// Fallible variant of [`set_order`](Self::set_order): validates the
+    /// permutation and refuses to run on a non-empty manager (existing nodes
+    /// would silently violate the level invariant — rebuilding under a new
+    /// order is the job of the [`reorder`](crate::reorder) module). On
+    /// `Err` the manager is unchanged.
+    pub fn try_set_order(&mut self, order: &[Var]) -> Result<(), OrderError> {
+        if order.len() != self.num_vars() {
+            return Err(OrderError::WrongLength {
+                expected: self.num_vars(),
+                got: order.len(),
+            });
+        }
+        if self.nodes.len() != 2 {
+            return Err(OrderError::NonEmptyManager {
+                interior_nodes: self.nodes.len() - 2,
+            });
+        }
         let mut seen = vec![false; self.num_vars()];
+        for &v in order {
+            if (v.0 as usize) >= seen.len() || std::mem::replace(&mut seen[v.0 as usize], true) {
+                return Err(OrderError::DuplicateVar { var: v });
+            }
+        }
         for (lvl, &v) in order.iter().enumerate() {
-            assert!(
-                !std::mem::replace(&mut seen[v.0 as usize], true),
-                "duplicate variable {v:?} in order"
-            );
             self.level_of_var[v.0 as usize] = lvl as u32;
         }
         self.var_at_level.copy_from_slice(order);
+        Ok(())
     }
 
     /// Crate-internal raw order update used by level swapping: assigns
@@ -211,6 +239,111 @@ impl BddManager {
         self.level_of_var[b.0 as usize] = level_b;
         self.var_at_level[level_a as usize] = a;
         self.var_at_level[level_b as usize] = b;
+    }
+
+    // ---------------------------------------------------------------------
+    // Resource governance
+    // ---------------------------------------------------------------------
+
+    /// Installs a resource [`Budget`] and resets the step counter.
+    ///
+    /// The budget only constrains the fallible `try_*` operations; the
+    /// infallible operations suspend it for their duration and keep their
+    /// historical never-fails behavior. A `time_budget` allowance is
+    /// converted to an absolute deadline at install time.
+    pub fn set_budget(&mut self, mut budget: Budget) {
+        if budget.deadline.is_none() {
+            if let Some(allowance) = budget.time_budget {
+                budget.deadline = Some(std::time::Instant::now() + allowance);
+            }
+        }
+        self.budget = budget;
+        self.steps = 0;
+    }
+
+    /// The currently installed budget (unlimited by default).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Removes and returns the installed budget, leaving the manager
+    /// unlimited. The step counter keeps running.
+    pub fn take_budget(&mut self) -> Budget {
+        std::mem::take(&mut self.budget)
+    }
+
+    /// Restores a budget previously removed with
+    /// [`take_budget`](Self::take_budget), preserving the step counter and
+    /// any already-derived deadline. Higher layers use this pair to suspend
+    /// governance around an operation (e.g. to run an oracle or implement an
+    /// infallible wrapper) without perturbing step accounting; use
+    /// [`set_budget`](Self::set_budget) to install a *fresh* budget instead.
+    pub fn resume_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Operation steps charged since the budget was last installed (or since
+    /// construction). One step is one cache-missing recursive call of a
+    /// budgeted operation — a deterministic, machine-independent measure of
+    /// work used by the fault-injection harness to place reproducible
+    /// faults.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Charges one operation step against the budget. Called on every
+    /// recursion of the `try_*` operations (after their terminal
+    /// short-cuts). Cheap checks (step limit, deterministic cancel hook) run
+    /// every step; the wall clock and the cancellation flag are polled every
+    /// 1024 steps to keep the hot path tight.
+    #[inline]
+    fn charge(&mut self) -> Result<(), Error> {
+        self.steps += 1;
+        if let Some(limit) = self.budget.step_limit {
+            if self.steps > limit {
+                return Err(Error::StepLimit { limit });
+            }
+        }
+        if let Some(at) = self.budget.cancel_at_step {
+            if self.steps >= at {
+                if let Some(token) = &self.budget.cancel {
+                    token.cancel();
+                }
+                return Err(Error::Cancelled);
+            }
+        }
+        if self.steps & 0x3FF == 0 {
+            self.poll_interrupts()?;
+        }
+        Ok(())
+    }
+
+    /// The slow-path half of [`charge`](Self::charge): cancellation flag and
+    /// wall-clock deadline.
+    #[cold]
+    fn poll_interrupts(&self) -> Result<(), Error> {
+        if let Some(token) = &self.budget.cancel {
+            if token.is_cancelled() {
+                return Err(Error::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Err(Error::TimeBudget);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `op` with the budget suspended. This is how the infallible
+    /// operations delegate to their `try_*` twins without ever observing a
+    /// budget error.
+    #[inline]
+    fn unbudgeted<T>(&mut self, op: impl FnOnce(&mut Self) -> Result<T, Error>) -> T {
+        let saved = std::mem::take(&mut self.budget);
+        let result = op(self);
+        self.budget = saved;
+        result.expect("invariant: unbudgeted BDD operations cannot fail")
     }
 
     // ---------------------------------------------------------------------
@@ -300,8 +433,15 @@ impl BddManager {
     /// Applies the ROBDD reduction rules. `var` must lie strictly above both
     /// children in the current order (checked in debug builds).
     pub fn mk(&mut self, var: Var, lo: NodeId, hi: NodeId) -> NodeId {
+        self.unbudgeted(|m| m.try_mk(var, lo, hi))
+    }
+
+    /// Budgeted variant of [`mk`](Self::mk): fails with
+    /// [`Error::NodeLimit`] if a genuinely new node would push the arena
+    /// past the quota. Reduction-rule and unique-table hits never fail.
+    pub fn try_mk(&mut self, var: Var, lo: NodeId, hi: NodeId) -> Result<NodeId, Error> {
         if lo == hi {
-            return lo;
+            return Ok(lo);
         }
         debug_assert!(
             self.level_of(var) < self.level_of_node(lo)
@@ -313,13 +453,18 @@ impl BddManager {
         );
         let key = (var.0, lo, hi);
         if let Some(&id) = self.unique.get(&key) {
-            return id;
+            return Ok(id);
+        }
+        if let Some(limit) = self.budget.node_limit {
+            if self.nodes.len() >= limit {
+                return Err(Error::NodeLimit { limit });
+            }
         }
         let id = NodeId(self.nodes.len() as u32);
         assert!(self.nodes.len() < u32::MAX as usize, "node arena overflow");
         self.nodes.push(Node { var: var.0, lo, hi });
         self.unique.insert(key, id);
-        id
+        Ok(id)
     }
 
     /// The function `var` (a positive literal).
@@ -341,12 +486,26 @@ impl BddManager {
         }
     }
 
+    /// Budgeted variant of [`literal`](Self::literal).
+    pub fn try_literal(&mut self, var: Var, positive: bool) -> Result<NodeId, Error> {
+        if positive {
+            self.try_mk(var, FALSE, TRUE)
+        } else {
+            self.try_mk(var, TRUE, FALSE)
+        }
+    }
+
     /// Conjunction of literals. An empty slice yields `TRUE`.
     ///
     /// Literals may be given in any order; duplicates are allowed but a
     /// variable must not appear with both polarities (that would be the
     /// constant false, which is returned in that case).
     pub fn cube(&mut self, literals: &[(Var, bool)]) -> NodeId {
+        self.unbudgeted(|m| m.try_cube(literals))
+    }
+
+    /// Budgeted variant of [`cube`](Self::cube).
+    pub fn try_cube(&mut self, literals: &[(Var, bool)]) -> Result<NodeId, Error> {
         let mut lits: Vec<(u32, Var, bool)> = literals
             .iter()
             .map(|&(v, pos)| (self.level_of(v), v, pos))
@@ -356,18 +515,18 @@ impl BddManager {
         // Detect contradictory literals (same var, both polarities).
         for pair in lits.windows(2) {
             if pair[0].1 == pair[1].1 {
-                return FALSE;
+                return Ok(FALSE);
             }
         }
         let mut acc = TRUE;
         for &(_, v, pos) in lits.iter().rev() {
             acc = if pos {
-                self.mk(v, FALSE, acc)
+                self.try_mk(v, FALSE, acc)?
             } else {
-                self.mk(v, acc, FALSE)
+                self.try_mk(v, acc, FALSE)?
             };
         }
-        acc
+        Ok(acc)
     }
 
     /// Builds the disjunction of a set of *minterms* over the given
@@ -382,8 +541,14 @@ impl BddManager {
     /// more than 64 variables, or if a minterm sets bits outside
     /// `vars.len()`.
     pub fn from_minterms(&mut self, vars: &[Var], minterms: &[u64]) -> NodeId {
+        self.unbudgeted(|m| m.try_from_minterms(vars, minterms))
+    }
+
+    /// Budgeted variant of [`from_minterms`](Self::from_minterms); the
+    /// documented panics on malformed input apply unchanged.
+    pub fn try_from_minterms(&mut self, vars: &[Var], minterms: &[u64]) -> Result<NodeId, Error> {
         if minterms.is_empty() {
-            return FALSE;
+            return Ok(FALSE);
         }
         assert!(!vars.is_empty(), "minterms over an empty variable set");
         assert!(
@@ -426,18 +591,24 @@ impl BddManager {
         self.build_sorted_minterms(&sorted_vars, &remapped, 0)
     }
 
-    fn build_sorted_minterms(&mut self, vars: &[Var], minterms: &[u64], depth: usize) -> NodeId {
+    fn build_sorted_minterms(
+        &mut self,
+        vars: &[Var],
+        minterms: &[u64],
+        depth: usize,
+    ) -> Result<NodeId, Error> {
         if minterms.is_empty() {
-            return FALSE;
+            return Ok(FALSE);
         }
         if depth == vars.len() {
-            return TRUE;
+            return Ok(TRUE);
         }
+        self.charge()?;
         let bit = vars.len() - 1 - depth;
         let split = minterms.partition_point(|&m| m >> bit & 1 == 0);
-        let lo = self.build_sorted_minterms(vars, &minterms[..split], depth + 1);
-        let hi = self.build_sorted_minterms(vars, &minterms[split..], depth + 1);
-        self.mk(vars[depth], lo, hi)
+        let lo = self.build_sorted_minterms(vars, &minterms[..split], depth + 1)?;
+        let hi = self.build_sorted_minterms(vars, &minterms[split..], depth + 1)?;
+        self.try_mk(vars[depth], lo, hi)
     }
 
     // ---------------------------------------------------------------------
@@ -447,23 +618,30 @@ impl BddManager {
     /// If-then-else: `f·g ∨ ¬f·h`. The workhorse all binary operations are
     /// built on.
     pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        self.unbudgeted(|m| m.try_ite(f, g, h))
+    }
+
+    /// Budgeted variant of [`ite`](Self::ite): charges one step per
+    /// cache-missing recursion and respects the node quota.
+    pub fn try_ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> Result<NodeId, Error> {
         // Terminal short-cuts.
         if f == TRUE {
-            return g;
+            return Ok(g);
         }
         if f == FALSE {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g == TRUE && h == FALSE {
-            return f;
+            return Ok(f);
         }
         let key = (f, g, h);
         if let Some(&r) = self.ite_cache.get(&key) {
-            return r;
+            return Ok(r);
         }
+        self.charge()?;
         let top = self
             .level_of_node(f)
             .min(self.level_of_node(g))
@@ -472,11 +650,11 @@ impl BddManager {
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let (h0, h1) = self.cofactors_at(h, top);
-        let lo = self.ite(f0, g0, h0);
-        let hi = self.ite(f1, g1, h1);
-        let r = self.mk(var, lo, hi);
+        let lo = self.try_ite(f0, g0, h0)?;
+        let hi = self.try_ite(f1, g1, h1)?;
+        let r = self.try_mk(var, lo, hi)?;
         self.ite_cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     #[inline]
@@ -494,9 +672,19 @@ impl BddManager {
         self.ite(f, FALSE, TRUE)
     }
 
+    /// Budgeted variant of [`not`](Self::not).
+    pub fn try_not(&mut self, f: NodeId) -> Result<NodeId, Error> {
+        self.try_ite(f, FALSE, TRUE)
+    }
+
     /// Logical conjunction.
     pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
         self.ite(f, g, FALSE)
+    }
+
+    /// Budgeted variant of [`and`](Self::and).
+    pub fn try_and(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, Error> {
+        self.try_ite(f, g, FALSE)
     }
 
     /// Logical disjunction.
@@ -504,16 +692,31 @@ impl BddManager {
         self.ite(f, TRUE, g)
     }
 
+    /// Budgeted variant of [`or`](Self::or).
+    pub fn try_or(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, Error> {
+        self.try_ite(f, TRUE, g)
+    }
+
     /// Exclusive or.
     pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+        self.unbudgeted(|m| m.try_xor(f, g))
+    }
+
+    /// Budgeted variant of [`xor`](Self::xor).
+    pub fn try_xor(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, Error> {
+        let ng = self.try_not(g)?;
+        self.try_ite(f, ng, g)
     }
 
     /// Equivalence (`f ≡ g`, i.e. XNOR).
     pub fn iff(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        let ng = self.not(g);
-        self.ite(f, g, ng)
+        self.unbudgeted(|m| m.try_iff(f, g))
+    }
+
+    /// Budgeted variant of [`iff`](Self::iff).
+    pub fn try_iff(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, Error> {
+        let ng = self.try_not(g)?;
+        self.try_ite(f, g, ng)
     }
 
     /// Implication `f → g`.
@@ -521,28 +724,61 @@ impl BddManager {
         self.ite(f, g, TRUE)
     }
 
+    /// Budgeted variant of [`implies`](Self::implies).
+    pub fn try_implies(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, Error> {
+        self.try_ite(f, g, TRUE)
+    }
+
+    /// Applies a binary Boolean connective. Equivalent to the dedicated
+    /// methods ([`and`](Self::and), [`or`](Self::or), …); useful when the
+    /// connective is data.
+    pub fn apply(&mut self, op: BinOp, f: NodeId, g: NodeId) -> NodeId {
+        self.unbudgeted(|m| m.try_apply(op, f, g))
+    }
+
+    /// Budgeted variant of [`apply`](Self::apply).
+    pub fn try_apply(&mut self, op: BinOp, f: NodeId, g: NodeId) -> Result<NodeId, Error> {
+        match op {
+            BinOp::And => self.try_and(f, g),
+            BinOp::Or => self.try_or(f, g),
+            BinOp::Xor => self.try_xor(f, g),
+            BinOp::Iff => self.try_iff(f, g),
+            BinOp::Implies => self.try_implies(f, g),
+        }
+    }
+
     /// Conjunction of many operands (TRUE for an empty slice).
     pub fn and_many(&mut self, fs: &[NodeId]) -> NodeId {
+        self.unbudgeted(|m| m.try_and_many(fs))
+    }
+
+    /// Budgeted variant of [`and_many`](Self::and_many).
+    pub fn try_and_many(&mut self, fs: &[NodeId]) -> Result<NodeId, Error> {
         let mut acc = TRUE;
         for &f in fs {
-            acc = self.and(acc, f);
+            acc = self.try_and(acc, f)?;
             if acc == FALSE {
                 break;
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// Disjunction of many operands (FALSE for an empty slice).
     pub fn or_many(&mut self, fs: &[NodeId]) -> NodeId {
+        self.unbudgeted(|m| m.try_or_many(fs))
+    }
+
+    /// Budgeted variant of [`or_many`](Self::or_many).
+    pub fn try_or_many(&mut self, fs: &[NodeId]) -> Result<NodeId, Error> {
         let mut acc = FALSE;
         for &f in fs {
-            acc = self.or(acc, f);
+            acc = self.try_or(acc, f)?;
             if acc == TRUE {
                 break;
             }
         }
-        acc
+        Ok(acc)
     }
 
     // ---------------------------------------------------------------------
@@ -551,7 +787,12 @@ impl BddManager {
 
     /// The cofactor `f|var=value`.
     pub fn restrict(&mut self, f: NodeId, var: Var, value: bool) -> NodeId {
-        let lit = self.literal(var, value);
+        self.unbudgeted(|m| m.try_restrict(f, var, value))
+    }
+
+    /// Budgeted variant of [`restrict`](Self::restrict).
+    pub fn try_restrict(&mut self, f: NodeId, var: Var, value: bool) -> Result<NodeId, Error> {
+        let lit = self.try_literal(var, value)?;
         self.restrict_rec(f, var, value, self.level_of(var), lit)
     }
 
@@ -562,111 +803,149 @@ impl BddManager {
         value: bool,
         var_level: u32,
         lit: NodeId,
-    ) -> NodeId {
+    ) -> Result<NodeId, Error> {
         let level = self.level_of_node(f);
         if level > var_level {
-            return f;
+            return Ok(f);
         }
         if level == var_level {
             let n = self.nodes[f.0 as usize];
-            return if value { n.hi } else { n.lo };
+            return Ok(if value { n.hi } else { n.lo });
         }
         // Reuse the compose cache: restrict(f, v, c) = compose(f, v, const c).
         let key = (f, var.0, lit);
         if let Some(&r) = self.compose_cache.get(&key) {
-            return r;
+            return Ok(r);
         }
+        self.charge()?;
         let n = self.nodes[f.0 as usize];
-        let lo = self.restrict_rec(n.lo, var, value, var_level, lit);
-        let hi = self.restrict_rec(n.hi, var, value, var_level, lit);
-        let r = self.mk(Var(n.var), lo, hi);
+        let lo = self.restrict_rec(n.lo, var, value, var_level, lit)?;
+        let hi = self.restrict_rec(n.hi, var, value, var_level, lit)?;
+        let r = self.try_mk(Var(n.var), lo, hi)?;
         self.compose_cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// Simultaneous cofactor by a (partial) assignment given as literals.
     pub fn restrict_cube(&mut self, f: NodeId, assignment: &[(Var, bool)]) -> NodeId {
+        self.unbudgeted(|m| m.try_restrict_cube(f, assignment))
+    }
+
+    /// Budgeted variant of [`restrict_cube`](Self::restrict_cube).
+    pub fn try_restrict_cube(
+        &mut self,
+        f: NodeId,
+        assignment: &[(Var, bool)],
+    ) -> Result<NodeId, Error> {
         let mut acc = f;
         for &(v, val) in assignment {
-            acc = self.restrict(acc, v, val);
+            acc = self.try_restrict(acc, v, val)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// Functional composition `f[var := g]`.
     pub fn compose(&mut self, f: NodeId, var: Var, g: NodeId) -> NodeId {
+        self.unbudgeted(|m| m.try_compose(f, var, g))
+    }
+
+    /// Budgeted variant of [`compose`](Self::compose).
+    pub fn try_compose(&mut self, f: NodeId, var: Var, g: NodeId) -> Result<NodeId, Error> {
         let var_level = self.level_of(var);
         self.compose_rec(f, var, var_level, g)
     }
 
-    fn compose_rec(&mut self, f: NodeId, var: Var, var_level: u32, g: NodeId) -> NodeId {
+    fn compose_rec(
+        &mut self,
+        f: NodeId,
+        var: Var,
+        var_level: u32,
+        g: NodeId,
+    ) -> Result<NodeId, Error> {
         let level = self.level_of_node(f);
         if level > var_level {
-            return f; // f cannot depend on var
+            return Ok(f); // f cannot depend on var
         }
         if level == var_level {
             let n = self.nodes[f.0 as usize];
-            return self.ite(g, n.hi, n.lo);
+            return self.try_ite(g, n.hi, n.lo);
         }
         let key = (f, var.0, g);
         if let Some(&r) = self.compose_cache.get(&key) {
-            return r;
+            return Ok(r);
         }
+        self.charge()?;
         let n = self.nodes[f.0 as usize];
-        let lo = self.compose_rec(n.lo, var, var_level, g);
-        let hi = self.compose_rec(n.hi, var, var_level, g);
+        let lo = self.compose_rec(n.lo, var, var_level, g)?;
+        let hi = self.compose_rec(n.hi, var, var_level, g)?;
         // lo/hi may now depend on variables above n.var, so rebuild with ite.
-        let v = self.var(Var(n.var));
-        let r = self.ite(v, hi, lo);
+        let v = self.try_mk(Var(n.var), FALSE, TRUE)?;
+        let r = self.try_ite(v, hi, lo)?;
         self.compose_cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// Existential quantification `∃ vars. f`.
     pub fn exists(&mut self, f: NodeId, vars: &[Var]) -> NodeId {
+        self.unbudgeted(|m| m.try_exists(f, vars))
+    }
+
+    /// Budgeted variant of [`exists`](Self::exists).
+    pub fn try_exists(&mut self, f: NodeId, vars: &[Var]) -> Result<NodeId, Error> {
         let lits: Vec<(Var, bool)> = vars.iter().map(|&v| (v, true)).collect();
-        let cube = self.cube(&lits);
-        self.exists_cube(f, cube)
+        let cube = self.try_cube(&lits)?;
+        self.try_exists_cube(f, cube)
     }
 
     /// Existential quantification where the variable set is given as a
     /// positive cube (conjunction of the variables to eliminate).
     pub fn exists_cube(&mut self, f: NodeId, cube: NodeId) -> NodeId {
+        self.unbudgeted(|m| m.try_exists_cube(f, cube))
+    }
+
+    /// Budgeted variant of [`exists_cube`](Self::exists_cube).
+    pub fn try_exists_cube(&mut self, f: NodeId, cube: NodeId) -> Result<NodeId, Error> {
         if self.is_const(f) || cube == TRUE {
-            return f;
+            return Ok(f);
         }
         debug_assert!(cube != FALSE, "quantification cube must be a positive cube");
         let key = (f, cube);
         if let Some(&r) = self.exists_cache.get(&key) {
-            return r;
+            return Ok(r);
         }
+        self.charge()?;
         let fl = self.level_of_node(f);
         let cl = self.level_of_node(cube);
         let r = if cl < fl {
             // Quantified variable above f's top variable: f is independent.
             let next = self.hi(cube);
-            self.exists_cube(f, next)
+            self.try_exists_cube(f, next)?
         } else if cl == fl {
             let n = self.nodes[f.0 as usize];
             let next = self.hi(cube);
-            let lo = self.exists_cube(n.lo, next);
-            let hi = self.exists_cube(n.hi, next);
-            self.or(lo, hi)
+            let lo = self.try_exists_cube(n.lo, next)?;
+            let hi = self.try_exists_cube(n.hi, next)?;
+            self.try_or(lo, hi)?
         } else {
             let n = self.nodes[f.0 as usize];
-            let lo = self.exists_cube(n.lo, cube);
-            let hi = self.exists_cube(n.hi, cube);
-            self.mk(Var(n.var), lo, hi)
+            let lo = self.try_exists_cube(n.lo, cube)?;
+            let hi = self.try_exists_cube(n.hi, cube)?;
+            self.try_mk(Var(n.var), lo, hi)?
         };
         self.exists_cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// Universal quantification `∀ vars. f`.
     pub fn forall(&mut self, f: NodeId, vars: &[Var]) -> NodeId {
-        let nf = self.not(f);
-        let e = self.exists(nf, vars);
-        self.not(e)
+        self.unbudgeted(|m| m.try_forall(f, vars))
+    }
+
+    /// Budgeted variant of [`forall`](Self::forall).
+    pub fn try_forall(&mut self, f: NodeId, vars: &[Var]) -> Result<NodeId, Error> {
+        let nf = self.try_not(f)?;
+        let e = self.try_exists(nf, vars)?;
+        self.try_not(e)
     }
 
     /// Relational product `∃ cube. (f ∧ g)` without materializing the full
@@ -675,19 +954,25 @@ impl BddManager {
     ///
     /// `cube` must be a positive cube as in [`BddManager::exists_cube`].
     pub fn and_exists(&mut self, f: NodeId, g: NodeId, cube: NodeId) -> NodeId {
+        self.unbudgeted(|m| m.try_and_exists(f, g, cube))
+    }
+
+    /// Budgeted variant of [`and_exists`](Self::and_exists).
+    pub fn try_and_exists(&mut self, f: NodeId, g: NodeId, cube: NodeId) -> Result<NodeId, Error> {
         if f == FALSE || g == FALSE {
-            return FALSE;
+            return Ok(FALSE);
         }
         if f == TRUE && g == TRUE {
-            return TRUE;
+            return Ok(TRUE);
         }
         if cube == TRUE {
-            return self.and(f, g);
+            return self.try_and(f, g);
         }
         let key = (f.min(g), f.max(g), cube);
         if let Some(&r) = self.and_exists_cache.get(&key) {
-            return r;
+            return Ok(r);
         }
+        self.charge()?;
         let lf = self.level_of_node(f);
         let lg = self.level_of_node(g);
         let top = lf.min(lg);
@@ -697,28 +982,28 @@ impl BddManager {
             c = self.hi(c);
         }
         let r = if c == TRUE {
-            self.and(f, g)
+            self.try_and(f, g)?
         } else {
             let (f0, f1) = self.cofactors_at(f, top);
             let (g0, g1) = self.cofactors_at(g, top);
             if self.level_of_node(c) == top {
                 let next = self.hi(c);
-                let lo = self.and_exists(f0, g0, next);
+                let lo = self.try_and_exists(f0, g0, next)?;
                 if lo == TRUE {
                     TRUE
                 } else {
-                    let hi = self.and_exists(f1, g1, next);
-                    self.or(lo, hi)
+                    let hi = self.try_and_exists(f1, g1, next)?;
+                    self.try_or(lo, hi)?
                 }
             } else {
                 let var = self.var_at(top);
-                let lo = self.and_exists(f0, g0, c);
-                let hi = self.and_exists(f1, g1, c);
-                self.mk(var, lo, hi)
+                let lo = self.try_and_exists(f0, g0, c)?;
+                let hi = self.try_and_exists(f1, g1, c)?;
+                self.try_mk(var, lo, hi)?
             }
         };
         self.and_exists_cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// The Coudert–Madre *restrict* operator: returns a function that
@@ -730,8 +1015,13 @@ impl BddManager {
     /// Guarantees `restrict_care(f, care) ∧ care = f ∧ care`; outside the
     /// care set the result is arbitrary.
     pub fn restrict_care(&mut self, f: NodeId, care: NodeId) -> NodeId {
+        self.unbudgeted(|m| m.try_restrict_care(f, care))
+    }
+
+    /// Budgeted variant of [`restrict_care`](Self::restrict_care).
+    pub fn try_restrict_care(&mut self, f: NodeId, care: NodeId) -> Result<NodeId, Error> {
         if care == FALSE {
-            return FALSE; // everything is don't care
+            return Ok(FALSE); // everything is don't care
         }
         let mut memo: FastMap<(NodeId, NodeId), NodeId> = FastMap::default();
         self.restrict_care_rec(f, care, &mut memo)
@@ -742,14 +1032,15 @@ impl BddManager {
         f: NodeId,
         care: NodeId,
         memo: &mut FastMap<(NodeId, NodeId), NodeId>,
-    ) -> NodeId {
+    ) -> Result<NodeId, Error> {
         if care == TRUE || self.is_const(f) {
-            return f;
+            return Ok(f);
         }
         let key = (f, care);
         if let Some(&r) = memo.get(&key) {
-            return r;
+            return Ok(r);
         }
+        self.charge()?;
         let lf = self.level_of_node(f);
         let lc = self.level_of_node(care);
         let r = if lc < lf {
@@ -757,24 +1048,24 @@ impl BddManager {
             // widen the care set by quantifying it away.
             let c0 = self.lo(care);
             let c1 = self.hi(care);
-            let widened = self.or(c0, c1);
-            self.restrict_care_rec(f, widened, memo)
+            let widened = self.try_or(c0, c1)?;
+            self.restrict_care_rec(f, widened, memo)?
         } else {
             let (f0, f1) = self.cofactors_at(f, lf);
             let (c0, c1) = self.cofactors_at(care, lf);
             if c0 == FALSE {
-                self.restrict_care_rec(f1, c1, memo)
+                self.restrict_care_rec(f1, c1, memo)?
             } else if c1 == FALSE {
-                self.restrict_care_rec(f0, c0, memo)
+                self.restrict_care_rec(f0, c0, memo)?
             } else {
                 let var = self.var_at(lf);
-                let lo = self.restrict_care_rec(f0, c0, memo);
-                let hi = self.restrict_care_rec(f1, c1, memo);
-                self.mk(var, lo, hi)
+                let lo = self.restrict_care_rec(f0, c0, memo)?;
+                let hi = self.restrict_care_rec(f1, c1, memo)?;
+                self.try_mk(var, lo, hi)?
             }
         };
         memo.insert(key, r);
-        r
+        Ok(r)
     }
 
     // ---------------------------------------------------------------------
@@ -905,6 +1196,17 @@ impl BddManager {
         self.exists_cache = FastMap::default();
         self.and_exists_cache = FastMap::default();
         self.compose_cache = FastMap::default();
+    }
+
+    /// Total number of entries across all four operation caches. Mostly
+    /// useful to *prove* cache invalidation: after
+    /// [`clear_caches`](Self::clear_caches) or [`gc`](Self::gc) this is
+    /// zero, so no stale pre-compaction result can ever be served.
+    pub fn cache_entry_count(&self) -> usize {
+        self.ite_cache.len()
+            + self.exists_cache.len()
+            + self.and_exists_cache.len()
+            + self.compose_cache.len()
     }
 
     /// Mark-and-rebuild garbage collection.
@@ -1122,6 +1424,22 @@ impl BddManager {
                 let dangling = NodeId(self.nodes.len() as u32);
                 self.ite_cache.insert((FALSE, TRUE, FALSE), dangling);
             }
+            TestCorruption::DanglingExistsEntry => {
+                let dangling = NodeId(self.nodes.len() as u32);
+                self.exists_cache.insert((FALSE, TRUE), dangling);
+            }
+            TestCorruption::DanglingAndExistsEntry => {
+                let dangling = NodeId(self.nodes.len() as u32);
+                self.and_exists_cache.insert((FALSE, TRUE, TRUE), dangling);
+            }
+            TestCorruption::DanglingComposeEntry => {
+                let dangling = NodeId(self.nodes.len() as u32);
+                self.compose_cache.insert((FALSE, 0, TRUE), dangling);
+            }
+            TestCorruption::StaleUniqueEntry => {
+                let dangling = NodeId(self.nodes.len() as u32);
+                self.unique.insert((0, FALSE, TRUE), dangling);
+            }
             TestCorruption::PermutationClash => {
                 assert!(self.num_vars() >= 2, "corrupting needs two variables");
                 self.level_of_var[0] = self.level_of_var[1];
@@ -1129,6 +1447,65 @@ impl BddManager {
         }
     }
 }
+
+/// A binary Boolean connective, for [`BddManager::apply`] /
+/// [`BddManager::try_apply`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Exclusive or.
+    Xor,
+    /// Equivalence (XNOR).
+    Iff,
+    /// Implication.
+    Implies,
+}
+
+/// Why [`BddManager::try_set_order`] rejected an order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderError {
+    /// The order does not list exactly the manager's variables.
+    WrongLength {
+        /// Number of variables the manager has.
+        expected: usize,
+        /// Number of entries in the rejected order.
+        got: usize,
+    },
+    /// A variable appears twice (or is out of range).
+    DuplicateVar {
+        /// The offending variable.
+        var: Var,
+    },
+    /// The manager already holds interior nodes; installing a new order
+    /// would silently break their level invariant.
+    NonEmptyManager {
+        /// How many interior nodes exist.
+        interior_nodes: usize,
+    },
+}
+
+impl fmt::Display for OrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            OrderError::WrongLength { expected, got } => {
+                write!(f, "order lists {got} variables, manager has {expected}")
+            }
+            OrderError::DuplicateVar { var } => {
+                write!(f, "duplicate or out-of-range variable {var:?} in order")
+            }
+            OrderError::NonEmptyManager { interior_nodes } => write!(
+                f,
+                "cannot re-order a manager holding {interior_nodes} interior nodes; \
+                 use the reorder module"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OrderError {}
 
 /// Which invariant [`BddManager::corrupt_for_testing`] should break.
 #[doc(hidden)]
@@ -1138,8 +1515,17 @@ pub enum TestCorruption {
     RedundantNode,
     /// Drop the newest interior node's unique-table registration.
     UnregisterNode,
-    /// Insert an op-cache entry whose result id is out of the arena.
+    /// Insert an `ite`-cache entry whose result id is out of the arena.
     DanglingCacheEntry,
+    /// Insert an `exists`-cache entry whose result id is out of the arena.
+    DanglingExistsEntry,
+    /// Insert an `and_exists`-cache entry whose result id is out of the
+    /// arena.
+    DanglingAndExistsEntry,
+    /// Insert a `compose`-cache entry whose result id is out of the arena.
+    DanglingComposeEntry,
+    /// Insert a unique-table entry that maps to an out-of-arena node.
+    StaleUniqueEntry,
     /// Make two variables claim the same level.
     PermutationClash,
 }
@@ -1248,6 +1634,7 @@ impl fmt::Display for IntegrityViolation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::CancelToken;
 
     fn setup3() -> (BddManager, NodeId, NodeId, NodeId) {
         let mut mgr = BddManager::new(3);
@@ -1633,6 +2020,132 @@ mod tests {
     }
 
     #[test]
+    fn node_limit_fails_cleanly_and_preserves_integrity() {
+        let mut mgr = BddManager::new(8);
+        let vars: Vec<NodeId> = (0..8).map(|i| mgr.var(Var(i))).collect();
+        let quota = mgr.arena_len(); // no room for any new node
+        mgr.set_budget(Budget::default().with_node_limit(quota));
+        let mut acc = Ok(TRUE);
+        for &v in &vars {
+            acc = mgr.try_and(acc.unwrap_or(TRUE), v);
+            if acc.is_err() {
+                break;
+            }
+        }
+        assert_eq!(acc, Err(Error::NodeLimit { limit: quota }));
+        mgr.check_integrity()
+            .expect("budget failure leaves the manager sound");
+        // Infallible ops still succeed with the budget installed.
+        let all = mgr.and_many(&vars);
+        assert_ne!(all, FALSE);
+        // And after removing the budget the same try-op succeeds.
+        let _ = mgr.take_budget();
+        let all2 = mgr.try_and_many(&vars).expect("unlimited again");
+        assert_eq!(all, all2);
+    }
+
+    #[test]
+    fn step_limit_trips_and_counter_is_deterministic() {
+        let build = |limit: Option<u64>| {
+            let mut mgr = BddManager::new(12);
+            if let Some(l) = limit {
+                mgr.set_budget(Budget::default().with_step_limit(l));
+            }
+            let vars: Vec<NodeId> = (0..12).map(|i| mgr.var(Var(i))).collect();
+            let mut acc = TRUE;
+            for pair in vars.chunks(2) {
+                let x = match mgr.try_xor(pair[0], pair[1]) {
+                    Ok(x) => x,
+                    Err(e) => return (mgr.steps(), Err(e)),
+                };
+                acc = match mgr.try_and(acc, x) {
+                    Ok(a) => a,
+                    Err(e) => return (mgr.steps(), Err(e)),
+                };
+            }
+            (mgr.steps(), Ok(acc))
+        };
+        let (total, full) = build(None);
+        assert!(full.is_ok());
+        assert!(total > 4, "workload must charge steps");
+        let limit = total / 2;
+        let (_, limited) = build(Some(limit));
+        assert_eq!(limited, Err(Error::StepLimit { limit }));
+        // Determinism: the unlimited run charges the same count every time.
+        assert_eq!(build(None).0, total);
+    }
+
+    #[test]
+    fn cancel_at_step_mimics_token_cancellation() {
+        let token = CancelToken::new();
+        let mut mgr = BddManager::new(10);
+        mgr.set_budget(
+            Budget::default()
+                .with_cancel(token.clone())
+                .with_cancel_at_step(5),
+        );
+        let vars: Vec<NodeId> = (0..10).map(|i| mgr.var(Var(i))).collect();
+        let r = vars.iter().try_fold(TRUE, |acc, &v| mgr.try_and(acc, v));
+        assert_eq!(r, Err(Error::Cancelled));
+        assert!(token.is_cancelled(), "hook fires the shared token");
+        mgr.check_integrity()
+            .expect("cancellation leaves no damage");
+    }
+
+    #[test]
+    fn try_set_order_rejects_bad_orders_without_change() {
+        let mut mgr = BddManager::new(3);
+        assert_eq!(
+            mgr.try_set_order(&[Var(0), Var(1)]),
+            Err(OrderError::WrongLength {
+                expected: 3,
+                got: 2
+            })
+        );
+        assert_eq!(
+            mgr.try_set_order(&[Var(0), Var(1), Var(1)]),
+            Err(OrderError::DuplicateVar { var: Var(1) })
+        );
+        let _ = mgr.var(Var(0));
+        assert_eq!(
+            mgr.try_set_order(&[Var(2), Var(1), Var(0)]),
+            Err(OrderError::NonEmptyManager { interior_nodes: 1 })
+        );
+        // Original order untouched by the failed attempts.
+        assert_eq!(mgr.order(), &[Var(0), Var(1), Var(2)]);
+    }
+
+    #[test]
+    fn gc_empties_every_operation_cache() {
+        let (mut mgr, h) = busy_manager();
+        let _ = mgr.compose(h, Var(0), h);
+        let cube = mgr.cube(&[(Var(1), true)]);
+        let _ = mgr.and_exists(h, h, cube);
+        assert!(mgr.cache_entry_count() > 0, "workload must populate caches");
+        let _ = mgr.gc(&[h]);
+        assert_eq!(
+            mgr.cache_entry_count(),
+            0,
+            "gc must drop all four op caches"
+        );
+        mgr.check_integrity().expect("post-gc manager is sound");
+    }
+
+    #[test]
+    fn apply_matches_dedicated_ops() {
+        let (mut mgr, a, b, _) = setup3();
+        for (op, expect) in [
+            (BinOp::And, mgr.and(a, b)),
+            (BinOp::Or, mgr.or(a, b)),
+            (BinOp::Xor, mgr.xor(a, b)),
+            (BinOp::Iff, mgr.iff(a, b)),
+            (BinOp::Implies, mgr.implies(a, b)),
+        ] {
+            assert_eq!(mgr.apply(op, a, b), expect, "{op:?}");
+        }
+    }
+
+    #[test]
     fn integrity_passes_on_healthy_manager() {
         let (mgr, _) = busy_manager();
         mgr.check_integrity().expect("fresh manager is sound");
@@ -1657,6 +2170,10 @@ mod tests {
             TestCorruption::RedundantNode,
             TestCorruption::UnregisterNode,
             TestCorruption::DanglingCacheEntry,
+            TestCorruption::DanglingExistsEntry,
+            TestCorruption::DanglingAndExistsEntry,
+            TestCorruption::DanglingComposeEntry,
+            TestCorruption::StaleUniqueEntry,
             TestCorruption::PermutationClash,
         ] {
             let (mut mgr, _) = busy_manager();
@@ -1676,7 +2193,21 @@ mod tests {
                         IntegrityViolation::UnregisteredNode { .. }
                     ) | (
                         TestCorruption::DanglingCacheEntry,
-                        IntegrityViolation::StaleCacheEntry { .. }
+                        IntegrityViolation::StaleCacheEntry { cache: "ite" }
+                    ) | (
+                        TestCorruption::DanglingExistsEntry,
+                        IntegrityViolation::StaleCacheEntry { cache: "exists" }
+                    ) | (
+                        TestCorruption::DanglingAndExistsEntry,
+                        IntegrityViolation::StaleCacheEntry {
+                            cache: "and_exists"
+                        }
+                    ) | (
+                        TestCorruption::DanglingComposeEntry,
+                        IntegrityViolation::StaleCacheEntry { cache: "compose" }
+                    ) | (
+                        TestCorruption::StaleUniqueEntry,
+                        IntegrityViolation::StaleUniqueEntry { .. }
                     ) | (
                         TestCorruption::PermutationClash,
                         IntegrityViolation::BrokenPermutation { .. }

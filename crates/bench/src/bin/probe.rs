@@ -37,10 +37,10 @@ fn main() {
     let which = args.get(1).map(String::as_str).unwrap_or("rns");
     let mut options = PipelineOptions::default();
     if let Ok(g) = std::env::var("GROUP") {
-        options.alg33.max_pairwise_group = g.parse().unwrap();
+        options.alg33.max_pairwise_group = g.parse().expect("GROUP must be a non-negative integer");
     }
     if let Ok(t) = std::env::var("TRIES") {
-        options.alg33.first_fit_tries = t.parse().unwrap();
+        options.alg33.first_fit_tries = t.parse().expect("TRIES must be a non-negative integer");
     }
     match which {
         "rns" => probe(&RnsConverter::rns_5_7_11_13(), &options),

@@ -21,8 +21,9 @@
 #![allow(clippy::needless_range_loop)] // cut indices mirror the level arithmetic
 use crate::cell::LutCell;
 use bddcf_bdd::hasher::{FastMap, FastSet};
-use bddcf_bdd::{NodeId, FALSE, TRUE};
-use bddcf_core::{Cf, Role};
+use bddcf_bdd::{Error as BudgetError, NodeId, FALSE, TRUE};
+use bddcf_core::degrade::{DegradationReport, DegradeAction, Phase};
+use bddcf_core::{Cf, ChoiceError, Role};
 use bddcf_decomp::bdd_decomp::rails_for;
 use std::fmt;
 
@@ -77,6 +78,11 @@ pub enum SynthesisError {
     /// node's live inputs: no single cell-table entry is valid for every
     /// continuation (see [`Cf::cascade_output_choices`]).
     OutputEntangled,
+    /// The manager's installed [`Budget`](bddcf_bdd::Budget) ran out during
+    /// the liveness analysis that validates output-edge choices. The `Cf`
+    /// is untouched; retry after a GC, with a larger budget, or via
+    /// [`synthesize_governed`], which degrades instead of failing.
+    Budget(BudgetError),
 }
 
 impl fmt::Display for SynthesisError {
@@ -90,6 +96,9 @@ impl fmt::Display for SynthesisError {
                 f,
                 "an output is entangled below its level: no fixed cell choice covers all continuations"
             ),
+            SynthesisError::Budget(e) => {
+                write!(f, "budget exhausted during cascade synthesis: {e}")
+            }
         }
     }
 }
@@ -267,9 +276,66 @@ fn columns_at(cf: &Cf, cut: u32) -> Vec<NodeId> {
 /// assert_eq!(cascade.eval(&input), cf.eval_completed(&input));
 /// ```
 pub fn synthesize(cf: &mut Cf, options: &CascadeOptions) -> Result<Cascade, SynthesisError> {
-    let choices = cf
-        .cascade_output_choices()
-        .map_err(|_| SynthesisError::OutputEntangled)?;
+    let choices = cf.try_cascade_output_choices().map_err(|e| match e {
+        ChoiceError::Entangled(_) => SynthesisError::OutputEntangled,
+        ChoiceError::Budget(b) => SynthesisError::Budget(b),
+    })?;
+    synthesize_with_choices(cf, options, &choices)
+}
+
+/// Budget-governed [`synthesize`]: consumes (and extends) the
+/// [`DegradationReport`] of the reduction pipeline, so that a partially
+/// reduced χ still yields a correct — just wider — cascade.
+///
+/// The only allocating step of synthesis is the output-choice liveness
+/// analysis; everything after it walks the BDD read-only. The ladder on a
+/// node-quota miss there is: GC + retry once, then complete the analysis
+/// with the budget suspended (it is linear in the output nodes of χ),
+/// recording the overrun as
+/// [`CompletedUnbudgeted`](DegradeAction::CompletedUnbudgeted). Terminal
+/// causes (step/time/cancel) are returned as
+/// [`SynthesisError::Budget`] — a cancellation must win even here.
+pub fn synthesize_governed(
+    cf: &mut Cf,
+    options: &CascadeOptions,
+    report: &mut DegradationReport,
+) -> Result<Cascade, SynthesisError> {
+    let choices = match cf.try_cascade_output_choices() {
+        Ok(choices) => choices,
+        Err(ChoiceError::Entangled(_)) => return Err(SynthesisError::OutputEntangled),
+        Err(ChoiceError::Budget(cause @ BudgetError::NodeLimit { .. })) => {
+            report.record(Phase::CascadeSynthesis, None, DegradeAction::GcRetry, cause);
+            cf.collect();
+            match cf.try_cascade_output_choices() {
+                Ok(choices) => choices,
+                Err(ChoiceError::Entangled(_)) => return Err(SynthesisError::OutputEntangled),
+                Err(ChoiceError::Budget(cause @ BudgetError::NodeLimit { .. })) => {
+                    report.record(
+                        Phase::CascadeSynthesis,
+                        None,
+                        DegradeAction::CompletedUnbudgeted,
+                        cause,
+                    );
+                    match cf.cascade_output_choices() {
+                        Ok(choices) => choices,
+                        Err(_) => return Err(SynthesisError::OutputEntangled),
+                    }
+                }
+                Err(ChoiceError::Budget(cause)) => return Err(SynthesisError::Budget(cause)),
+            }
+        }
+        Err(ChoiceError::Budget(cause)) => return Err(SynthesisError::Budget(cause)),
+    };
+    synthesize_with_choices(cf, options, &choices)
+}
+
+/// The read-only remainder of synthesis: segmentation and cell
+/// materialization, given a validated choice map.
+fn synthesize_with_choices(
+    cf: &mut Cf,
+    options: &CascadeOptions,
+    choices: &FastMap<NodeId, bool>,
+) -> Result<Cascade, SynthesisError> {
     let cf = &*cf;
     let layout = cf.layout();
     let mgr = cf.manager();
@@ -373,7 +439,7 @@ pub fn synthesize(cf: &mut Cf, options: &CascadeOptions) -> Result<Cascade, Synt
             } else {
                 columns_cache[e].as_ref().expect("cached")
             },
-            &choices,
+            choices,
         ));
     }
     Ok(Cascade {

@@ -38,6 +38,7 @@ use std::fmt;
 
 pub mod cascade;
 pub mod cf;
+pub mod inject;
 pub mod manager;
 pub mod pipeline;
 pub mod refine;
@@ -46,6 +47,9 @@ pub use cascade::{
     check_cascade, check_cascade_against_oracle, check_multi_cascade_against_oracle,
 };
 pub use cf::check_cf;
+pub use inject::{
+    run_injection, FaultKind, FaultOutcome, FaultResult, InjectionOptions, InjectionOutcome,
+};
 pub use manager::check_manager;
 pub use pipeline::{check_benchmark, BenchmarkCheck, CheckOptions};
 pub use refine::{check_refinement, naive_width_profile};

@@ -16,7 +16,7 @@ use crate::cf::Cf;
 use crate::compat::CompatCtx;
 use crate::layout::CfLayout;
 use bddcf_bdd::hasher::FastMap;
-use bddcf_bdd::{BddManager, NodeId};
+use bddcf_bdd::{BddManager, Error as BudgetError, NodeId};
 
 /// Before/after metrics of a reduction pass.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,6 +36,13 @@ pub struct ReductionStats {
 impl Cf {
     /// Applies Algorithm 3.1, rewriting χ in place, and reports the metrics.
     pub fn reduce_alg31(&mut self) -> ReductionStats {
+        self.unbudgeted(|cf| cf.try_reduce_alg31())
+    }
+
+    /// Budgeted Algorithm 3.1. On `Err`, χ is left exactly as it was (the
+    /// partially built rewrite is unreferenced garbage reclaimed by the next
+    /// [`collect`](Cf::collect)).
+    pub fn try_reduce_alg31(&mut self) -> Result<ReductionStats, BudgetError> {
         let nodes_before = self.node_count();
         let max_width_before = self.max_width();
         let layout = self.layout().clone();
@@ -44,16 +51,16 @@ impl Cf {
             let (mgr, _, root, _) = self.parts_mut();
             let ctx = CompatCtx::new(mgr, &layout);
             let mut memo = FastMap::default();
-            alg31_rec(mgr, &ctx, &layout, root, &mut memo, &mut merges)
+            alg31_rec(mgr, &ctx, &layout, root, &mut memo, &mut merges)?
         };
         self.install_root(new_root);
-        ReductionStats {
+        Ok(ReductionStats {
             nodes_before,
             nodes_after: self.node_count(),
             max_width_before,
             max_width_after: self.max_width(),
             merges,
-        }
+        })
     }
 }
 
@@ -64,34 +71,34 @@ fn alg31_rec(
     v: NodeId,
     memo: &mut FastMap<NodeId, NodeId>,
     merges: &mut usize,
-) -> NodeId {
+) -> Result<NodeId, BudgetError> {
     if mgr.is_const(v) {
-        return v;
+        return Ok(v);
     }
     if let Some(&r) = memo.get(&v) {
-        return r;
+        return Ok(r);
     }
     let view = mgr.level_of_node(v);
-    let r = if !ctx.has_dont_care(mgr, layout, v, view) {
+    let r = if !ctx.try_has_dont_care(mgr, layout, v, view)? {
         // Step 1: completely specified below — nothing to merge.
         v
     } else {
         let lo = mgr.lo(v);
         let hi = mgr.hi(v);
-        if let Some(product) = ctx.merge(mgr, lo, hi) {
+        if let Some(product) = ctx.try_merge(mgr, lo, hi)? {
             // Step 2, compatible case: both children become the product, so
             // the test on v disappears; continue on the merged child.
             *merges += 1;
-            alg31_rec(mgr, ctx, layout, product, memo, merges)
+            alg31_rec(mgr, ctx, layout, product, memo, merges)?
         } else {
             let var = mgr.var_of(v);
-            let new_lo = alg31_rec(mgr, ctx, layout, lo, memo, merges);
-            let new_hi = alg31_rec(mgr, ctx, layout, hi, memo, merges);
-            mgr.mk(var, new_lo, new_hi)
+            let new_lo = alg31_rec(mgr, ctx, layout, lo, memo, merges)?;
+            let new_hi = alg31_rec(mgr, ctx, layout, hi, memo, merges)?;
+            mgr.try_mk(var, new_lo, new_hi)?
         }
     };
     memo.insert(v, r);
-    r
+    Ok(r)
 }
 
 #[cfg(test)]

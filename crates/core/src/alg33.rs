@@ -30,8 +30,9 @@
 use crate::cf::Cf;
 use crate::compat::CompatCtx;
 use crate::cover::{CompatGraph, CoverHeuristic};
+use crate::degrade::{DegradationReport, DegradeAction, Phase};
 use bddcf_bdd::hasher::{FastMap, FastSet};
-use bddcf_bdd::{BddManager, NodeId, FALSE};
+use bddcf_bdd::{BddManager, Error as BudgetError, NodeId, FALSE};
 
 /// Tuning knobs for [`Cf::reduce_alg33`].
 #[derive(Clone, Debug)]
@@ -81,19 +82,87 @@ impl Cf {
     /// Applies Algorithm 3.3, rewriting χ in place, and reports the
     /// metrics.
     pub fn reduce_alg33(&mut self, options: &Alg33Options) -> Alg33Stats {
+        let saved = self.manager_mut().take_budget();
+        let mut report = DegradationReport::new();
+        let stats = self.reduce_alg33_governed(options, &mut report);
+        self.manager_mut().resume_budget(saved);
+        debug_assert!(report.is_clean(), "unbudgeted runs cannot degrade");
+        stats
+    }
+
+    /// Budget-governed Algorithm 3.3: never fails, degrading per cut level
+    /// instead. On budget exhaustion at a cut the ladder is:
+    ///
+    /// 1. collect garbage and retry the same cut with the same cover
+    ///    machinery (only for a node-quota miss — GC can free room);
+    /// 2. fall back from the Algorithm 3.2 clique cover to Algorithm
+    ///    3.1-style incremental pair merging (first-fit, one try);
+    /// 3. skip the cut, keeping the last valid χ.
+    ///
+    /// A *terminal* cause (step, time, or cancellation budget — see
+    /// [`DegradationReport::terminal_cause`]) abandons the rest of the phase
+    /// immediately: no amount of GC brings those budgets back. Every
+    /// downgrade is recorded in `report`; χ after return is always a valid
+    /// refinement of χ before, however far the ladder dropped.
+    pub fn reduce_alg33_governed(
+        &mut self,
+        options: &Alg33Options,
+        report: &mut DegradationReport,
+    ) -> Alg33Stats {
         let nodes_before = self.node_count();
         let max_width_before = self.max_width();
         let layout = self.layout().clone();
         let t = layout.num_vars() as u32;
         let mut columns_merged = 0usize;
-        for cut in 1..t {
-            let new_root = {
-                let (mgr, _, root, _) = self.parts_mut();
+        'cuts: for cut in 1..t {
+            let attempt = |cf: &mut Cf, mode: CutCover| -> Result<(NodeId, usize), BudgetError> {
+                let mut merged = 0usize;
+                let (mgr, _, root, _) = cf.parts_mut();
                 let ctx = CompatCtx::new(mgr, &layout);
-                reduce_cut(mgr, &ctx, root, cut, options, &mut columns_merged)
+                let new_root = try_reduce_cut(mgr, &ctx, root, cut, options, &mut merged, mode)?;
+                Ok((new_root, merged))
             };
-            if new_root != self.root() {
-                self.install_root(new_root);
+            let outcome = attempt(self, CutCover::PerOptions).or_else(|cause| {
+                if is_terminal(cause) {
+                    return Err(cause);
+                }
+                // Rung 1: GC + retry once. The failed attempt left only
+                // unreferenced garbage; χ itself is untouched.
+                report.record(Phase::Alg33, Some(cut), DegradeAction::GcRetry, cause);
+                self.collect();
+                attempt(self, CutCover::PerOptions)
+            });
+            let outcome = outcome.or_else(|cause| {
+                if is_terminal(cause) {
+                    return Err(cause);
+                }
+                // Rung 2: cheap pair merging instead of the clique cover.
+                report.record(
+                    Phase::Alg33,
+                    Some(cut),
+                    DegradeAction::FellBackToPairMerge,
+                    cause,
+                );
+                self.collect();
+                attempt(self, CutCover::PairMergeOnly)
+            });
+            match outcome {
+                Ok((new_root, merged)) => {
+                    columns_merged += merged;
+                    if new_root != self.root() {
+                        self.install_root(new_root);
+                    }
+                }
+                Err(cause) if is_terminal(cause) => {
+                    // Rung 3 (terminal): the whole phase is over.
+                    report.record(Phase::Alg33, Some(cut), DegradeAction::SkippedPhase, cause);
+                    break 'cuts;
+                }
+                Err(cause) => {
+                    // Rung 3: keep the last valid χ for this level only.
+                    report.record(Phase::Alg33, Some(cut), DegradeAction::SkippedLevel, cause);
+                    self.collect();
+                }
             }
         }
         Alg33Stats {
@@ -104,6 +173,21 @@ impl Cf {
             columns_merged,
         }
     }
+}
+
+/// Which cover machinery a cut attempt may use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CutCover {
+    /// Whatever [`Alg33Options`] selects (pairwise graph or first-fit).
+    PerOptions,
+    /// Degraded mode: first-fit with a single try per column — the
+    /// incremental pair merging of Algorithm 3.1, transported to the cut.
+    PairMergeOnly,
+}
+
+/// Is this budget error unrecoverable within the current phase?
+fn is_terminal(e: BudgetError) -> bool {
+    !matches!(e, BudgetError::NodeLimit { .. })
 }
 
 /// The distinct non-zero nodes hanging below `cut` — the column functions.
@@ -127,22 +211,23 @@ fn collect_columns(mgr: &BddManager, root: NodeId, cut: u32) -> Vec<NodeId> {
     columns
 }
 
-fn reduce_cut(
+fn try_reduce_cut(
     mgr: &mut BddManager,
     ctx: &CompatCtx,
     root: NodeId,
     cut: u32,
     options: &Alg33Options,
     columns_merged: &mut usize,
-) -> NodeId {
+    mode: CutCover,
+) -> Result<NodeId, BudgetError> {
     let columns = collect_columns(mgr, root, cut);
     if columns.len() <= 1 {
-        return root;
+        return Ok(root);
     }
     // Bucket by live set: only identically-live columns can merge.
     let mut buckets: FastMap<NodeId, Vec<NodeId>> = FastMap::default();
     for &col in &columns {
-        let live = ctx.live(mgr, col);
+        let live = ctx.try_live(mgr, col)?;
         buckets.entry(live).or_default().push(col);
     }
     let mut bucket_list: Vec<(NodeId, Vec<NodeId>)> = buckets.into_iter().collect();
@@ -153,10 +238,12 @@ fn reduce_cut(
         if group.len() < 2 {
             continue;
         }
-        let cliques = if group.len() <= options.max_pairwise_group {
-            cover_by_pairwise_graph(mgr, ctx, &group, options.heuristic)
-        } else {
-            cover_first_fit(mgr, ctx, &group, options.first_fit_tries)
+        let cliques = match mode {
+            CutCover::PerOptions if group.len() <= options.max_pairwise_group => {
+                cover_by_pairwise_graph(mgr, ctx, &group, options.heuristic)?
+            }
+            CutCover::PerOptions => cover_first_fit(mgr, ctx, &group, options.first_fit_tries)?,
+            CutCover::PairMergeOnly => cover_first_fit(mgr, ctx, &group, 1)?,
         };
         for (product, members) in cliques {
             if members.len() < 2 {
@@ -169,7 +256,7 @@ fn reduce_cut(
         }
     }
     if mapping.is_empty() {
-        return root;
+        return Ok(root);
     }
     let mut memo: FastMap<NodeId, NodeId> = FastMap::default();
     rebuild_above(mgr, root, cut, &mapping, &mut memo)
@@ -182,11 +269,11 @@ fn cover_by_pairwise_graph(
     ctx: &CompatCtx,
     group: &[NodeId],
     heuristic: CoverHeuristic,
-) -> Vec<(NodeId, Vec<NodeId>)> {
+) -> Result<Vec<(NodeId, Vec<NodeId>)>, BudgetError> {
     let mut graph = CompatGraph::new(group.len());
     for i in 0..group.len() {
         for j in i + 1..group.len() {
-            if ctx.compatible(mgr, group[i], group[j]) {
+            if ctx.try_compatible(mgr, group[i], group[j])? {
                 graph.add_edge(i, j);
             }
         }
@@ -197,7 +284,7 @@ fn cover_by_pairwise_graph(
         let mut members = vec![group[clique[0]]];
         let mut spilled = Vec::new();
         for &i in &clique[1..] {
-            match ctx.extend(mgr, product, group[i]) {
+            match ctx.try_extend(mgr, product, group[i])? {
                 Some(p) => {
                     product = p;
                     members.push(group[i]);
@@ -211,7 +298,7 @@ fn cover_by_pairwise_graph(
             result.push((s, vec![s]));
         }
     }
-    result
+    Ok(result)
 }
 
 /// First-fit greedy cover for large buckets: each column is tested against
@@ -221,12 +308,12 @@ fn cover_first_fit(
     ctx: &CompatCtx,
     group: &[NodeId],
     tries: usize,
-) -> Vec<(NodeId, Vec<NodeId>)> {
+) -> Result<Vec<(NodeId, Vec<NodeId>)>, BudgetError> {
     let mut cliques: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
     for &col in group {
         let mut placed = false;
         for (product, members) in cliques.iter_mut().take(tries) {
-            if let Some(p) = ctx.extend(mgr, *product, col) {
+            if let Some(p) = ctx.try_extend(mgr, *product, col)? {
                 *product = p;
                 members.push(col);
                 placed = true;
@@ -237,7 +324,7 @@ fn cover_first_fit(
             cliques.push((col, vec![col]));
         }
     }
-    cliques
+    Ok(cliques)
 }
 
 /// Rewrites the part of the BDD above `cut`, redirecting every crossing
@@ -248,25 +335,25 @@ fn rebuild_above(
     cut: u32,
     mapping: &FastMap<NodeId, NodeId>,
     memo: &mut FastMap<NodeId, NodeId>,
-) -> NodeId {
+) -> Result<NodeId, BudgetError> {
     if mgr.level_of_node(n) >= cut {
-        return *mapping.get(&n).unwrap_or(&n);
+        return Ok(*mapping.get(&n).unwrap_or(&n));
     }
     if let Some(&r) = memo.get(&n) {
-        return r;
+        return Ok(r);
     }
     let var = mgr.var_of(n);
     let lo = mgr.lo(n);
     let hi = mgr.hi(n);
-    let new_lo = rebuild_above(mgr, lo, cut, mapping, memo);
-    let new_hi = rebuild_above(mgr, hi, cut, mapping, memo);
+    let new_lo = rebuild_above(mgr, lo, cut, mapping, memo)?;
+    let new_hi = rebuild_above(mgr, hi, cut, mapping, memo)?;
     let r = if new_lo == lo && new_hi == hi {
         n
     } else {
-        mgr.mk(var, new_lo, new_hi)
+        mgr.try_mk(var, new_lo, new_hi)?
     };
     memo.insert(n, r);
-    r
+    Ok(r)
 }
 
 #[cfg(test)]

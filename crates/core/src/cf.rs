@@ -3,7 +3,7 @@
 //! that owns a BDD_for_CF end to end.
 
 use crate::layout::CfLayout;
-use bddcf_bdd::{BddManager, NodeId, Var, WidthProfile, FALSE, TRUE};
+use bddcf_bdd::{BddManager, Error as BudgetError, NodeId, Var, WidthProfile, FALSE, TRUE};
 use bddcf_logic::{Ternary, TruthTable};
 
 /// Per-output ON/OFF/DC sets of a multiple-output ISF, as BDDs over the
@@ -46,6 +46,26 @@ impl IsfBdds {
     ///
     /// Panics if the table shape disagrees with `layout`.
     pub fn from_truth_table(mgr: &mut BddManager, layout: &CfLayout, table: &TruthTable) -> Self {
+        let saved = mgr.take_budget();
+        let isf = IsfBdds::try_from_truth_table(mgr, layout, table)
+            .expect("invariant: unbudgeted construction cannot fail");
+        mgr.resume_budget(saved);
+        isf
+    }
+
+    /// Budgeted [`from_truth_table`](Self::from_truth_table): fails cleanly
+    /// if the manager's installed budget runs out while the minterm BDDs
+    /// are built. Partially built sets become unreferenced garbage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table shape disagrees with `layout` (caller bug, not a
+    /// resource condition).
+    pub fn try_from_truth_table(
+        mgr: &mut BddManager,
+        layout: &CfLayout,
+        table: &TruthTable,
+    ) -> Result<Self, BudgetError> {
         assert_eq!(table.num_inputs(), layout.num_inputs());
         assert_eq!(table.num_outputs(), layout.num_outputs());
         let vars = layout.input_vars();
@@ -63,11 +83,11 @@ impl IsfBdds {
                     Ternary::DontCare => dc_m.push(r as u64),
                 }
             }
-            on.push(mgr.from_minterms(&vars, &on_m));
-            off.push(mgr.from_minterms(&vars, &off_m));
-            dc.push(mgr.from_minterms(&vars, &dc_m));
+            on.push(mgr.try_from_minterms(&vars, &on_m)?);
+            off.push(mgr.try_from_minterms(&vars, &off_m)?);
+            dc.push(mgr.try_from_minterms(&vars, &dc_m)?);
         }
-        IsfBdds { on, off, dc }
+        Ok(IsfBdds { on, off, dc })
     }
 
     /// Number of outputs.
@@ -260,7 +280,27 @@ impl Cf {
     ///
     /// Panics if the sets violate the partition invariants, have the wrong
     /// arity, or depend on output variables.
-    pub fn from_isf(mut mgr: BddManager, layout: CfLayout, mut isf: IsfBdds) -> Cf {
+    pub fn from_isf(mut mgr: BddManager, layout: CfLayout, isf: IsfBdds) -> Cf {
+        let saved = mgr.take_budget();
+        let mut cf = Cf::try_from_isf(mgr, layout, isf)
+            .expect("invariant: unbudgeted construction cannot fail");
+        cf.mgr.resume_budget(saved);
+        cf
+    }
+
+    /// Budgeted [`from_isf`](Cf::from_isf): fails cleanly (returning the
+    /// manager's budget error and dropping the manager) if the budget runs
+    /// out while χ is conjoined.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same *caller-bug* conditions as `from_isf`: wrong
+    /// arity, invalid partition, or output-variable dependence.
+    pub fn try_from_isf(
+        mut mgr: BddManager,
+        layout: CfLayout,
+        mut isf: IsfBdds,
+    ) -> Result<Cf, BudgetError> {
         assert_eq!(
             isf.num_outputs(),
             layout.num_outputs(),
@@ -278,7 +318,7 @@ impl Cf {
                 );
             }
         }
-        let root = chi_of(&mut mgr, &layout, &isf);
+        let root = try_chi_of(&mut mgr, &layout, &isf)?;
 
         // Compact before handing out.
         let mut roots = vec![root];
@@ -293,7 +333,7 @@ impl Cf {
             isf,
         };
         debug_assert!(cf.is_fully_live(), "Definition 2.3 guarantees ∃Y.χ = 1");
-        cf
+        Ok(cf)
     }
 
     /// Convenience: characteristic function of an explicit truth table.
@@ -401,6 +441,19 @@ impl Cf {
     /// that need simultaneous mutable manager access.
     pub(crate) fn parts_mut(&mut self) -> (&mut BddManager, &CfLayout, NodeId, &IsfBdds) {
         (&mut self.mgr, &self.layout, self.root, &self.isf)
+    }
+
+    /// Runs `op` with the manager's budget suspended — how the infallible
+    /// reduction entry points delegate to their budgeted twins without ever
+    /// observing a budget error.
+    pub(crate) fn unbudgeted<T>(
+        &mut self,
+        op: impl FnOnce(&mut Self) -> Result<T, BudgetError>,
+    ) -> T {
+        let saved = self.mgr.take_budget();
+        let result = op(self);
+        self.mgr.resume_budget(saved);
+        result.expect("invariant: unbudgeted reductions cannot fail")
     }
 
     /// Replaces root and ISF record simultaneously (used after reorders
@@ -636,6 +689,24 @@ impl Cf {
     pub fn cascade_output_choices(
         &mut self,
     ) -> Result<bddcf_bdd::hasher::FastMap<NodeId, bool>, NodeId> {
+        let saved = self.mgr.take_budget();
+        let result = self.try_cascade_output_choices();
+        self.mgr.resume_budget(saved);
+        match result {
+            Ok(choices) => Ok(choices),
+            Err(ChoiceError::Entangled(node)) => Err(node),
+            Err(ChoiceError::Budget(_)) => {
+                unreachable!("invariant: unbudgeted choice analysis cannot exhaust a budget")
+            }
+        }
+    }
+
+    /// Budgeted [`cascade_output_choices`](Cf::cascade_output_choices):
+    /// distinguishes the semantic failure (an entangled output node) from a
+    /// budget exhaustion mid-analysis.
+    pub fn try_cascade_output_choices(
+        &mut self,
+    ) -> Result<bddcf_bdd::hasher::FastMap<NodeId, bool>, ChoiceError> {
         let layout = self.layout.clone();
         let ycube = layout.output_cube(&mut self.mgr);
         let mut choices = bddcf_bdd::hasher::FastMap::default();
@@ -648,17 +719,17 @@ impl Cf {
             if lo == FALSE || hi == FALSE {
                 continue; // forced
             }
-            let live_node = self.mgr.exists_cube(node, ycube);
-            let live_lo = self.mgr.exists_cube(lo, ycube);
+            let live_node = self.mgr.try_exists_cube(node, ycube)?;
+            let live_lo = self.mgr.try_exists_cube(lo, ycube)?;
             if live_lo == live_node {
                 choices.insert(node, false);
                 continue;
             }
-            let live_hi = self.mgr.exists_cube(hi, ycube);
+            let live_hi = self.mgr.try_exists_cube(hi, ycube)?;
             if live_hi == live_node {
                 choices.insert(node, true);
             } else {
-                return Err(node);
+                return Err(ChoiceError::Entangled(node));
             }
         }
         Ok(choices)
@@ -726,21 +797,67 @@ impl Cf {
     }
 }
 
+/// Why [`Cf::try_cascade_output_choices`] gave up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChoiceError {
+    /// Neither child of this output node covers its live set: χ has no
+    /// completion in which the output only depends on the variables above
+    /// it. The caller must re-order or re-partition.
+    Entangled(NodeId),
+    /// The manager's budget ran out mid-analysis.
+    Budget(BudgetError),
+}
+
+impl From<BudgetError> for ChoiceError {
+    fn from(e: BudgetError) -> Self {
+        ChoiceError::Budget(e)
+    }
+}
+
+impl std::fmt::Display for ChoiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChoiceError::Entangled(node) => {
+                write!(
+                    f,
+                    "output node {node:?} is entangled: no child covers its live set"
+                )
+            }
+            ChoiceError::Budget(e) => write!(f, "budget exhausted during choice analysis: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChoiceError {}
+
 /// `χ = ∧_j ( ȳ_j·off_j ∨ y_j·on_j ∨ dc_j )`, conjoined deepest output
 /// first to keep intermediate results small near the bottom.
 fn chi_of(mgr: &mut BddManager, layout: &CfLayout, isf: &IsfBdds) -> NodeId {
-    let mut factors: Vec<NodeId> = (0..layout.num_outputs())
-        .map(|j| {
-            let y = mgr.var(layout.output_var(j));
-            let ny = mgr.not(y);
-            let t0 = mgr.and(ny, isf.off[j]);
-            let t1 = mgr.and(y, isf.on[j]);
-            let t01 = mgr.or(t0, t1);
-            mgr.or(t01, isf.dc[j])
-        })
-        .collect();
+    let saved = mgr.take_budget();
+    let root =
+        try_chi_of(mgr, layout, isf).expect("invariant: unbudgeted construction cannot fail");
+    mgr.resume_budget(saved);
+    root
+}
+
+/// Budgeted [`chi_of`]: the χ construction of Definition 2.3, failing
+/// cleanly when the manager's installed budget runs out.
+fn try_chi_of(
+    mgr: &mut BddManager,
+    layout: &CfLayout,
+    isf: &IsfBdds,
+) -> Result<NodeId, BudgetError> {
+    let mut factors = Vec::with_capacity(layout.num_outputs());
+    for j in 0..layout.num_outputs() {
+        let y = mgr.try_mk(layout.output_var(j), FALSE, TRUE)?;
+        let ny = mgr.try_not(y)?;
+        let t0 = mgr.try_and(ny, isf.off[j])?;
+        let t1 = mgr.try_and(y, isf.on[j])?;
+        let t01 = mgr.try_or(t0, t1)?;
+        factors.push(mgr.try_or(t01, isf.dc[j])?);
+    }
     factors.sort_by_key(|&f| std::cmp::Reverse(mgr.level_of_node(f)));
-    mgr.and_many(&factors)
+    mgr.try_and_many(&factors)
 }
 
 #[cfg(test)]

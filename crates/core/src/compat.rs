@@ -38,7 +38,7 @@
 //! `|χᵥ| · 2^{#outputs below l}  =  |∃Y.χᵥ|`  ⇔  no don't care.
 
 use crate::layout::CfLayout;
-use bddcf_bdd::{BddManager, NodeId};
+use bddcf_bdd::{BddManager, Error as BudgetError, NodeId};
 
 /// Scratch context for compatibility queries: caches the output-variable
 /// cube so repeated queries don't rebuild it.
@@ -60,6 +60,11 @@ impl CompatCtx {
         mgr.exists_cube(f, self.ycube)
     }
 
+    /// Budgeted [`live`](Self::live).
+    pub fn try_live(&self, mgr: &mut BddManager, f: NodeId) -> Result<NodeId, BudgetError> {
+        mgr.try_exists_cube(f, self.ycube)
+    }
+
     /// The merge-compatibility relation `a ∼ b` (see module docs).
     ///
     /// Uses the fused relational product `∃Y.(a·b)` so that incompatible
@@ -72,6 +77,21 @@ impl CompatCtx {
             return false;
         }
         mgr.and_exists(a, b, self.ycube) == live_a
+    }
+
+    /// Budgeted [`compatible`](Self::compatible).
+    pub fn try_compatible(
+        &self,
+        mgr: &mut BddManager,
+        a: NodeId,
+        b: NodeId,
+    ) -> Result<bool, BudgetError> {
+        let live_a = self.try_live(mgr, a)?;
+        let live_b = self.try_live(mgr, b)?;
+        if live_a != live_b {
+            return Ok(false);
+        }
+        Ok(mgr.try_and_exists(a, b, self.ycube)? == live_a)
     }
 
     /// Merges two compatible functions into their product, or returns
@@ -88,6 +108,20 @@ impl CompatCtx {
         Some(mgr.and(a, b))
     }
 
+    /// Budgeted [`merge`](Self::merge): `Ok(None)` means incompatible,
+    /// `Err` means the budget ran out before the answer was known.
+    pub fn try_merge(
+        &self,
+        mgr: &mut BddManager,
+        a: NodeId,
+        b: NodeId,
+    ) -> Result<Option<NodeId>, BudgetError> {
+        if !self.try_compatible(mgr, a, b)? {
+            return Ok(None);
+        }
+        Ok(Some(mgr.try_and(a, b)?))
+    }
+
     /// Attempts to extend an existing merge product by one more member,
     /// keeping the *joint* liveness intact. This is the incremental check
     /// Algorithm 3.3 needs when a clique of pairwise-compatible columns is
@@ -96,6 +130,16 @@ impl CompatCtx {
     /// extension is re-validated.
     pub fn extend(&self, mgr: &mut BddManager, product: NodeId, next: NodeId) -> Option<NodeId> {
         self.merge(mgr, product, next)
+    }
+
+    /// Budgeted [`extend`](Self::extend).
+    pub fn try_extend(
+        &self,
+        mgr: &mut BddManager,
+        product: NodeId,
+        next: NodeId,
+    ) -> Result<Option<NodeId>, BudgetError> {
+        self.try_merge(mgr, product, next)
     }
 
     /// Does the sub-ISF of `f`, viewed from just above `view_level`, contain
@@ -113,6 +157,20 @@ impl CompatCtx {
         let outputs_below = layout.outputs_below_level(mgr, view_level);
         let live = self.live(mgr, f);
         mgr.sat_count(f) << outputs_below != mgr.sat_count(live)
+    }
+
+    /// Budgeted [`has_dont_care`](Self::has_dont_care). Only the live-set
+    /// quantification allocates; satisfying-assignment counting is read-only.
+    pub fn try_has_dont_care(
+        &self,
+        mgr: &mut BddManager,
+        layout: &CfLayout,
+        f: NodeId,
+        view_level: u32,
+    ) -> Result<bool, BudgetError> {
+        let outputs_below = layout.outputs_below_level(mgr, view_level);
+        let live = self.try_live(mgr, f)?;
+        Ok(mgr.sat_count(f) << outputs_below != mgr.sat_count(live))
     }
 }
 

@@ -1,0 +1,242 @@
+//! Structured reporting of graceful degradation under resource budgets.
+//!
+//! The governed reduction entry points ([`Cf::reduce_to_fixpoint_governed`]
+//! (crate::cf::Cf), [`Cf::reduce_alg33_governed`](crate::cf::Cf), …) never
+//! panic and never abandon the whole pipeline on budget exhaustion.
+//! Instead they walk a *degradation ladder* and record every downgrade in a
+//! [`DegradationReport`]:
+//!
+//! 1. **GC + retry** — reclaim garbage and try the same step once more
+//!    (only meaningful for [`NodeLimit`](bddcf_bdd::Error::NodeLimit):
+//!    a step or time budget stays exhausted after a collection);
+//! 2. **fall back** — replace the clique-cover machinery of Algorithm 3.2
+//!    with the cheap incremental pair merging of Algorithm 3.1;
+//! 3. **skip** — keep the last valid (already reduced) χ for that level or
+//!    phase and move on.
+//!
+//! Every rung is sound: a reduction step either completes and installs a
+//! *refinement* of χ (`χ' ⇒ χ`, Lemma 3.1), or it is not installed at all.
+//! A degraded result is therefore just a less-reduced but fully valid
+//! BDD_for_CF — wider cascades, never wrong ones — which the `bddcf-check`
+//! refinement oracle can verify after the fact.
+
+use bddcf_bdd::Error as BudgetError;
+use std::fmt;
+
+/// Pipeline phase in which a degradation occurred.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Construction of χ from the ISF record.
+    Construction,
+    /// §3.3 support-variable removal.
+    SupportReduction,
+    /// Algorithm 3.1 recursive child merging.
+    Alg31,
+    /// Algorithm 3.3 level-by-level clique-cover reduction.
+    Alg33,
+    /// Cascade synthesis (LUT-cascade extraction).
+    CascadeSynthesis,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::Construction => "construction",
+            Phase::SupportReduction => "support-reduction",
+            Phase::Alg31 => "alg31",
+            Phase::Alg33 => "alg33",
+            Phase::CascadeSynthesis => "cascade-synthesis",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What the governed pipeline did in response to a budget error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DegradeAction {
+    /// Collected garbage and retried the same step once.
+    GcRetry,
+    /// Fell back from the Algorithm 3.2 clique cover to Algorithm 3.1-style
+    /// incremental pair merging at this cut.
+    FellBackToPairMerge,
+    /// Skipped this cut level, keeping the last valid χ.
+    SkippedLevel,
+    /// Skipped one input variable during support reduction.
+    SkippedVariable,
+    /// Abandoned the remainder of the phase, keeping the last valid χ.
+    SkippedPhase,
+    /// Stopped the fixpoint iteration early.
+    StoppedIterating,
+    /// Finished a small, bounded analysis with the budget suspended rather
+    /// than failing the whole phase (used by cascade synthesis, whose
+    /// choice analysis is linear in the output nodes of χ). The overrun is
+    /// recorded instead of enforced.
+    CompletedUnbudgeted,
+}
+
+impl fmt::Display for DegradeAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DegradeAction::GcRetry => "gc+retry",
+            DegradeAction::FellBackToPairMerge => "fell back to pair merging",
+            DegradeAction::SkippedLevel => "skipped level",
+            DegradeAction::SkippedVariable => "skipped variable",
+            DegradeAction::SkippedPhase => "skipped rest of phase",
+            DegradeAction::StoppedIterating => "stopped iterating",
+            DegradeAction::CompletedUnbudgeted => "completed with budget suspended",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One recorded downgrade.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// Where in the pipeline it happened.
+    pub phase: Phase,
+    /// Cut level (Algorithm 3.3), input index (support reduction), or
+    /// output-part index (partitioned synthesis), when applicable.
+    pub locus: Option<u32>,
+    /// What the pipeline did about it.
+    pub action: DegradeAction,
+    /// The budget error that triggered the downgrade.
+    pub cause: BudgetError,
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.phase)?;
+        if let Some(l) = self.locus {
+            write!(f, "[{l}]")?;
+        }
+        write!(f, ": {} ({})", self.action, self.cause)
+    }
+}
+
+/// Ordered log of every downgrade a governed pipeline run performed.
+///
+/// An empty report means the run completed exactly as an unbudgeted run
+/// would have. A non-empty report means the result is a *less reduced but
+/// still valid* BDD_for_CF — see the [module docs](self) for why.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// The downgrades, in the order they happened.
+    pub events: Vec<DegradationEvent>,
+}
+
+impl DegradationReport {
+    /// A report with no events.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True iff nothing was degraded.
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Records one downgrade.
+    pub fn record(
+        &mut self,
+        phase: Phase,
+        locus: Option<u32>,
+        action: DegradeAction,
+        cause: BudgetError,
+    ) {
+        self.events.push(DegradationEvent {
+            phase,
+            locus,
+            action,
+            cause,
+        });
+    }
+
+    /// Appends all events of `other`.
+    pub fn absorb(&mut self, other: DegradationReport) {
+        self.events.extend(other.events);
+    }
+
+    /// The first *terminal* cause, if any: step, time, and cancellation
+    /// budgets stay exhausted no matter how much garbage is collected, so
+    /// once one of these appears, continuing a phase is pointless. A
+    /// [`NodeLimit`](BudgetError::NodeLimit) is *not* terminal — GC can
+    /// free room.
+    pub fn terminal_cause(&self) -> Option<BudgetError> {
+        self.events.iter().map(|e| e.cause).find(|c| {
+            matches!(
+                c,
+                BudgetError::StepLimit { .. } | BudgetError::TimeBudget | BudgetError::Cancelled
+            )
+        })
+    }
+
+    /// One-line-per-event rendering for logs and the CLI.
+    pub fn render(&self) -> String {
+        self.events
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_cause_ignores_node_limits() {
+        let mut r = DegradationReport::new();
+        assert!(r.is_clean());
+        r.record(
+            Phase::Alg33,
+            Some(3),
+            DegradeAction::GcRetry,
+            BudgetError::NodeLimit { limit: 100 },
+        );
+        assert_eq!(r.terminal_cause(), None, "node limits are retryable");
+        r.record(
+            Phase::Alg33,
+            Some(4),
+            DegradeAction::SkippedPhase,
+            BudgetError::Cancelled,
+        );
+        assert_eq!(r.terminal_cause(), Some(BudgetError::Cancelled));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn events_render_with_locus_and_cause() {
+        let e = DegradationEvent {
+            phase: Phase::SupportReduction,
+            locus: Some(2),
+            action: DegradeAction::SkippedVariable,
+            cause: BudgetError::NodeLimit { limit: 64 },
+        };
+        assert_eq!(
+            e.to_string(),
+            "support-reduction[2]: skipped variable (node quota exhausted (limit 64))"
+        );
+    }
+
+    #[test]
+    fn absorb_concatenates_in_order() {
+        let mut a = DegradationReport::new();
+        a.record(
+            Phase::Alg31,
+            None,
+            DegradeAction::GcRetry,
+            BudgetError::NodeLimit { limit: 1 },
+        );
+        let mut b = DegradationReport::new();
+        b.record(
+            Phase::CascadeSynthesis,
+            Some(0),
+            DegradeAction::SkippedPhase,
+            BudgetError::TimeBudget,
+        );
+        a.absorb(b);
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.events[1].phase, Phase::CascadeSynthesis);
+    }
+}

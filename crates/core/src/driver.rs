@@ -8,6 +8,8 @@
 
 use crate::alg33::Alg33Options;
 use crate::cf::Cf;
+use crate::degrade::{DegradationReport, DegradeAction, Phase};
+use bddcf_bdd::Error as BudgetError;
 
 /// Outcome of [`Cf::reduce_to_fixpoint`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,23 +33,81 @@ impl Cf {
         options: &Alg33Options,
         max_iterations: usize,
     ) -> FixpointStats {
+        let saved = self.manager_mut().take_budget();
+        let mut report = DegradationReport::new();
+        let stats = self.reduce_to_fixpoint_governed(options, max_iterations, &mut report);
+        self.manager_mut().resume_budget(saved);
+        debug_assert!(report.is_clean(), "unbudgeted runs cannot degrade");
+        stats
+    }
+
+    /// Budget-governed fixpoint driver: the same loop as
+    /// [`reduce_to_fixpoint`](Cf::reduce_to_fixpoint), but every phase
+    /// degrades instead of failing when the manager's installed
+    /// [`Budget`](bddcf_bdd::Budget) runs out:
+    ///
+    /// * support reduction skips exhausted variables
+    ///   ([`reduce_support_variables_governed`]
+    ///   (Cf::reduce_support_variables_governed));
+    /// * Algorithm 3.1 gets one GC + retry, then the whole pass is skipped
+    ///   (it is an optional strengthening — Algorithm 3.3 subsumes its
+    ///   merges level by level);
+    /// * Algorithm 3.3 walks its per-cut ladder
+    ///   ([`reduce_alg33_governed`](Cf::reduce_alg33_governed));
+    /// * a terminal cause (step/time/cancel) recorded by any phase stops
+    ///   the iteration at the end of that phase.
+    ///
+    /// χ after return is always a valid refinement of χ before, whatever
+    /// was skipped; `report` says exactly what was.
+    pub fn reduce_to_fixpoint_governed(
+        &mut self,
+        options: &Alg33Options,
+        max_iterations: usize,
+        report: &mut DegradationReport,
+    ) -> FixpointStats {
         let initial = (self.max_width(), self.node_count());
         let mut current = initial;
         let mut removed_inputs = 0;
         let mut iterations = 0;
         #[cfg(feature = "check")]
         self.assert_pipeline_invariants("fixpoint: before reduction");
-        while iterations < max_iterations.max(1) {
+        'iterate: while iterations < max_iterations.max(1) {
             iterations += 1;
-            removed_inputs += self.reduce_support_variables().len();
+            removed_inputs += self.reduce_support_variables_governed(report).len();
             #[cfg(feature = "check")]
             self.assert_pipeline_invariants("fixpoint: after support reduction");
-            self.reduce_alg31();
+            if let Some(cause) = report.terminal_cause() {
+                report.record(Phase::Alg31, None, DegradeAction::StoppedIterating, cause);
+                break 'iterate;
+            }
+            match self.try_reduce_alg31() {
+                Ok(_) => {}
+                Err(cause) if matches!(cause, BudgetError::NodeLimit { .. }) => {
+                    report.record(Phase::Alg31, None, DegradeAction::GcRetry, cause);
+                    self.collect();
+                    if let Err(cause) = self.try_reduce_alg31() {
+                        report.record(Phase::Alg31, None, DegradeAction::SkippedPhase, cause);
+                        self.collect();
+                    }
+                }
+                Err(cause) => {
+                    report.record(Phase::Alg31, None, DegradeAction::SkippedPhase, cause);
+                    self.collect();
+                }
+            }
             #[cfg(feature = "check")]
             self.assert_pipeline_invariants("fixpoint: after Algorithm 3.1");
-            self.reduce_alg33(options);
+            if let Some(cause) = report.terminal_cause() {
+                report.record(Phase::Alg33, None, DegradeAction::StoppedIterating, cause);
+                break 'iterate;
+            }
+            self.reduce_alg33_governed(options, report);
             #[cfg(feature = "check")]
             self.assert_pipeline_invariants("fixpoint: after Algorithm 3.3");
+            if let Some(cause) = report.terminal_cause() {
+                report.record(Phase::Alg33, None, DegradeAction::StoppedIterating, cause);
+                break 'iterate;
+            }
             let now = (self.max_width(), self.node_count());
             if now >= current {
                 break;

@@ -37,6 +37,7 @@ pub mod alg33;
 pub mod cf;
 pub mod compat;
 pub mod cover;
+pub mod degrade;
 pub mod driver;
 pub mod layout;
 pub mod partition;
@@ -44,7 +45,8 @@ pub mod sift;
 pub mod support;
 
 pub use alg33::Alg33Options;
-pub use cf::{Cf, IsfBdds};
+pub use cf::{Cf, ChoiceError, IsfBdds};
 pub use cover::CompatGraph;
+pub use degrade::{DegradationEvent, DegradationReport, DegradeAction, Phase};
 pub use driver::FixpointStats;
 pub use layout::{CfLayout, Role};

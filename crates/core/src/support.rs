@@ -15,13 +15,31 @@
 #![allow(clippy::needless_range_loop)] // row indices mirror truth-table rows in tests
 use crate::cf::Cf;
 use crate::compat::CompatCtx;
-use bddcf_bdd::Var;
+use crate::degrade::{DegradationReport, DegradeAction, Phase};
+use bddcf_bdd::{Error as BudgetError, Var};
 
 impl Cf {
     /// Greedily removes redundant input variables (top of the order first),
     /// rewriting χ in place. Returns the removed inputs as 0-based input
     /// indices.
     pub fn reduce_support_variables(&mut self) -> Vec<usize> {
+        let saved = self.manager_mut().take_budget();
+        let mut report = DegradationReport::new();
+        let removed = self.reduce_support_variables_governed(&mut report);
+        self.manager_mut().resume_budget(saved);
+        debug_assert!(report.is_clean(), "unbudgeted runs cannot degrade");
+        removed
+    }
+
+    /// Budget-governed support-variable reduction. A node-quota miss on one
+    /// input skips just that variable (after a GC to reclaim the attempt's
+    /// garbage); a terminal cause (step/time/cancel) abandons the rest of
+    /// the phase. Every downgrade is recorded in `report`; χ stays a valid
+    /// refinement throughout.
+    pub fn reduce_support_variables_governed(
+        &mut self,
+        report: &mut DegradationReport,
+    ) -> Vec<usize> {
         let layout = self.layout().clone();
         // Visit inputs from the root of the order downwards (the paper's
         // root-to-leaf direction).
@@ -29,21 +47,44 @@ impl Cf {
         inputs.sort_by_key(|&v| self.manager().level_of(v));
         let mut removed = Vec::new();
         for x in inputs {
-            let merged = {
+            let input_index = match layout.role(x) {
+                crate::layout::Role::Input(i) => i,
+                crate::layout::Role::Output(_) => continue,
+            };
+            let merged: Result<Option<_>, BudgetError> = (|| {
                 let (mgr, _, root, _) = self.parts_mut();
                 let ctx = CompatCtx::new(mgr, &layout);
-                let f0 = mgr.restrict(root, x, false);
-                let f1 = mgr.restrict(root, x, true);
+                let f0 = mgr.try_restrict(root, x, false)?;
+                let f1 = mgr.try_restrict(root, x, true)?;
                 if f0 == f1 {
-                    None // x is already out of the support
+                    Ok(None) // x is already out of the support
                 } else {
-                    ctx.merge(mgr, f0, f1)
+                    ctx.try_merge(mgr, f0, f1)
                 }
-            };
-            if let Some(new_root) = merged {
-                self.install_root(new_root);
-                if let crate::layout::Role::Input(i) = layout.role(x) {
-                    removed.push(i);
+            })();
+            match merged {
+                Ok(Some(new_root)) => {
+                    self.install_root(new_root);
+                    removed.push(input_index);
+                }
+                Ok(None) => {}
+                Err(cause) if matches!(cause, BudgetError::NodeLimit { .. }) => {
+                    report.record(
+                        Phase::SupportReduction,
+                        Some(input_index as u32),
+                        DegradeAction::SkippedVariable,
+                        cause,
+                    );
+                    self.collect();
+                }
+                Err(cause) => {
+                    report.record(
+                        Phase::SupportReduction,
+                        Some(input_index as u32),
+                        DegradeAction::SkippedPhase,
+                        cause,
+                    );
+                    break;
                 }
             }
         }

@@ -107,6 +107,8 @@ pub fn parse_pla(text: &str) -> Result<Pla, PlaError> {
     let mut num_outputs: Option<usize> = None;
     let mut input_names: Option<Vec<String>> = None;
     let mut output_names: Option<Vec<String>> = None;
+    let mut ilb_line = 0usize;
+    let mut ob_line = 0usize;
     let mut cubes = Vec::new();
     let mut default_off = false;
 
@@ -123,16 +125,36 @@ pub fn parse_pla(text: &str) -> Result<Pla, PlaError> {
                 .ok_or_else(|| PlaError::Syntax(line_no, "empty directive".into()))?;
             match directive {
                 "i" => {
+                    if num_inputs.is_some() {
+                        return Err(PlaError::Syntax(line_no, ".i redefined".into()));
+                    }
                     num_inputs = Some(parse_count(parts.next(), line_no)?);
+                    reject_trailing(parts.next(), ".i", line_no)?;
                 }
                 "o" => {
+                    if num_outputs.is_some() {
+                        return Err(PlaError::Syntax(line_no, ".o redefined".into()));
+                    }
                     num_outputs = Some(parse_count(parts.next(), line_no)?);
+                    reject_trailing(parts.next(), ".o", line_no)?;
                 }
                 "p" => { /* cube count hint — ignored */ }
-                "ilb" => input_names = Some(parts.map(str::to_owned).collect()),
-                "ob" => output_names = Some(parts.map(str::to_owned).collect()),
+                "ilb" => {
+                    ilb_line = line_no;
+                    input_names = Some(parts.map(str::to_owned).collect());
+                }
+                "ob" => {
+                    ob_line = line_no;
+                    output_names = Some(parts.map(str::to_owned).collect());
+                }
                 "type" => {
                     let t = parts.next().unwrap_or("");
+                    if !matches!(t, "f" | "r" | "fd" | "fr" | "dr" | "fdr") {
+                        return Err(PlaError::Syntax(
+                            line_no,
+                            format!("unknown .type {t:?} (expected f|r|fd|fr|dr|fdr)"),
+                        ));
+                    }
                     default_off = matches!(t, "f" | "fd");
                 }
                 "e" | "end" => break,
@@ -148,7 +170,12 @@ pub fn parse_pla(text: &str) -> Result<Pla, PlaError> {
         // A cube line.
         let (n, m) = match (num_inputs, num_outputs) {
             (Some(n), Some(m)) => (n, m),
-            _ => return Err(PlaError::MissingHeader),
+            _ => {
+                return Err(PlaError::Syntax(
+                    line_no,
+                    "cube before the .i/.o header".into(),
+                ))
+            }
         };
         let mut fields = line.split_whitespace();
         let inputs_part = fields
@@ -207,10 +234,16 @@ pub fn parse_pla(text: &str) -> Result<Pla, PlaError> {
     let input_names = input_names.unwrap_or_else(|| (1..=n).map(|i| format!("x{i}")).collect());
     let output_names = output_names.unwrap_or_else(|| (1..=m).map(|j| format!("f{j}")).collect());
     if input_names.len() != n {
-        return Err(PlaError::Syntax(0, ".ilb arity disagrees with .i".into()));
+        return Err(PlaError::Syntax(
+            ilb_line,
+            format!(".ilb names {} input(s), .i says {n}", input_names.len()),
+        ));
     }
     if output_names.len() != m {
-        return Err(PlaError::Syntax(0, ".ob arity disagrees with .o".into()));
+        return Err(PlaError::Syntax(
+            ob_line,
+            format!(".ob names {} output(s), .o says {m}", output_names.len()),
+        ));
     }
     Ok(Pla {
         num_inputs: n,
@@ -227,6 +260,16 @@ fn parse_count(field: Option<&str>, line: usize) -> Result<usize, PlaError> {
         .and_then(|s| s.parse().ok())
         .filter(|&v| v > 0 && v <= 64)
         .ok_or_else(|| PlaError::Syntax(line, "expected a count in 1..=64".into()))
+}
+
+fn reject_trailing(field: Option<&str>, directive: &str, line: usize) -> Result<(), PlaError> {
+    match field {
+        None => Ok(()),
+        Some(extra) => Err(PlaError::Syntax(
+            line,
+            format!("trailing {extra:?} after {directive}"),
+        )),
+    }
 }
 
 impl Pla {
@@ -421,11 +464,68 @@ mod tests {
             PlaError::Syntax(3, what) => assert!(what.contains("invalid input")),
             other => panic!("unexpected {other:?}"),
         }
+        assert!(parse_pla(".i 2\n.o 1\n.bogus\n").is_err());
+    }
+
+    /// Regression table: every way a file can be malformed must produce a
+    /// [`PlaError::Syntax`] pointing at the offending 1-based line, with a
+    /// recognizable description — never a panic, never silent acceptance.
+    #[test]
+    fn malformed_inputs_report_line_and_reason() {
+        let cases: &[(&str, usize, &str)] = &[
+            // (input text, expected line, expected message fragment)
+            ("01 1\n", 1, "cube before"),
+            (".o 1\n01 1\n", 2, "cube before"),
+            (".i\n.o 1\n", 1, "count in 1..=64"),
+            (".i 0\n.o 1\n", 1, "count in 1..=64"),
+            (".i 65\n.o 1\n", 1, "count in 1..=64"),
+            (".i -3\n.o 1\n", 1, "count in 1..=64"),
+            (".i two\n.o 1\n", 1, "count in 1..=64"),
+            (".i 2 junk\n.o 1\n", 1, "trailing"),
+            (".i 2\n.i 3\n.o 1\n", 2, ".i redefined"),
+            (".i 2\n.o 1\n.o 2\n", 3, ".o redefined"),
+            (".i 2\n.o 1\n.type q\n", 3, "unknown .type"),
+            (".i 2\n.o 1\n.bogus\n", 3, "unknown directive"),
+            (".i 2\n.o 1\n.\n", 3, "empty directive"),
+            (".i 2\n.o 1\n0 1\n", 3, "expected 2 input"),
+            (".i 2\n.o 1\n000 1\n", 3, "expected 2 input"),
+            (".i 2\n.o 1\n00 11\n", 3, "expected 1 output"),
+            (".i 2\n.o 1\n00\n", 3, "expected 1 output"),
+            (".i 2\n.o 1\n0z 1\n", 3, "invalid input literal"),
+            (".i 2\n.o 1\n00 2\n", 3, "invalid output literal"),
+            (".i 2\n.o 2\n.ilb a b c\n00 11\n", 3, ".ilb names 3"),
+            (".i 2\n.o 2\n.ob f\n00 11\n", 3, ".ob names 1"),
+        ];
+        for &(text, line, fragment) in cases {
+            match parse_pla(text) {
+                Err(PlaError::Syntax(l, what)) => {
+                    assert_eq!(l, line, "wrong line for {text:?}: {what}");
+                    assert!(
+                        what.contains(fragment),
+                        "error for {text:?} is {what:?}, expected fragment {fragment:?}"
+                    );
+                }
+                other => panic!("{text:?} produced {other:?}, expected a syntax error"),
+            }
+        }
+        // A file that ends without ever declaring arity is the one
+        // remaining non-positional error.
         assert!(matches!(
-            parse_pla("01 1\n").unwrap_err(),
+            parse_pla("# nothing\n").unwrap_err(),
             PlaError::MissingHeader
         ));
-        assert!(parse_pla(".i 2\n.o 1\n.bogus\n").is_err());
+        assert!(matches!(
+            parse_pla("").unwrap_err(),
+            PlaError::MissingHeader
+        ));
+    }
+
+    #[test]
+    fn truncated_file_without_terminator_still_parses() {
+        // espresso files often lack .e; truncation mid-cube-list must not
+        // invent cubes or panic.
+        let pla = parse_pla(".i 2\n.o 1\n00 1").unwrap();
+        assert_eq!(pla.cubes.len(), 1);
     }
 
     #[test]

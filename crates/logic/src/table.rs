@@ -254,7 +254,9 @@ impl TruthTable {
                 }
             }
             for (j, c) in outs.chars().enumerate() {
-                table.set(r, j, Ternary::from_char(c).unwrap());
+                let v = Ternary::from_char(c)
+                    .expect("invariant: the Table 1 spec above contains only ternary digits");
+                table.set(r, j, v);
             }
         }
         table

@@ -20,17 +20,32 @@
 //!     Run the bddcf-check invariant layers (manager integrity, CF lints,
 //!     refinement oracle, cascade lints) over registry benchmarks; exits
 //!     nonzero if any layer reports a finding.
+//!
+//! bddcf inject [label-substring...] [--suite small|table4] [--seed N]
+//!              [--points N] [--max-iter N] [--samples N]
+//!     Seeded fault injection: exhaust node/step budgets and fire
+//!     cancellations at random points of the governed pipeline, auditing
+//!     every survivor; exits nonzero on any invariant violation.
 //! ```
+//!
+//! `stats`, `reduce`, and `cascade` accept resource-governor flags
+//! `--node-limit N`, `--step-limit N`, and `--time-budget SECONDS`. Under a
+//! budget the reductions *degrade gracefully*: steps that do not fit are
+//! downgraded or skipped (reported on stderr) and the result is a less
+//! reduced but still valid BDD_for_CF; only construction or synthesis that
+//! cannot complete at all exits nonzero, with a typed error and no panic.
 //!
 //! PLA semantics follow `bddcf_io::pla` (`fr`-type: uncovered minterms are
 //! don't cares; add `.type fd` to the file for unlisted-means-0).
 
-use bddcf::bdd::ReorderCost;
-use bddcf::cascade::{synthesize, CascadeOptions};
+use bddcf::bdd::{Budget, ReorderCost};
+use bddcf::cascade::{synthesize_governed, CascadeOptions, SynthesisError};
+use bddcf::core::degrade::{DegradationReport, DegradeAction, Phase};
 use bddcf::core::{Alg33Options, Cf};
 use bddcf::io::{cascade_to_verilog, parse_pla, read_cascade, write_cascade, write_pla};
 use bddcf::logic::{Ternary, TruthTable};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +73,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "cascade" => cascade(&args[1..]),
         "sim" => sim(&args[1..]),
         "check" => check(&args[1..]),
+        "inject" => inject(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -73,6 +89,15 @@ USAGE:
   bddcf sim <file.cas> <input-bits>
   bddcf check [label-substring...] [--suite small|table4] [--samples N]
               [--max-iter N]
+  bddcf inject [label-substring...] [--suite small|table4] [--seed N]
+               [--points N] [--max-iter N] [--samples N]
+
+RESOURCE GOVERNOR (stats | reduce | cascade):
+  --node-limit N       cap the BDD arena at N nodes
+  --step-limit N       cap charged operation steps at N
+  --time-budget SECS   wall-clock allowance (fractional seconds ok)
+  Reductions degrade gracefully under a budget (downgrades reported on
+  stderr, result stays valid); hard exhaustion exits nonzero, no panic.
 ";
 
 struct Flags {
@@ -87,6 +112,11 @@ struct Flags {
     suite: String,
     samples: u64,
     max_iter: usize,
+    node_limit: Option<usize>,
+    step_limit: Option<u64>,
+    time_budget: Option<f64>,
+    seed: u64,
+    points: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -102,6 +132,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         suite: "small".into(),
         samples: 128,
         max_iter: 4,
+        node_limit: None,
+        step_limit: None,
+        time_budget: None,
+        seed: 0xb0d0_cf5e,
+        points: 100,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -141,11 +176,79 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|e| format!("--max-iter: {e}"))?
             }
+            "--node-limit" => {
+                flags.node_limit = Some(
+                    grab("--node-limit")?
+                        .parse()
+                        .map_err(|e| format!("--node-limit: {e}"))?,
+                )
+            }
+            "--step-limit" => {
+                flags.step_limit = Some(
+                    grab("--step-limit")?
+                        .parse()
+                        .map_err(|e| format!("--step-limit: {e}"))?,
+                )
+            }
+            "--time-budget" => {
+                let secs: f64 = grab("--time-budget")?
+                    .parse()
+                    .map_err(|e| format!("--time-budget: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--time-budget needs a positive number of seconds".into());
+                }
+                flags.time_budget = Some(secs);
+            }
+            "--seed" => {
+                flags.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--points" => {
+                flags.points = grab("--points")?
+                    .parse()
+                    .map_err(|e| format!("--points: {e}"))?
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => flags.positional.push(other.to_string()),
         }
     }
     Ok(flags)
+}
+
+impl Flags {
+    /// The resource budget requested on the command line, if any.
+    fn budget(&self) -> Option<Budget> {
+        if self.node_limit.is_none() && self.step_limit.is_none() && self.time_budget.is_none() {
+            return None;
+        }
+        let mut budget = Budget::default();
+        if let Some(n) = self.node_limit {
+            budget = budget.with_node_limit(n);
+        }
+        if let Some(s) = self.step_limit {
+            budget = budget.with_step_limit(s);
+        }
+        if let Some(secs) = self.time_budget {
+            budget = budget.with_time_budget(Duration::from_secs_f64(secs));
+        }
+        Some(budget)
+    }
+}
+
+/// Prints a non-empty degradation report to stderr: the result the command
+/// goes on to print is less reduced than an unbudgeted run's, but valid.
+fn report_degradations(report: &DegradationReport) {
+    if report.is_clean() {
+        return;
+    }
+    eprintln!(
+        "budget pressure: {} downgrade(s); the result is less reduced but still valid:",
+        report.events.len()
+    );
+    for line in report.render().lines() {
+        eprintln!("  {line}");
+    }
 }
 
 fn load_cf(path: &str, sift_passes: usize) -> Result<Cf, String> {
@@ -175,20 +278,36 @@ fn stats(args: &[String]) -> Result<(), String> {
         cf.max_width(),
         cf.node_count()
     );
+    let budget = flags.budget();
+    let mut degradations = DegradationReport::new();
     let mut a31 = cf.clone();
-    let s31 = a31.reduce_alg31();
-    println!(
-        "Alg 3.1:  width {:>6}  nodes {:>7}  ({} merges)",
-        s31.max_width_after, s31.nodes_after, s31.merges
-    );
+    if let Some(b) = budget.clone() {
+        a31.manager_mut().set_budget(b);
+    }
+    match a31.try_reduce_alg31() {
+        Ok(s31) => println!(
+            "Alg 3.1:  width {:>6}  nodes {:>7}  ({} merges)",
+            s31.max_width_after, s31.nodes_after, s31.merges
+        ),
+        Err(cause) => {
+            degradations.record(Phase::Alg31, None, DegradeAction::SkippedPhase, cause);
+            println!("Alg 3.1:  (skipped: {cause})");
+        }
+    }
     let mut a33 = cf.clone();
-    let s33 = a33.reduce_alg33_default();
+    if let Some(b) = budget.clone() {
+        a33.manager_mut().set_budget(b);
+    }
+    let s33 = a33.reduce_alg33_governed(&Alg33Options::default(), &mut degradations);
     println!(
         "Alg 3.3:  width {:>6}  nodes {:>7}  ({} columns merged)",
         s33.max_width_after, s33.nodes_after, s33.columns_merged
     );
     let mut sup = cf;
-    let removed = sup.reduce_support_variables();
+    if let Some(b) = budget {
+        sup.manager_mut().set_budget(b);
+    }
+    let removed = sup.reduce_support_variables_governed(&mut degradations);
     println!(
         "§3.3:     {} redundant input(s) removable: {:?}",
         removed.len(),
@@ -197,6 +316,7 @@ fn stats(args: &[String]) -> Result<(), String> {
             .map(|i| format!("x{}", i + 1))
             .collect::<Vec<_>>()
     );
+    report_degradations(&degradations);
     Ok(())
 }
 
@@ -207,18 +327,26 @@ fn reduce(args: &[String]) -> Result<(), String> {
     };
     let mut cf = load_cf(path, flags.sift)?;
     let before = (cf.max_width(), cf.node_count());
+    let mut degradations = DegradationReport::new();
+    if let Some(budget) = flags.budget() {
+        cf.manager_mut().set_budget(budget);
+    }
     match flags.method.as_str() {
         "alg31" => {
-            cf.reduce_alg31();
+            if let Err(cause) = cf.try_reduce_alg31() {
+                degradations.record(Phase::Alg31, None, DegradeAction::SkippedPhase, cause);
+            }
         }
         "alg33" => {
-            cf.reduce_alg33_default();
+            cf.reduce_alg33_governed(&Alg33Options::default(), &mut degradations);
         }
         "fixpoint" => {
-            cf.reduce_to_fixpoint(&Alg33Options::default(), 4);
+            cf.reduce_to_fixpoint_governed(&Alg33Options::default(), 4, &mut degradations);
         }
         other => return Err(format!("unknown --method {other}")),
     }
+    let _ = cf.manager_mut().take_budget();
+    report_degradations(&degradations);
     println!(
         "width {} -> {}, nodes {} -> {}",
         before.0,
@@ -253,15 +381,30 @@ fn cascade(args: &[String]) -> Result<(), String> {
         return Err("cascade takes exactly one PLA file".into());
     };
     let mut cf = load_cf(path, flags.sift)?;
-    cf.reduce_alg33_default();
+    let mut degradations = DegradationReport::new();
+    if let Some(budget) = flags.budget() {
+        cf.manager_mut().set_budget(budget);
+    }
+    cf.reduce_alg33_governed(&Alg33Options::default(), &mut degradations);
     let options = CascadeOptions {
         max_cell_inputs: flags.max_in,
         max_cell_outputs: flags.max_out,
         ..CascadeOptions::default()
     };
-    let result = synthesize(&mut cf, &options).map_err(|e| {
-        format!("{e} — try larger cells or split the outputs (see bddcf_cascade::multi)")
-    })?;
+    let result =
+        synthesize_governed(&mut cf, &options, &mut degradations).map_err(|e| match e {
+            SynthesisError::Budget(cause) => {
+                report_degradations(&degradations);
+                format!("budget exhausted during cascade synthesis: {cause}")
+            }
+            other => {
+                format!(
+                    "{other} — try larger cells or split the outputs (see bddcf_cascade::multi)"
+                )
+            }
+        })?;
+    let _ = cf.manager_mut().take_budget();
+    report_degradations(&degradations);
     println!(
         "cascade: {} cells, {} LUT outputs, {} memory bits, max {} rails",
         result.num_cells(),
@@ -326,8 +469,7 @@ fn sim(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn check(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
+fn select_suite(flags: &Flags) -> Result<Vec<bddcf::funcs::BenchmarkEntry>, String> {
     let suite = match flags.suite.as_str() {
         "small" => bddcf::funcs::small_benchmarks(),
         "table4" => bddcf::funcs::table4_benchmarks(),
@@ -349,6 +491,12 @@ fn check(args: &[String]) -> Result<(), String> {
             flags.suite, flags.positional
         ));
     }
+    Ok(selected)
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let selected = select_suite(&flags)?;
     let options = bddcf::check::CheckOptions {
         samples: flags.samples,
         max_iterations: flags.max_iter,
@@ -386,6 +534,42 @@ fn check(args: &[String]) -> Result<(), String> {
     println!(
         "all {} benchmark(s) pass every invariant layer",
         selected.len()
+    );
+    Ok(())
+}
+
+fn inject(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let selected = select_suite(&flags)?;
+    let options = bddcf::check::InjectionOptions {
+        seed: flags.seed,
+        points: flags.points,
+        max_iterations: flags.max_iter,
+        samples: flags.samples.min(64),
+        ..bddcf::check::InjectionOptions::default()
+    };
+    let mut failures = 0usize;
+    for entry in &selected {
+        let outcome = bddcf::check::run_injection(entry.benchmark.as_ref(), &options);
+        println!("{}", outcome.summary());
+        if !outcome.is_clean() {
+            failures += 1;
+            for finding in outcome.report.findings() {
+                println!("     {finding}");
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} benchmark(s) violated an invariant under fault injection",
+            selected.len()
+        ));
+    }
+    println!(
+        "all {} benchmark(s) survive {} fault injection(s) each (seed {:#x})",
+        selected.len(),
+        flags.points,
+        flags.seed
     );
     Ok(())
 }
