@@ -43,6 +43,12 @@ pub enum Error {
     /// The [`CancelToken`] was fired (or the deterministic
     /// [`cancel_at_step`](Budget::with_cancel_at_step) hook tripped).
     Cancelled,
+    /// The manager was [poisoned](crate::BddManager::poison) after a panic
+    /// unwound through one of its operations. A poisoned manager refuses
+    /// every further budgeted operation: its arena may hold a half-built
+    /// (if still structurally sound) intermediate state, and batch
+    /// harnesses quarantine it instead of reusing it.
+    Poisoned,
 }
 
 impl fmt::Display for Error {
@@ -52,6 +58,7 @@ impl fmt::Display for Error {
             Error::StepLimit { limit } => write!(f, "step budget exhausted (limit {limit})"),
             Error::TimeBudget => write!(f, "time budget exhausted"),
             Error::Cancelled => write!(f, "operation cancelled"),
+            Error::Poisoned => write!(f, "manager poisoned by an earlier panic"),
         }
     }
 }

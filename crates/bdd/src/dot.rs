@@ -5,7 +5,7 @@
 //! paper omits the 0 terminal entirely in its figures, e.g. Fig. 2).
 
 use crate::manager::{BddManager, NodeId, Var, FALSE, TRUE};
-use std::fmt::Write as _;
+use std::io;
 
 /// Options controlling [`BddManager::to_dot`].
 #[derive(Clone, Debug)]
@@ -26,19 +26,20 @@ impl Default for DotOptions {
 }
 
 impl BddManager {
-    /// Renders the BDD(s) rooted at `roots` as a Graphviz DOT string.
+    /// Streams the BDD(s) rooted at `roots` as Graphviz DOT into a writer,
+    /// propagating I/O failures (a full disk is an error, not a panic).
     ///
     /// `label` maps each variable to its display name; same-level nodes are
     /// ranked together.
-    pub fn to_dot(
+    pub fn write_dot<W: io::Write>(
         &self,
+        w: &mut W,
         roots: &[NodeId],
         label: impl Fn(Var) -> String,
         options: &DotOptions,
-    ) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "digraph {} {{", options.name);
-        let _ = writeln!(out, "  rankdir=TB;");
+    ) -> io::Result<()> {
+        writeln!(w, "digraph {} {{", options.name)?;
+        writeln!(w, "  rankdir=TB;")?;
         let mut nodes = self.descendants(roots);
         nodes.sort_by_key(|&n| (self.level_of_node(n), n));
 
@@ -48,20 +49,20 @@ impl BddManager {
             let level = self.level_of_node(n);
             if current_level != Some(level) {
                 if current_level.is_some() {
-                    let _ = writeln!(out, "  }}");
+                    writeln!(w, "  }}")?;
                 }
-                let _ = writeln!(out, "  {{ rank=same;");
+                writeln!(w, "  {{ rank=same;")?;
                 current_level = Some(level);
             }
-            let _ = writeln!(
-                out,
+            writeln!(
+                w,
                 "    n{} [label=\"{}\", shape=circle];",
                 n.0,
                 label(self.var_of(n))
-            );
+            )?;
         }
         if current_level.is_some() {
-            let _ = writeln!(out, "  }}");
+            writeln!(w, "  }}")?;
         }
         let mut used_true = false;
         let mut used_false = false;
@@ -72,7 +73,7 @@ impl BddManager {
                 }
                 used_true |= child == TRUE;
                 used_false |= child == FALSE;
-                let _ = writeln!(out, "  n{} -> n{} [style={}];", n.0, child.0, style);
+                writeln!(w, "  n{} -> n{} [style={}];", n.0, child.0, style)?;
             }
         }
         for &root in roots {
@@ -80,13 +81,28 @@ impl BddManager {
             used_false |= root == FALSE && !options.hide_false;
         }
         if used_true {
-            let _ = writeln!(out, "  n{} [label=\"1\", shape=box];", TRUE.0);
+            writeln!(w, "  n{} [label=\"1\", shape=box];", TRUE.0)?;
         }
         if used_false {
-            let _ = writeln!(out, "  n{} [label=\"0\", shape=box];", FALSE.0);
+            writeln!(w, "  n{} [label=\"0\", shape=box];", FALSE.0)?;
         }
-        let _ = writeln!(out, "}}");
-        out
+        writeln!(w, "}}")
+    }
+
+    /// Renders the BDD(s) rooted at `roots` as a Graphviz DOT string.
+    ///
+    /// Convenience wrapper over [`write_dot`](Self::write_dot); writing into
+    /// memory cannot fail.
+    pub fn to_dot(
+        &self,
+        roots: &[NodeId],
+        label: impl Fn(Var) -> String,
+        options: &DotOptions,
+    ) -> String {
+        let mut out = Vec::new();
+        self.write_dot(&mut out, roots, label, options)
+            .expect("invariant: writing DOT to memory cannot fail");
+        String::from_utf8(out).expect("invariant: DOT output is ASCII")
     }
 }
 
@@ -124,5 +140,29 @@ mod tests {
             },
         );
         assert!(shown.contains("label=\"0\""));
+    }
+
+    #[test]
+    fn write_dot_propagates_io_errors() {
+        struct Full;
+        impl io::Write for Full {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut mgr = BddManager::new(1);
+        let a = mgr.var(Var(0));
+        let err = mgr
+            .write_dot(
+                &mut Full,
+                &[a],
+                |v| format!("x{}", v.0),
+                &DotOptions::default(),
+            )
+            .expect_err("full disk must surface");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
     }
 }

@@ -54,10 +54,12 @@ pub mod hasher;
 pub mod manager;
 pub mod mtbdd;
 pub mod reorder;
+pub mod snapshot;
 pub mod width;
 
 pub use budget::{Budget, CancelToken, Error};
 pub use exact::ExactWidth;
 pub use manager::{BddManager, BinOp, IntegrityViolation, NodeId, OrderError, Var, FALSE, TRUE};
 pub use reorder::{ReorderCost, SiftConstraints};
+pub use snapshot::SnapshotError;
 pub use width::WidthProfile;

@@ -46,6 +46,22 @@ impl fmt::Debug for Var {
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) u32);
 
+impl NodeId {
+    /// The raw arena index, for wire formats and diagnostics. Only
+    /// meaningful together with the manager that allocated the id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an id from a raw arena index, e.g. while decoding a
+    /// snapshot. The index is *not* checked here; callers must validate it
+    /// against the arena of the manager the id will be used with (a stale
+    /// or forged id panics or denotes the wrong function at use sites).
+    pub fn from_raw(raw: u32) -> NodeId {
+        NodeId(raw)
+    }
+}
+
 impl fmt::Debug for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
@@ -96,6 +112,7 @@ pub struct BddManager {
     level_of_var: Vec<u32>,
     budget: Budget,
     steps: u64,
+    poisoned: bool,
 }
 
 impl fmt::Debug for BddManager {
@@ -122,6 +139,7 @@ impl BddManager {
             level_of_var: (0..num_vars as u32).collect(),
             budget: Budget::default(),
             steps: 0,
+            poisoned: false,
         };
         mgr.nodes.push(Node {
             var: TERMINAL_VAR,
@@ -291,6 +309,22 @@ impl BddManager {
         self.steps
     }
 
+    /// Marks the manager as poisoned. Batch harnesses call this after a
+    /// panic unwinds through an operation on this manager: the arena may be
+    /// mid-construction, so every further budgeted operation refuses to run
+    /// with [`Error::Poisoned`] rather than silently building on a possibly
+    /// half-written state. Idempotent; there is no un-poisoning — rebuild
+    /// from a snapshot (or from scratch) instead.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Has [`poison`](Self::poison) been called on this manager (directly,
+    /// or via a snapshot restore of a poisoned manager)?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     /// Charges one operation step against the budget. Called on every
     /// recursion of the `try_*` operations (after their terminal
     /// short-cuts). Cheap checks (step limit, deterministic cancel hook) run
@@ -298,6 +332,9 @@ impl BddManager {
     /// 1024 steps to keep the hot path tight.
     #[inline]
     fn charge(&mut self) -> Result<(), Error> {
+        if self.poisoned {
+            return Err(Error::Poisoned);
+        }
         self.steps += 1;
         if let Some(limit) = self.budget.step_limit {
             if self.steps > limit {
@@ -338,12 +375,20 @@ impl BddManager {
     /// Runs `op` with the budget suspended. This is how the infallible
     /// operations delegate to their `try_*` twins without ever observing a
     /// budget error.
+    /// # Panics
+    ///
+    /// Panics if the manager is [poisoned](Self::poison): the infallible
+    /// wrappers have no error channel, and continuing on a quarantined
+    /// manager would defeat the quarantine.
     #[inline]
     fn unbudgeted<T>(&mut self, op: impl FnOnce(&mut Self) -> Result<T, Error>) -> T {
         let saved = std::mem::take(&mut self.budget);
         let result = op(self);
         self.budget = saved;
-        result.expect("invariant: unbudgeted BDD operations cannot fail")
+        match result {
+            Ok(value) => value,
+            Err(e) => panic!("invariant: unbudgeted BDD operations cannot fail (got: {e})"),
+        }
     }
 
     // ---------------------------------------------------------------------
@@ -425,6 +470,73 @@ impl BddManager {
     }
 
     // ---------------------------------------------------------------------
+    // Snapshot raw access (see the `snapshot` module for the wire format)
+    // ---------------------------------------------------------------------
+
+    /// Interior nodes as raw `(var, lo, hi)` triples in arena order
+    /// (terminals excluded). Arena order places every child before its
+    /// parent, which the snapshot reader relies on for one-pass validation.
+    pub(crate) fn raw_nodes(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.nodes[2..].iter().map(|n| (n.var, n.lo.0, n.hi.0))
+    }
+
+    /// Rebuilds a manager from snapshot parts: a variable order and the
+    /// interior-node triples in arena order. The unique table is
+    /// reconstructed (it is not serialized), and every triple is validated —
+    /// variable in range, no redundant node, children strictly before their
+    /// parent in the arena and strictly below in the level order, no
+    /// duplicate `(var, lo, hi)` key. On failure, returns the index of the
+    /// offending triple (`0` for a bad order) and a description, so the
+    /// caller can translate it into a byte offset.
+    pub(crate) fn from_snapshot_parts(
+        order: &[Var],
+        triples: &[(u32, u32, u32)],
+        poisoned: bool,
+    ) -> Result<Self, (usize, String)> {
+        let num_vars = order.len();
+        let mut mgr = BddManager::new(num_vars);
+        if let Err(e) = mgr.try_set_order(order) {
+            return Err((0, format!("variable order is not a permutation: {e:?}")));
+        }
+        mgr.poisoned = poisoned;
+        mgr.nodes.reserve(triples.len());
+        for (i, &(var, lo, hi)) in triples.iter().enumerate() {
+            let id = NodeId((i + 2) as u32);
+            if var as usize >= num_vars {
+                return Err((
+                    i,
+                    format!("node n{}: variable index {var} out of range", id.0),
+                ));
+            }
+            if lo == hi {
+                return Err((i, format!("node n{}: redundant node (lo == hi)", id.0)));
+            }
+            if lo >= id.0 || hi >= id.0 {
+                return Err((
+                    i,
+                    format!("node n{}: child does not precede parent in the arena", id.0),
+                ));
+            }
+            let (lo, hi) = (NodeId(lo), NodeId(hi));
+            let level = mgr.level_of_var[var as usize];
+            if level >= mgr.level_of_node(lo) || level >= mgr.level_of_node(hi) {
+                return Err((
+                    i,
+                    format!(
+                        "node n{}: variable not above its children in the order",
+                        id.0
+                    ),
+                ));
+            }
+            if mgr.unique.insert((var, lo, hi), id).is_some() {
+                return Err((i, format!("node n{}: duplicate of an earlier node", id.0)));
+            }
+            mgr.nodes.push(Node { var, lo, hi });
+        }
+        Ok(mgr)
+    }
+
+    // ---------------------------------------------------------------------
     // Construction
     // ---------------------------------------------------------------------
 
@@ -440,6 +552,9 @@ impl BddManager {
     /// [`Error::NodeLimit`] if a genuinely new node would push the arena
     /// past the quota. Reduction-rule and unique-table hits never fail.
     pub fn try_mk(&mut self, var: Var, lo: NodeId, hi: NodeId) -> Result<NodeId, Error> {
+        if self.poisoned {
+            return Err(Error::Poisoned);
+        }
         if lo == hi {
             return Ok(lo);
         }

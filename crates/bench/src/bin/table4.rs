@@ -12,7 +12,7 @@
 //! `--quick` replaces the three word lists by smaller ones (200/400/600
 //! words) and uses one sifting pass, for a fast smoke run.
 
-use bddcf_bench::{measure_benchmark, Measurement, PipelineOptions, TableWriter};
+use bddcf_bench::{measure_benchmark_quarantined, Measurement, PipelineOptions, TableWriter};
 use bddcf_funcs::{table4_benchmarks, BenchmarkEntry, WordList};
 
 fn main() {
@@ -36,9 +36,17 @@ fn main() {
     ]);
 
     let mut measurements: Vec<Measurement> = Vec::new();
+    let mut quarantined: Vec<(&str, String)> = Vec::new();
     for entry in &entries {
         eprintln!("measuring {} …", entry.label);
-        let m = measure_benchmark(entry.benchmark.as_ref(), &options);
+        let m = match measure_benchmark_quarantined(entry.benchmark.as_ref(), &options) {
+            Ok(m) => m,
+            Err(payload) => {
+                // One bad benchmark must not cost the rest of the table.
+                quarantined.push((entry.label, payload));
+                continue;
+            }
+        };
         for (hi, h) in m.halves.iter().enumerate() {
             table.row(&[
                 if hi == 0 {
@@ -128,4 +136,15 @@ fn main() {
     println!(
         "\nPaper's ratio row: widths 1.000 0.970 0.833 0.735 0.540   nodes 1.000 0.982 0.807 0.580 0.583"
     );
+
+    if !quarantined.is_empty() {
+        eprintln!(
+            "\n{} benchmark(s) quarantined after panicking:",
+            quarantined.len()
+        );
+        for (label, payload) in &quarantined {
+            eprintln!("  {label}: {payload}");
+        }
+        std::process::exit(1);
+    }
 }

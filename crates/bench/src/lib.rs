@@ -16,5 +16,7 @@
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{measure_benchmark, HalfMeasurement, Measurement, PipelineOptions};
+pub use pipeline::{
+    measure_benchmark, measure_benchmark_quarantined, HalfMeasurement, Measurement, PipelineOptions,
+};
 pub use report::TableWriter;

@@ -191,6 +191,34 @@ pub fn measure_benchmark(benchmark: &dyn Benchmark, options: &PipelineOptions) -
     }
 }
 
+/// [`measure_benchmark`] inside a panic quarantine: a panicking benchmark
+/// yields `Err(payload)` instead of aborting the whole table run, so batch
+/// binaries can record the casualty and keep measuring the rest.
+///
+/// The panicked run's manager is dropped wholesale (nothing of it is
+/// reused), which is the batch-level analogue of poisoning a shared one.
+///
+/// # Errors
+///
+/// Returns the panic payload, rendered as text.
+pub fn measure_benchmark_quarantined(
+    benchmark: &dyn Benchmark,
+    options: &PipelineOptions,
+) -> Result<Measurement, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        measure_benchmark(benchmark, options)
+    }))
+    .map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_owned()
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -293,8 +293,9 @@ pub fn synthesize(cf: &mut Cf, options: &CascadeOptions) -> Result<Cascade, Synt
 /// with the budget suspended (it is linear in the output nodes of χ),
 /// recording the overrun as
 /// [`CompletedUnbudgeted`](DegradeAction::CompletedUnbudgeted). Terminal
-/// causes (step/time/cancel) are returned as
-/// [`SynthesisError::Budget`] — a cancellation must win even here.
+/// causes (step/time/cancel, and a manager poisoned by a caught panic —
+/// `Error::Poisoned` — which is terminal like a cancellation) are returned
+/// as [`SynthesisError::Budget`]; a cancellation must win even here.
 pub fn synthesize_governed(
     cf: &mut Cf,
     options: &CascadeOptions,

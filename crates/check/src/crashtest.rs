@@ -1,0 +1,392 @@
+//! Crash-recovery harness: kill the pipeline deterministically, resume it
+//! from the latest checkpoint, and prove nothing was lost.
+//!
+//! The durability claim of the checkpoint subsystem
+//! ([`bddcf_core::checkpoint`]) is that a run killed at *any* moment can be
+//! continued from its latest checkpoint and end in exactly the state an
+//! uninterrupted run reaches — not merely an equivalent one. This module
+//! turns that claim into an executable experiment, reusing the calibration
+//! idea of the [fault-injection harness](crate::inject):
+//!
+//! 1. **Calibrate**: run the checkpointed pipeline once, uninterrupted,
+//!    recording the cascade text and the total number of charged operation
+//!    steps.
+//! 2. **Kill**: for each seeded kill point `k ∈ [1, steps]`, replay the
+//!    pipeline with a deterministic `cancel_at_step(k)` budget in
+//!    crash-simulation mode (the driver bails instantly, writing no further
+//!    checkpoints — exactly what `kill -9` at that step would leave behind).
+//! 3. **Resume**: restore from the latest checkpoint on disk (or rerun
+//!    from scratch when the crash predates the first checkpoint), finish
+//!    with no budget, and synthesize the cascade.
+//! 4. **Assert** (a) the refinement oracle [`check_refinement`] holds on
+//!    the resumed state, and (b) the resumed cascade is **byte-identical**
+//!    to the uninterrupted run's.
+//!
+//! Byte-identity works because every checkpoint boundary garbage-collects
+//! before serializing: the resumed arena equals the uninterrupted run's
+//! arena at that boundary node for node, and everything downstream
+//! (column collection, clique covers, rail codes, cell extraction) is a
+//! deterministic function of the arena.
+
+use crate::{check_refinement, CheckReport, Layer};
+use bddcf_bdd::{Budget, CancelToken, Error as BudgetError};
+use bddcf_cascade::{synthesize_governed, Cascade, CascadeOptions, SynthesisError};
+use bddcf_core::checkpoint::{latest_checkpoint, load_checkpoint, CheckpointError, Checkpointer};
+use bddcf_core::{Alg33Options, Cf, DegradationReport};
+use bddcf_funcs::{build_isf_pieces, Benchmark};
+use bddcf_io::write_cascade;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Knobs for [`run_crashtest`].
+#[derive(Clone, Debug)]
+pub struct CrashTestOptions {
+    /// RNG seed; equal seeds replay the identical kill schedule.
+    pub seed: u64,
+    /// Number of seeded kill points per benchmark.
+    pub kill_points: usize,
+    /// Iteration cap for the reduction fixpoint.
+    pub max_iterations: usize,
+    /// Algorithm 3.3 tuning.
+    pub alg33: Alg33Options,
+    /// Cell constraints for cascade synthesis.
+    pub cascade: CascadeOptions,
+    /// Directory for checkpoint trees (one subdirectory per benchmark,
+    /// wiped at the start of each benchmark's run).
+    pub dir: PathBuf,
+}
+
+impl Default for CrashTestOptions {
+    fn default() -> Self {
+        CrashTestOptions {
+            seed: 0xc4a5_47e5,
+            kill_points: 12,
+            max_iterations: 4,
+            alg33: Alg33Options::default(),
+            cascade: CascadeOptions::default(),
+            dir: std::env::temp_dir().join("bddcf-crashtest"),
+        }
+    }
+}
+
+/// Where one kill landed and how recovery went.
+#[derive(Clone, Debug)]
+pub struct KillOutcome {
+    /// The step count the deterministic kill fired at.
+    pub step: u64,
+    /// Which phase the kill interrupted.
+    pub crashed_in: &'static str,
+    /// The checkpoint the run was resumed from; `None` when the crash
+    /// predates the first checkpoint (recovery reruns from scratch).
+    pub resumed_from: Option<PathBuf>,
+    /// Whether the recovered cascade is byte-identical to the
+    /// uninterrupted run's.
+    pub identical: bool,
+}
+
+/// Everything [`run_crashtest`] learned about one benchmark.
+#[derive(Debug)]
+pub struct CrashTestOutcome {
+    /// The benchmark's display name.
+    pub label: String,
+    /// Charged operation steps of the uninterrupted calibration run — the
+    /// kill-point space.
+    pub calibration_steps: u64,
+    /// Per-kill records, in schedule order.
+    pub kills: Vec<KillOutcome>,
+    /// Refinement-oracle findings plus a finding per non-identical
+    /// recovery (empty = full crash-safety on this benchmark).
+    pub report: CheckReport,
+}
+
+impl CrashTestOutcome {
+    /// True when every recovery was byte-identical and the refinement
+    /// oracle held on every resumed state.
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean() && self.kills.iter().all(|k| k.identical)
+    }
+
+    /// Kills that were recovered from an on-disk checkpoint (rather than a
+    /// from-scratch rerun).
+    pub fn resumed_from_checkpoint(&self) -> usize {
+        self.kills
+            .iter()
+            .filter(|k| k.resumed_from.is_some())
+            .count()
+    }
+
+    /// One-line summary for logs and the CLI.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} kill(s) over {} steps — {} resumed from checkpoints, \
+             {} rerun from scratch; {}",
+            self.label,
+            self.kills.len(),
+            self.calibration_steps,
+            self.resumed_from_checkpoint(),
+            self.kills.len() - self.resumed_from_checkpoint(),
+            if self.is_clean() {
+                "all recoveries byte-identical".to_owned()
+            } else {
+                format!(
+                    "{} non-identical recover(ies), {} finding(s)",
+                    self.kills.iter().filter(|k| !k.identical).count(),
+                    self.report.findings().len()
+                )
+            }
+        )
+    }
+}
+
+/// The cascade outcome as comparable text: the cascade's canonical text
+/// format on success, a deterministic marker line on synthesis failure
+/// (which a faithful recovery must reproduce too).
+fn render_outcome(outcome: Result<Cascade, SynthesisError>) -> String {
+    match outcome {
+        Ok(cascade) => write_cascade(&cascade),
+        Err(e) => format!("<no cascade: {e}>\n"),
+    }
+}
+
+/// One uninterrupted checkpointed run: build, reduce (checkpointing into
+/// `dir`), synthesize. Returns the finished state, its report, and the
+/// rendered cascade.
+fn full_run(
+    benchmark: &dyn Benchmark,
+    options: &CrashTestOptions,
+    dir: &Path,
+) -> Result<(Cf, DegradationReport, String), CheckpointError> {
+    let (mut mgr, layout, isf) = build_isf_pieces(benchmark);
+    mgr.set_budget(Budget::unlimited()); // reset the step clock for calibration
+    let mut cf = Cf::try_from_isf(mgr, layout, isf)
+        .map_err(|e| CheckpointError::Invalid(format!("unlimited construction failed: {e}")))?;
+    let mut report = DegradationReport::new();
+    let mut ck = Checkpointer::new(dir)?;
+    cf.reduce_to_fixpoint_checkpointed(
+        &options.alg33,
+        options.max_iterations,
+        &mut report,
+        &mut ck,
+        false,
+    )?;
+    let outcome = synthesize_governed(&mut cf, &options.cascade, &mut report);
+    let rendered = render_outcome(outcome);
+    Ok((cf, report, rendered))
+}
+
+/// Deterministic kill budget: behave exactly like `kill -9` at charged
+/// step `step` (reproducible, unlike signals or wall clocks).
+fn kill_budget(step: u64) -> Budget {
+    Budget::default()
+        .with_cancel(CancelToken::new())
+        .with_cancel_at_step(step)
+}
+
+/// Kills the pipeline at `step`, recovers, and compares against
+/// `baseline`. Findings (refinement violations, non-identical recovery)
+/// go into `check`.
+fn run_one_kill(
+    benchmark: &dyn Benchmark,
+    options: &CrashTestOptions,
+    kill_dir: &Path,
+    step: u64,
+    baseline: &str,
+    check: &mut CheckReport,
+) -> Result<KillOutcome, CheckpointError> {
+    // Phase 1: the crashing run. In crash-simulation mode the driver
+    // returns `None` the moment the kill fires, leaving only the
+    // checkpoints an actual dead process would have left.
+    let (mut mgr, layout, isf) = build_isf_pieces(benchmark);
+    mgr.set_budget(kill_budget(step));
+    let mut crashed_in = "construction";
+    let completed: Option<String> = match Cf::try_from_isf(mgr, layout, isf) {
+        Err(_) => None, // died before the first checkpoint could exist
+        Ok(mut cf) => {
+            let mut rep = DegradationReport::new();
+            let mut ck = Checkpointer::new(kill_dir)?;
+            crashed_in = "reduction";
+            match cf.reduce_to_fixpoint_checkpointed(
+                &options.alg33,
+                options.max_iterations,
+                &mut rep,
+                &mut ck,
+                true,
+            )? {
+                None => None,
+                Some(_) => {
+                    crashed_in = "synthesis";
+                    match synthesize_governed(&mut cf, &options.cascade, &mut rep) {
+                        Err(SynthesisError::Budget(BudgetError::Cancelled)) => None,
+                        outcome => {
+                            // The kill point lay beyond this run's total
+                            // work; it completed like an uninterrupted run.
+                            crashed_in = "completed";
+                            Some(render_outcome(outcome))
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    let tag = format!("kill@{step}");
+    let (recovered, resumed_from) = match completed {
+        Some(rendered) => (rendered, None),
+        None => match latest_checkpoint(kill_dir)? {
+            None => {
+                // Crash predates the first checkpoint: recovery is a rerun
+                // from scratch, which must still match the baseline.
+                let (mut cf, _rep, rendered) = full_run(benchmark, options, kill_dir)?;
+                check.absorb(&tag, check_refinement(&mut cf));
+                (rendered, None)
+            }
+            Some(path) => {
+                let loaded = load_checkpoint(&path)?;
+                let mut ck = Checkpointer::new(kill_dir)?; // continues the sequence
+                let (mut cf, mut rep, _stats) =
+                    loaded.resume(&options.alg33, options.max_iterations, &mut ck, false)?;
+                let outcome = synthesize_governed(&mut cf, &options.cascade, &mut rep);
+                check.absorb(&tag, check_refinement(&mut cf));
+                (render_outcome(outcome), Some(path))
+            }
+        },
+    };
+
+    let identical = recovered == *baseline;
+    if !identical {
+        check.absorb(&tag, {
+            let mut r = CheckReport::new();
+            r.push(
+                Layer::Cascade,
+                format!(
+                    "recovered cascade differs from the uninterrupted run \
+                     (killed during {crashed_in}, {} vs {} byte(s))",
+                    recovered.len(),
+                    baseline.len()
+                ),
+            );
+            r
+        });
+    }
+    Ok(KillOutcome {
+        step,
+        crashed_in,
+        resumed_from,
+        identical,
+    })
+}
+
+/// Runs the crash-recovery experiment on one benchmark: calibrate, then
+/// kill/resume/compare at [`CrashTestOptions::kill_points`] seeded steps.
+pub fn run_crashtest(
+    benchmark: &dyn Benchmark,
+    options: &CrashTestOptions,
+) -> Result<CrashTestOutcome, CheckpointError> {
+    let label = benchmark.name();
+    let slug: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let bench_dir = options.dir.join(slug);
+    let _ = fs::remove_dir_all(&bench_dir); // stale trees from previous runs
+
+    let (mut baseline_cf, _baseline_report, baseline) =
+        full_run(benchmark, options, &bench_dir.join("baseline"))?;
+    let calibration_steps = baseline_cf.manager().steps();
+    let mut report = CheckReport::new();
+    report.absorb("baseline", check_refinement(&mut baseline_cf));
+
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut kills = Vec::with_capacity(options.kill_points);
+    for i in 0..options.kill_points {
+        let step = rng.gen_range(1..=calibration_steps.max(2));
+        let kill_dir = bench_dir.join(format!("kill-{i:03}"));
+        kills.push(run_one_kill(
+            benchmark,
+            options,
+            &kill_dir,
+            step,
+            &baseline,
+            &mut report,
+        )?);
+    }
+    Ok(CrashTestOutcome {
+        label,
+        calibration_steps,
+        kills,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quarantine::{run_quarantined, with_quiet_panics, PanicProbe};
+    use bddcf_funcs::registry::small_benchmarks;
+
+    fn test_options(tag: &str, kill_points: usize) -> CrashTestOptions {
+        CrashTestOptions {
+            kill_points,
+            dir: std::env::temp_dir()
+                .join(format!("bddcf-crashtest-test-{tag}-{}", std::process::id())),
+            ..CrashTestOptions::default()
+        }
+    }
+
+    #[test]
+    fn every_seeded_kill_recovers_byte_identically_on_a_small_benchmark() {
+        let entry = &small_benchmarks()[0]; // 3-5 RNS
+        let options = test_options("rns", 6);
+        let outcome = run_crashtest(entry.benchmark.as_ref(), &options).expect("harness runs");
+        assert!(outcome.calibration_steps > 0);
+        assert_eq!(outcome.kills.len(), 6);
+        assert!(
+            outcome.is_clean(),
+            "crash recovery failed:\n{}\n{}",
+            outcome.summary(),
+            outcome.report
+        );
+        // At least one kill should land late enough to resume from a real
+        // checkpoint rather than rerunning from scratch.
+        assert!(
+            outcome.resumed_from_checkpoint() > 0,
+            "kill schedule never exercised checkpoint resume: {:?}",
+            outcome.kills
+        );
+        let _ = fs::remove_dir_all(&options.dir);
+    }
+
+    #[test]
+    fn panicking_benchmark_quarantines_without_aborting_the_batch() {
+        let options = test_options("quarantine", 2);
+        let mut completed = 0usize;
+        let mut quarantined = Vec::new();
+        with_quiet_panics(|| {
+            // A healthy benchmark, the panic probe, then another healthy
+            // one: the probe must not stop the third entry from running.
+            let suite = small_benchmarks();
+            let probe = PanicProbe;
+            let entries: Vec<(&str, &dyn Benchmark)> = vec![
+                (suite[1].label, suite[1].benchmark.as_ref()),
+                ("panic probe", &probe),
+                (suite[4].label, suite[4].benchmark.as_ref()),
+            ];
+            for (label, benchmark) in entries {
+                match run_quarantined(label, || run_crashtest(benchmark, &options)) {
+                    Ok(result) => {
+                        let outcome = result.expect("harness runs");
+                        assert!(outcome.is_clean(), "{}", outcome.report);
+                        completed += 1;
+                    }
+                    Err(q) => quarantined.push(q),
+                }
+            }
+        });
+        assert_eq!(completed, 2, "both healthy benchmarks must finish");
+        assert_eq!(quarantined.len(), 1);
+        assert!(quarantined[0].payload.contains("quarantine probe"));
+        let _ = fs::remove_dir_all(&options.dir);
+    }
+}

@@ -275,7 +275,7 @@ pub fn run_injection(benchmark: &dyn Benchmark, options: &InjectionOptions) -> I
                     }
                 } else {
                     FaultResult::Degraded {
-                        events: degradations.events.len(),
+                        events: degradations.len() as usize,
                         synthesized: cascade.is_some(),
                     }
                 }

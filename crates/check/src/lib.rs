@@ -38,20 +38,27 @@ use std::fmt;
 
 pub mod cascade;
 pub mod cf;
+pub mod crashtest;
 pub mod inject;
 pub mod manager;
 pub mod pipeline;
+pub mod quarantine;
 pub mod refine;
 
 pub use cascade::{
     check_cascade, check_cascade_against_oracle, check_multi_cascade_against_oracle,
 };
 pub use cf::check_cf;
+pub use crashtest::{run_crashtest, CrashTestOptions, CrashTestOutcome, KillOutcome};
 pub use inject::{
     run_injection, FaultKind, FaultOutcome, FaultResult, InjectionOptions, InjectionOutcome,
 };
 pub use manager::check_manager;
 pub use pipeline::{check_benchmark, BenchmarkCheck, CheckOptions};
+pub use quarantine::{
+    panic_payload_text, quarantine_op, run_quarantined, with_quiet_panics, PanicProbe, Quarantine,
+    PANIC_PROBE_MESSAGE,
+};
 pub use refine::{check_refinement, naive_width_profile};
 
 /// The four analysis layers, in pipeline order.

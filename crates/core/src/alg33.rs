@@ -109,12 +109,39 @@ impl Cf {
         options: &Alg33Options,
         report: &mut DegradationReport,
     ) -> Alg33Stats {
+        match self.reduce_alg33_governed_from(options, report, 1, |_, _, _| {
+            Ok::<(), std::convert::Infallible>(())
+        }) {
+            Ok(stats) => stats,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Resumable variant of [`reduce_alg33_governed`]
+    /// (Cf::reduce_alg33_governed): starts at `start_cut` (cuts below it
+    /// are assumed already reduced, e.g. by a run this one resumes) and
+    /// invokes `boundary` at the top of every cut iteration — after all
+    /// work on earlier cuts is installed, before any work on `cut` begins.
+    ///
+    /// The checkpoint subsystem uses the boundary hook to persist the
+    /// pipeline state at exactly the points it can later resume from; a
+    /// boundary error (e.g. a failed checkpoint write) aborts the phase and
+    /// is returned verbatim. χ is always in a valid, installed state when
+    /// `boundary` runs and when this returns, `Ok` or `Err`.
+    pub fn reduce_alg33_governed_from<E>(
+        &mut self,
+        options: &Alg33Options,
+        report: &mut DegradationReport,
+        start_cut: u32,
+        mut boundary: impl FnMut(&mut Cf, u32, &DegradationReport) -> Result<(), E>,
+    ) -> Result<Alg33Stats, E> {
         let nodes_before = self.node_count();
         let max_width_before = self.max_width();
         let layout = self.layout().clone();
         let t = layout.num_vars() as u32;
         let mut columns_merged = 0usize;
-        'cuts: for cut in 1..t {
+        'cuts: for cut in start_cut.max(1)..t {
+            boundary(self, cut, report)?;
             let attempt = |cf: &mut Cf, mode: CutCover| -> Result<(NodeId, usize), BudgetError> {
                 let mut merged = 0usize;
                 let (mgr, _, root, _) = cf.parts_mut();
@@ -165,13 +192,13 @@ impl Cf {
                 }
             }
         }
-        Alg33Stats {
+        Ok(Alg33Stats {
             nodes_before,
             nodes_after: self.node_count(),
             max_width_before,
             max_width_after: self.max_width(),
             columns_merged,
-        }
+        })
     }
 }
 

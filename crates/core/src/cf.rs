@@ -463,6 +463,50 @@ impl Cf {
         self.isf = isf;
     }
 
+    /// Crate-internal reconstruction from checkpoint parts: a restored
+    /// manager plus the recorded root and ISF ids. Validates that every id
+    /// points into the restored arena and that the layout covers the
+    /// manager's variables; deeper semantic checks (Def. 2.4 invariants,
+    /// refinement) are the job of the `bddcf-check` oracles, which the
+    /// crash-recovery harness runs on every resumed state.
+    pub(crate) fn from_checkpoint_parts(
+        mgr: BddManager,
+        layout: CfLayout,
+        root: NodeId,
+        isf: IsfBdds,
+    ) -> Result<Cf, String> {
+        if layout.num_vars() != mgr.num_vars() {
+            return Err(format!(
+                "layout covers {} variables but the manager has {}",
+                layout.num_vars(),
+                mgr.num_vars()
+            ));
+        }
+        if isf.num_outputs() != layout.num_outputs() {
+            return Err(format!(
+                "ISF records {} outputs but the layout has {}",
+                isf.num_outputs(),
+                layout.num_outputs()
+            ));
+        }
+        let arena = mgr.arena_len() as u32;
+        for id in std::iter::once(root).chain(isf.roots()) {
+            if id.raw() >= arena {
+                return Err(format!(
+                    "node id {} out of range (arena has {} slots)",
+                    id.raw(),
+                    arena
+                ));
+            }
+        }
+        Ok(Cf {
+            mgr,
+            layout,
+            root,
+            isf,
+        })
+    }
+
     /// Replaces the root after an algorithm rewrote χ, then collects
     /// garbage.
     pub(crate) fn install_root(&mut self, new_root: NodeId) {

@@ -19,9 +19,19 @@
 //! A degraded result is therefore just a less-reduced but fully valid
 //! BDD_for_CF — wider cascades, never wrong ones — which the `bddcf-check`
 //! refinement oracle can verify after the fact.
+//!
+//! A report retains at most [`MAX_RETAINED_EVENTS`] events; a pathological
+//! run (say, a per-cut skip on a thousand-variable function iterated to a
+//! fixpoint) increments a dropped-events counter instead of growing without
+//! bound. Dropping never loses the *first terminal cause*, which is cached
+//! separately because it steers control flow.
 
 use bddcf_bdd::Error as BudgetError;
 use std::fmt;
+
+/// Maximum number of [`DegradationEvent`]s a report retains; later events
+/// only bump [`DegradationReport::dropped`].
+pub const MAX_RETAINED_EVENTS: usize = 256;
 
 /// Pipeline phase in which a degradation occurred.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -118,10 +128,31 @@ impl fmt::Display for DegradationEvent {
 /// An empty report means the run completed exactly as an unbudgeted run
 /// would have. A non-empty report means the result is a *less reduced but
 /// still valid* BDD_for_CF — see the [module docs](self) for why.
+///
+/// At most [`MAX_RETAINED_EVENTS`] events are retained; the total count is
+/// always exact via [`len`](Self::len) / [`dropped`](Self::dropped), and
+/// [`terminal_cause`](Self::terminal_cause) is cached so it survives even
+/// if the event that set it is dropped.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DegradationReport {
-    /// The downgrades, in the order they happened.
-    pub events: Vec<DegradationEvent>,
+    events: Vec<DegradationEvent>,
+    dropped: u64,
+    first_terminal: Option<BudgetError>,
+}
+
+/// Is this cause *terminal*? Step, time, and cancellation budgets stay
+/// exhausted no matter how much garbage is collected, and a poisoned
+/// manager refuses everything — once one of these appears, continuing a
+/// phase is pointless. A [`NodeLimit`](BudgetError::NodeLimit) is *not*
+/// terminal: GC can free room.
+fn is_terminal_cause(cause: BudgetError) -> bool {
+    matches!(
+        cause,
+        BudgetError::StepLimit { .. }
+            | BudgetError::TimeBudget
+            | BudgetError::Cancelled
+            | BudgetError::Poisoned
+    )
 }
 
 impl DegradationReport {
@@ -132,7 +163,30 @@ impl DegradationReport {
 
     /// True iff nothing was degraded.
     pub fn is_clean(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.dropped == 0
+    }
+
+    /// Total number of downgrades recorded, including dropped ones.
+    pub fn len(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
+
+    /// True iff no downgrade has been recorded (same as
+    /// [`is_clean`](Self::is_clean)).
+    pub fn is_empty(&self) -> bool {
+        self.is_clean()
+    }
+
+    /// The retained downgrades, in the order they happened (at most
+    /// [`MAX_RETAINED_EVENTS`]).
+    pub fn events(&self) -> &[DegradationEvent] {
+        &self.events
+    }
+
+    /// Downgrades that were recorded past the retention cap and therefore
+    /// only counted.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Records one downgrade.
@@ -143,40 +197,68 @@ impl DegradationReport {
         action: DegradeAction,
         cause: BudgetError,
     ) {
-        self.events.push(DegradationEvent {
-            phase,
-            locus,
-            action,
-            cause,
-        });
+        if self.first_terminal.is_none() && is_terminal_cause(cause) {
+            self.first_terminal = Some(cause);
+        }
+        if self.events.len() < MAX_RETAINED_EVENTS {
+            self.events.push(DegradationEvent {
+                phase,
+                locus,
+                action,
+                cause,
+            });
+        } else {
+            self.dropped += 1;
+        }
     }
 
-    /// Appends all events of `other`.
+    /// Appends all events of `other`, preserving its exact count and any
+    /// terminal cause even when retention overflows.
     pub fn absorb(&mut self, other: DegradationReport) {
-        self.events.extend(other.events);
+        if self.first_terminal.is_none() {
+            self.first_terminal = other.first_terminal;
+        }
+        self.dropped += other.dropped;
+        for e in other.events {
+            if self.events.len() < MAX_RETAINED_EVENTS {
+                self.events.push(e);
+            } else {
+                self.dropped += 1;
+            }
+        }
     }
 
-    /// The first *terminal* cause, if any: step, time, and cancellation
-    /// budgets stay exhausted no matter how much garbage is collected, so
-    /// once one of these appears, continuing a phase is pointless. A
-    /// [`NodeLimit`](BudgetError::NodeLimit) is *not* terminal — GC can
-    /// free room.
+    /// The first *terminal* cause, if any (see the retention note in the
+    /// type docs: this is cached, so it is exact even when events have been
+    /// dropped). Terminal causes are step, time, cancellation, and
+    /// poisoning; a [`NodeLimit`](BudgetError::NodeLimit) is retryable.
     pub fn terminal_cause(&self) -> Option<BudgetError> {
-        self.events.iter().map(|e| e.cause).find(|c| {
-            matches!(
-                c,
-                BudgetError::StepLimit { .. } | BudgetError::TimeBudget | BudgetError::Cancelled
-            )
-        })
+        self.first_terminal
     }
 
-    /// One-line-per-event rendering for logs and the CLI.
+    /// Crate-internal reconstruction hook for checkpoint deserialization:
+    /// rebuilds a report from its serialized parts without re-deriving the
+    /// cached terminal cause (the dropped events may have carried it).
+    pub(crate) fn from_checkpoint_parts(
+        events: Vec<DegradationEvent>,
+        dropped: u64,
+        first_terminal: Option<BudgetError>,
+    ) -> Self {
+        DegradationReport {
+            events,
+            dropped,
+            first_terminal,
+        }
+    }
+
+    /// One-line-per-event rendering for logs and the CLI, with a trailing
+    /// summary line when events were dropped.
     pub fn render(&self) -> String {
-        self.events
-            .iter()
-            .map(|e| e.to_string())
-            .collect::<Vec<_>>()
-            .join("\n")
+        let mut lines: Vec<String> = self.events.iter().map(|e| e.to_string()).collect();
+        if self.dropped > 0 {
+            lines.push(format!("… and {} more event(s) not retained", self.dropped));
+        }
+        lines.join("\n")
     }
 }
 
@@ -203,6 +285,18 @@ mod tests {
         );
         assert_eq!(r.terminal_cause(), Some(BudgetError::Cancelled));
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn poisoned_is_terminal() {
+        let mut r = DegradationReport::new();
+        r.record(
+            Phase::Alg33,
+            None,
+            DegradeAction::SkippedPhase,
+            BudgetError::Poisoned,
+        );
+        assert_eq!(r.terminal_cause(), Some(BudgetError::Poisoned));
     }
 
     #[test]
@@ -236,7 +330,56 @@ mod tests {
             BudgetError::TimeBudget,
         );
         a.absorb(b);
-        assert_eq!(a.events.len(), 2);
-        assert_eq!(a.events[1].phase, Phase::CascadeSynthesis);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.events()[1].phase, Phase::CascadeSynthesis);
+    }
+
+    #[test]
+    fn retention_cap_counts_instead_of_growing() {
+        let mut r = DegradationReport::new();
+        for i in 0..(MAX_RETAINED_EVENTS as u32 + 100) {
+            r.record(
+                Phase::Alg33,
+                Some(i),
+                DegradeAction::SkippedLevel,
+                BudgetError::NodeLimit { limit: 8 },
+            );
+        }
+        assert_eq!(r.events().len(), MAX_RETAINED_EVENTS);
+        assert_eq!(r.dropped(), 100);
+        assert_eq!(r.len(), MAX_RETAINED_EVENTS as u64 + 100);
+        // A terminal cause arriving after the cap is still observed.
+        r.record(
+            Phase::Alg33,
+            None,
+            DegradeAction::StoppedIterating,
+            BudgetError::Cancelled,
+        );
+        assert_eq!(r.terminal_cause(), Some(BudgetError::Cancelled));
+        assert!(r.render().contains("101 more event(s) not retained"));
+    }
+
+    #[test]
+    fn absorb_past_the_cap_preserves_count_and_terminal_cause() {
+        let mut a = DegradationReport::new();
+        for i in 0..MAX_RETAINED_EVENTS as u32 {
+            a.record(
+                Phase::Alg33,
+                Some(i),
+                DegradeAction::SkippedLevel,
+                BudgetError::NodeLimit { limit: 8 },
+            );
+        }
+        let mut b = DegradationReport::new();
+        b.record(
+            Phase::CascadeSynthesis,
+            None,
+            DegradeAction::SkippedPhase,
+            BudgetError::TimeBudget,
+        );
+        a.absorb(b);
+        assert_eq!(a.len(), MAX_RETAINED_EVENTS as u64 + 1);
+        assert_eq!(a.dropped(), 1);
+        assert_eq!(a.terminal_cause(), Some(BudgetError::TimeBudget));
     }
 }

@@ -35,6 +35,7 @@
 pub mod alg31;
 pub mod alg33;
 pub mod cf;
+pub mod checkpoint;
 pub mod compat;
 pub mod cover;
 pub mod degrade;
@@ -46,6 +47,10 @@ pub mod support;
 
 pub use alg33::Alg33Options;
 pub use cf::{Cf, ChoiceError, IsfBdds};
+pub use checkpoint::{
+    latest_checkpoint, load_checkpoint, CheckpointError, Checkpointer, FixpointCursor,
+    LoadedCheckpoint, Progress,
+};
 pub use cover::CompatGraph;
 pub use degrade::{DegradationEvent, DegradationReport, DegradeAction, Phase};
 pub use driver::FixpointStats;

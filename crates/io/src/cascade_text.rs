@@ -14,7 +14,7 @@
 
 use bddcf_cascade::{Cascade, LutCell};
 use std::fmt;
-use std::fmt::Write as _;
+use std::io;
 
 /// Parse failures for the cascade text format.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,29 +40,33 @@ fn err(line: usize, message: impl Into<String>) -> CascadeTextError {
     }
 }
 
-/// Serializes a cascade.
-pub fn write_cascade(cascade: &Cascade) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "bddcf-cascade v1");
-    let _ = writeln!(
+/// Streams a cascade's text form into `out`, propagating writer failures
+/// (disk full, broken pipe, …) instead of swallowing them.
+///
+/// # Errors
+///
+/// Returns the first error the underlying writer reports.
+pub fn emit_cascade<W: io::Write>(cascade: &Cascade, out: &mut W) -> io::Result<()> {
+    writeln!(out, "bddcf-cascade v1")?;
+    writeln!(
         out,
         "inputs {} outputs {}",
         cascade.num_inputs(),
         cascade.num_outputs()
-    );
+    )?;
     for cell in cascade.cells() {
         let ids = |v: &[usize]| -> String {
             v.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
         };
-        let _ = writeln!(
+        writeln!(
             out,
             "cell rails_in={} inputs={} rails_out={} outputs={}",
             cell.rails_in(),
             ids(cell.input_ids()),
             cell.rails_out(),
             ids(cell.output_ids())
-        );
-        let _ = write!(out, "table");
+        )?;
+        write!(out, "table")?;
         for address in 0..1u64 << cell.num_inputs() {
             let rail_in = if cell.rails_in() == 0 {
                 0
@@ -74,12 +78,19 @@ pub fn write_cascade(cascade: &Cascade) -> String {
                 .collect();
             let (outs, rail_out) = cell.lookup(rail_in, &inputs);
             let word = outs | (rail_out << cell.output_ids().len());
-            let _ = write!(out, " {word:x}");
+            write!(out, " {word:x}")?;
         }
-        out.push('\n');
+        writeln!(out)?;
     }
-    out.push_str("end\n");
-    out
+    writeln!(out, "end")?;
+    Ok(())
+}
+
+/// Serializes a cascade to a `String` (in-memory [`emit_cascade`]).
+pub fn write_cascade(cascade: &Cascade) -> String {
+    let mut buf = Vec::new();
+    emit_cascade(cascade, &mut buf).expect("invariant: writing cascade text to memory cannot fail");
+    String::from_utf8(buf).expect("invariant: cascade text is ASCII")
 }
 
 /// Parses a cascade previously written by [`write_cascade`].
@@ -213,6 +224,21 @@ mod tests {
             let input: Vec<bool> = (0..4).map(|i| r >> i & 1 == 1).collect();
             assert_eq!(restored.eval(&input), original.eval(&input), "input {r}");
         }
+    }
+
+    #[test]
+    fn emit_propagates_writer_errors() {
+        struct Full;
+        impl std::io::Write for Full {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::StorageFull))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let e = emit_cascade(&sample(), &mut Full).expect_err("writer error must surface");
+        assert_eq!(e.kind(), std::io::ErrorKind::StorageFull);
     }
 
     #[test]

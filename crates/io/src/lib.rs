@@ -17,6 +17,6 @@ pub mod cascade_text;
 pub mod pla;
 pub mod verilog;
 
-pub use cascade_text::{read_cascade, write_cascade, CascadeTextError};
+pub use cascade_text::{emit_cascade, read_cascade, write_cascade, CascadeTextError};
 pub use pla::{parse_pla, write_pla, Pla, PlaError};
-pub use verilog::cascade_to_verilog;
+pub use verilog::{cascade_to_verilog, emit_verilog};

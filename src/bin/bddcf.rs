@@ -26,7 +26,24 @@
 //!     Seeded fault injection: exhaust node/step budgets and fire
 //!     cancellations at random points of the governed pipeline, auditing
 //!     every survivor; exits nonzero on any invariant violation.
+//!
+//! bddcf resume <file.bddcfck> [--max-iter N] [--max-in K] [--max-out L]
+//!              [--save out.cas] [--verilog out.v]
+//!     Reconstruct a reduction from a crash-safe checkpoint and continue it
+//!     from the recorded level; optionally synthesize the cascade.
+//!
+//! bddcf crashtest [label-substring...] [--suite small|table4] [--seed N]
+//!                 [--kill-points N] [--max-iter N] [--dir D] [--panic-probe]
+//!     Crash-recovery audit: kill the pipeline at seeded step counts,
+//!     resume from the latest checkpoint, and require the recovered cascade
+//!     to be byte-identical to an uninterrupted run; exits nonzero on any
+//!     divergence, refinement violation, or quarantined benchmark.
 //! ```
+//!
+//! `check`, `inject`, and `crashtest` run each benchmark inside a panic
+//! quarantine: a panicking benchmark poisons only its own run, the batch
+//! continues, and the quarantined entries are listed (with the panic
+//! payload and the last good checkpoint, when one exists) at the end.
 //!
 //! `stats`, `reduce`, and `cascade` accept resource-governor flags
 //! `--node-limit N`, `--step-limit N`, and `--time-budget SECONDS`. Under a
@@ -42,7 +59,7 @@ use bddcf::bdd::{Budget, ReorderCost};
 use bddcf::cascade::{synthesize_governed, CascadeOptions, SynthesisError};
 use bddcf::core::degrade::{DegradationReport, DegradeAction, Phase};
 use bddcf::core::{Alg33Options, Cf};
-use bddcf::io::{cascade_to_verilog, parse_pla, read_cascade, write_cascade, write_pla};
+use bddcf::io::{emit_cascade, emit_verilog, parse_pla, read_cascade, write_pla};
 use bddcf::logic::{Ternary, TruthTable};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -74,6 +91,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "sim" => sim(&args[1..]),
         "check" => check(&args[1..]),
         "inject" => inject(&args[1..]),
+        "resume" => resume(&args[1..]),
+        "crashtest" => crashtest(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -91,6 +110,10 @@ USAGE:
               [--max-iter N]
   bddcf inject [label-substring...] [--suite small|table4] [--seed N]
                [--points N] [--max-iter N] [--samples N]
+  bddcf resume <file.bddcfck> [--max-iter N] [--max-in K] [--max-out L]
+               [--save out.cas] [--verilog out.v]
+  bddcf crashtest [label-substring...] [--suite small|table4] [--seed N]
+                  [--kill-points N] [--max-iter N] [--dir D] [--panic-probe]
 
 RESOURCE GOVERNOR (stats | reduce | cascade):
   --node-limit N       cap the BDD arena at N nodes
@@ -98,6 +121,13 @@ RESOURCE GOVERNOR (stats | reduce | cascade):
   --time-budget SECS   wall-clock allowance (fractional seconds ok)
   Reductions degrade gracefully under a budget (downgrades reported on
   stderr, result stays valid); hard exhaustion exits nonzero, no panic.
+
+CRASH SAFETY:
+  reduce --method fixpoint --checkpoint-dir D
+      write an atomic checkpoint into D at every Algorithm 3.3 level
+      boundary (resume later with `bddcf resume D/ckpt-NNNNNN.bddcfck`)
+  check | inject | crashtest --panic-probe
+      append a deliberately panicking benchmark to prove quarantine
 ";
 
 struct Flags {
@@ -117,6 +147,10 @@ struct Flags {
     time_budget: Option<f64>,
     seed: u64,
     points: usize,
+    checkpoint_dir: Option<String>,
+    kill_points: usize,
+    dir: Option<String>,
+    panic_probe: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -137,6 +171,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         time_budget: None,
         seed: 0xb0d0_cf5e,
         points: 100,
+        checkpoint_dir: None,
+        kill_points: 12,
+        dir: None,
+        panic_probe: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -209,6 +247,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|e| format!("--points: {e}"))?
             }
+            "--checkpoint-dir" => flags.checkpoint_dir = Some(grab("--checkpoint-dir")?),
+            "--kill-points" => {
+                flags.kill_points = grab("--kill-points")?
+                    .parse()
+                    .map_err(|e| format!("--kill-points: {e}"))?
+            }
+            "--dir" => flags.dir = Some(grab("--dir")?),
+            "--panic-probe" => flags.panic_probe = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => flags.positional.push(other.to_string()),
         }
@@ -244,11 +290,26 @@ fn report_degradations(report: &DegradationReport) {
     }
     eprintln!(
         "budget pressure: {} downgrade(s); the result is less reduced but still valid:",
-        report.events.len()
+        report.len()
     );
     for line in report.render().lines() {
         eprintln!("  {line}");
     }
+}
+
+/// Streams `emit` into `path` through a `BufWriter`, so writer failures
+/// (disk full, permissions) surface as errors instead of being dropped
+/// with a partially written file mistaken for a complete one.
+fn write_file_with(
+    path: &str,
+    emit: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> std::io::Result<()>,
+) -> Result<(), String> {
+    use std::io::Write as _;
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    emit(&mut w)
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("{path}: {e}"))
 }
 
 fn load_cf(path: &str, sift_passes: usize) -> Result<Cf, String> {
@@ -325,6 +386,9 @@ fn reduce(args: &[String]) -> Result<(), String> {
     let [path] = flags.positional.as_slice() else {
         return Err("reduce takes exactly one PLA file".into());
     };
+    if flags.checkpoint_dir.is_some() && flags.method != "fixpoint" {
+        return Err("--checkpoint-dir requires --method fixpoint".into());
+    }
     let mut cf = load_cf(path, flags.sift)?;
     let before = (cf.max_width(), cf.node_count());
     let mut degradations = DegradationReport::new();
@@ -341,7 +405,23 @@ fn reduce(args: &[String]) -> Result<(), String> {
             cf.reduce_alg33_governed(&Alg33Options::default(), &mut degradations);
         }
         "fixpoint" => {
-            cf.reduce_to_fixpoint_governed(&Alg33Options::default(), 4, &mut degradations);
+            if let Some(dir) = &flags.checkpoint_dir {
+                let mut ck = bddcf::core::Checkpointer::new(dir)
+                    .map_err(|e| format!("--checkpoint-dir {dir}: {e}"))?;
+                cf.reduce_to_fixpoint_checkpointed(
+                    &Alg33Options::default(),
+                    flags.max_iter,
+                    &mut degradations,
+                    &mut ck,
+                    false,
+                )
+                .map_err(|e| format!("checkpointing into {dir} failed: {e}"))?;
+                if let Some(path) = ck.last_path() {
+                    eprintln!("last checkpoint: {}", path.display());
+                }
+            } else {
+                cf.reduce_to_fixpoint_governed(&Alg33Options::default(), 4, &mut degradations);
+            }
         }
         other => return Err(format!("unknown --method {other}")),
     }
@@ -422,8 +502,7 @@ fn cascade(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(cas_path) = flags.save {
-        std::fs::write(&cas_path, write_cascade(&result))
-            .map_err(|e| format!("{cas_path}: {e}"))?;
+        write_file_with(&cas_path, |w| emit_cascade(&result, w))?;
         println!("cell tables written to {cas_path}");
     }
     if let Some(v_path) = flags.verilog {
@@ -432,8 +511,7 @@ fn cascade(args: &[String]) -> Result<(), String> {
             .and_then(|s| s.to_str())
             .unwrap_or("cascade")
             .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
-        std::fs::write(&v_path, cascade_to_verilog(&result, &module))
-            .map_err(|e| format!("{v_path}: {e}"))?;
+        write_file_with(&v_path, |w| emit_verilog(&result, &module, w))?;
         println!("Verilog written to {v_path}");
     }
     Ok(())
@@ -494,6 +572,30 @@ fn select_suite(flags: &Flags) -> Result<Vec<bddcf::funcs::BenchmarkEntry>, Stri
     Ok(selected)
 }
 
+/// The batch entries a `check`/`inject`/`crashtest` run iterates: the
+/// selected suite, plus the deliberately panicking probe when requested.
+fn batch_entries<'a>(
+    selected: &'a [bddcf::funcs::BenchmarkEntry],
+    probe: &'a bddcf::check::PanicProbe,
+    include_probe: bool,
+) -> Vec<(&'a str, &'a dyn bddcf::funcs::Benchmark)> {
+    let mut entries: Vec<(&str, &dyn bddcf::funcs::Benchmark)> = selected
+        .iter()
+        .map(|entry| (entry.label, entry.benchmark.as_ref()))
+        .collect();
+    if include_probe {
+        entries.push(("panic probe", probe));
+    }
+    entries
+}
+
+/// Prints the quarantine listing and folds it into the batch verdict.
+fn report_quarantines(quarantined: &[bddcf::check::Quarantine]) {
+    for q in quarantined {
+        println!("QUAR {q}");
+    }
+}
+
 fn check(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let selected = select_suite(&flags)?;
@@ -502,33 +604,43 @@ fn check(args: &[String]) -> Result<(), String> {
         max_iterations: flags.max_iter,
         ..bddcf::check::CheckOptions::default()
     };
+    let probe = bddcf::check::PanicProbe;
     let mut failures = 0usize;
-    for entry in &selected {
-        let result = bddcf::check::check_benchmark(entry.benchmark.as_ref(), &options);
-        let verdict = if result.report.is_clean() {
-            "ok"
-        } else {
-            "FAIL"
-        };
-        println!(
-            "{verdict:4} {:<28} width {} -> {}, {} cascade(s), {} cell(s)",
-            entry.label,
-            result.max_width.0,
-            result.max_width.1,
-            result.num_cascades,
-            result.num_cells
-        );
-        if !result.report.is_clean() {
-            failures += 1;
-            for finding in result.report.findings() {
-                println!("     {finding}");
+    let mut quarantined = Vec::new();
+    bddcf::check::with_quiet_panics(|| {
+        for (label, benchmark) in batch_entries(&selected, &probe, flags.panic_probe) {
+            let result = match bddcf::check::run_quarantined(label, || {
+                bddcf::check::check_benchmark(benchmark, &options)
+            }) {
+                Ok(result) => result,
+                Err(q) => {
+                    quarantined.push(q);
+                    continue;
+                }
+            };
+            let verdict = if result.report.is_clean() {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            println!(
+                "{verdict:4} {label:<28} width {} -> {}, {} cascade(s), {} cell(s)",
+                result.max_width.0, result.max_width.1, result.num_cascades, result.num_cells
+            );
+            if !result.report.is_clean() {
+                failures += 1;
+                for finding in result.report.findings() {
+                    println!("     {finding}");
+                }
             }
         }
-    }
-    if failures > 0 {
+    });
+    report_quarantines(&quarantined);
+    let expected_quarantines = usize::from(flags.panic_probe);
+    if failures > 0 || quarantined.len() != expected_quarantines {
         return Err(format!(
-            "{failures} of {} benchmark(s) violated pipeline invariants",
-            selected.len()
+            "{failures} benchmark(s) violated pipeline invariants, {} quarantined",
+            quarantined.len()
         ));
     }
     println!(
@@ -548,27 +660,177 @@ fn inject(args: &[String]) -> Result<(), String> {
         samples: flags.samples.min(64),
         ..bddcf::check::InjectionOptions::default()
     };
+    let probe = bddcf::check::PanicProbe;
     let mut failures = 0usize;
-    for entry in &selected {
-        let outcome = bddcf::check::run_injection(entry.benchmark.as_ref(), &options);
-        println!("{}", outcome.summary());
-        if !outcome.is_clean() {
-            failures += 1;
-            for finding in outcome.report.findings() {
-                println!("     {finding}");
+    let mut quarantined = Vec::new();
+    bddcf::check::with_quiet_panics(|| {
+        for (label, benchmark) in batch_entries(&selected, &probe, flags.panic_probe) {
+            let outcome = match bddcf::check::run_quarantined(label, || {
+                bddcf::check::run_injection(benchmark, &options)
+            }) {
+                Ok(outcome) => outcome,
+                Err(q) => {
+                    quarantined.push(q);
+                    continue;
+                }
+            };
+            println!("{}", outcome.summary());
+            if !outcome.is_clean() {
+                failures += 1;
+                for finding in outcome.report.findings() {
+                    println!("     {finding}");
+                }
             }
         }
-    }
-    if failures > 0 {
+    });
+    report_quarantines(&quarantined);
+    let expected_quarantines = usize::from(flags.panic_probe);
+    if failures > 0 || quarantined.len() != expected_quarantines {
         return Err(format!(
-            "{failures} of {} benchmark(s) violated an invariant under fault injection",
-            selected.len()
+            "{failures} benchmark(s) violated an invariant under fault injection, {} quarantined",
+            quarantined.len()
         ));
     }
     println!(
         "all {} benchmark(s) survive {} fault injection(s) each (seed {:#x})",
         selected.len(),
         flags.points,
+        flags.seed
+    );
+    Ok(())
+}
+
+fn resume(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("resume takes exactly one checkpoint file".into());
+    };
+    let ckpt_path = std::path::Path::new(path);
+    let loaded = bddcf::core::load_checkpoint(ckpt_path).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: {} inputs, {} outputs, width {}, {} nodes, at {}",
+        loaded.cf.layout().num_inputs(),
+        loaded.cf.layout().num_outputs(),
+        loaded.cf.max_width(),
+        loaded.cf.node_count(),
+        loaded.progress
+    );
+    // Continue checkpointing in the directory the checkpoint came from,
+    // after the sequence number it was part of.
+    let dir = ckpt_path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."));
+    let mut ck =
+        bddcf::core::Checkpointer::new(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let (mut cf, mut report, stats) = loaded
+        .resume(&Alg33Options::default(), flags.max_iter, &mut ck, false)
+        .map_err(|e| format!("resume failed: {e}"))?;
+    match stats {
+        Some(stats) => println!(
+            "resumed: {} iteration(s), width {} -> {}, nodes {} -> {}",
+            stats.iterations, stats.max_width.0, stats.max_width.1, stats.nodes.0, stats.nodes.1
+        ),
+        None => println!(
+            "reduction already complete: width {}, {} nodes",
+            cf.max_width(),
+            cf.node_count()
+        ),
+    }
+    if let Some(last) = ck.last_path() {
+        println!("last checkpoint: {}", last.display());
+    }
+    if flags.save.is_some() || flags.verilog.is_some() {
+        let options = CascadeOptions {
+            max_cell_inputs: flags.max_in,
+            max_cell_outputs: flags.max_out,
+            ..CascadeOptions::default()
+        };
+        let result = synthesize_governed(&mut cf, &options, &mut report)
+            .map_err(|e| format!("cascade synthesis after resume failed: {e}"))?;
+        println!(
+            "cascade: {} cells, {} LUT outputs, {} memory bits",
+            result.num_cells(),
+            result.lut_outputs(),
+            result.memory_bits()
+        );
+        if let Some(cas_path) = flags.save {
+            write_file_with(&cas_path, |w| emit_cascade(&result, w))?;
+            println!("cell tables written to {cas_path}");
+        }
+        if let Some(v_path) = flags.verilog {
+            write_file_with(&v_path, |w| emit_verilog(&result, "resumed", w))?;
+            println!("Verilog written to {v_path}");
+        }
+    }
+    report_degradations(&report);
+    Ok(())
+}
+
+fn crashtest(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let selected = select_suite(&flags)?;
+    let options = bddcf::check::CrashTestOptions {
+        seed: flags.seed,
+        kill_points: flags.kill_points,
+        max_iterations: flags.max_iter,
+        dir: flags
+            .dir
+            .as_ref()
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("bddcf-crashtest")),
+        ..bddcf::check::CrashTestOptions::default()
+    };
+    let probe = bddcf::check::PanicProbe;
+    let mut failures = 0usize;
+    let mut quarantined = Vec::new();
+    bddcf::check::with_quiet_panics(|| {
+        for (label, benchmark) in batch_entries(&selected, &probe, flags.panic_probe) {
+            let outcome = match bddcf::check::run_quarantined(label, || {
+                bddcf::check::run_crashtest(benchmark, &options)
+            }) {
+                Ok(Ok(outcome)) => outcome,
+                Ok(Err(e)) => {
+                    println!("FAIL {label}: {e}");
+                    failures += 1;
+                    continue;
+                }
+                Err(mut q) => {
+                    // Attribute the last good checkpoint, if the crashed
+                    // benchmark's baseline run got far enough to write one.
+                    let slug: String = label
+                        .chars()
+                        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                        .collect();
+                    q.last_checkpoint =
+                        bddcf::core::latest_checkpoint(&options.dir.join(slug).join("baseline"))
+                            .ok()
+                            .flatten();
+                    quarantined.push(q);
+                    continue;
+                }
+            };
+            println!("{}", outcome.summary());
+            if !outcome.is_clean() {
+                failures += 1;
+                for finding in outcome.report.findings() {
+                    println!("     {finding}");
+                }
+            }
+        }
+    });
+    report_quarantines(&quarantined);
+    let expected_quarantines = usize::from(flags.panic_probe);
+    if failures > 0 || quarantined.len() != expected_quarantines {
+        return Err(format!(
+            "{failures} benchmark(s) failed crash recovery, {} quarantined",
+            quarantined.len()
+        ));
+    }
+    println!(
+        "all {} benchmark(s) recover byte-identically from {} seeded kill(s) each (seed {:#x})",
+        selected.len(),
+        flags.kill_points,
         flags.seed
     );
     Ok(())
