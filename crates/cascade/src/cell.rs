@@ -89,6 +89,15 @@ impl LutCell {
         (1u64 << self.num_inputs()) * self.num_outputs() as u64
     }
 
+    /// True for a hardware no-op: no word bits (neither primary outputs
+    /// nor outgoing rails) and no incoming rails. Synthesis produces such
+    /// cells to consume layout variables that reductions made vacuous
+    /// (e.g. the padding inputs of widened benchmarks); they carry no
+    /// logic, and the Verilog emitter skips them.
+    pub fn is_noop(&self) -> bool {
+        self.num_outputs() == 0 && self.rails_in == 0
+    }
+
     /// Looks the cell up: `rail_in` is the incoming code, `inputs[i]` the
     /// value of primary input `input_ids[i]`. Returns
     /// `(primary output bits, outgoing rail code)`.

@@ -174,6 +174,29 @@ impl Cascade {
         &self.cells
     }
 
+    /// This cascade with hardware no-op cells ([`LutCell::is_noop`])
+    /// removed. A no-op cell has no incoming rails and no word bits, so
+    /// dropping it preserves the realized function and the rail chain;
+    /// the Verilog emitter produces exactly this cascade's cell list.
+    /// When every cell is a no-op the cascade is returned unchanged (a
+    /// cascade must keep at least one cell).
+    pub fn without_noop_cells(&self) -> Cascade {
+        let live: Vec<LutCell> = self
+            .cells
+            .iter()
+            .filter(|c| !c.is_noop())
+            .cloned()
+            .collect();
+        if live.is_empty() {
+            return self.clone();
+        }
+        Cascade {
+            cells: live,
+            num_inputs: self.num_inputs,
+            num_outputs: self.num_outputs,
+        }
+    }
+
     /// Number of cells (`#Cel` in Table 6).
     pub fn num_cells(&self) -> usize {
         self.cells.len()

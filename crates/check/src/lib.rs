@@ -40,7 +40,9 @@ pub mod cascade;
 pub mod cf;
 pub mod crashtest;
 pub mod inject;
+pub mod lint;
 pub mod manager;
+pub mod netlist;
 pub mod pipeline;
 pub mod quarantine;
 pub mod refine;
@@ -53,7 +55,13 @@ pub use crashtest::{run_crashtest, CrashTestOptions, CrashTestOutcome, KillOutco
 pub use inject::{
     run_injection, FaultKind, FaultOutcome, FaultResult, InjectionOptions, InjectionOutcome,
 };
+pub use lint::{lint_benchmark, lint_cascade_artifacts, BenchmarkLint, LintOptions};
 pub use manager::check_manager;
+pub use netlist::{
+    cascade_structural_diff, cascade_to_netlist, check_netlist_refinement, lint_netlist,
+    lint_netlist_with_spec, lint_rail_bounds, netlist_chi, netlist_from_verilog,
+    netlist_to_cascade, LintFinding, LintReport, Netlist,
+};
 pub use pipeline::{check_benchmark, BenchmarkCheck, CheckOptions};
 pub use quarantine::{
     panic_payload_text, quarantine_op, run_quarantined, with_quiet_panics, PanicProbe, Quarantine,

@@ -1,0 +1,690 @@
+//! Parser for the Verilog-2001 subset `emit_verilog` produces.
+//!
+//! The emitters in this crate were write-only until PR 5: nothing ever read
+//! an artifact back, so an emitter bug would ship silently even though
+//! `bddcf check` passed on the in-memory cascade. This module closes the
+//! synthesize → emit → re-read loop: it parses the emitted subset —
+//! `module` with one input and one output bus, `wire` declarations with
+//! concatenation/slice initializers, `reg` declarations, `always @*`
+//! combinational `case` ROMs, and single-bit `assign`s — into a small AST
+//! that `bddcf_check::netlist` lowers into a netlist IR for structural
+//! lints and a BDD-based translation-validation proof.
+//!
+//! Errors are typed and line-numbered ([`VerilogParseError`]), mirroring
+//! the PLA and cascade-text parsers.
+
+use std::fmt;
+
+/// Parse failure: 1-based line plus a description (line 0 = end of input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerilogParseError {
+    /// 1-based line of the problem (0 = end of input).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for VerilogParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for VerilogParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> VerilogParseError {
+    VerilogParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One bit of a named bus, e.g. `x[3]` or `data0[1]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitRef {
+    /// Bus name.
+    pub bus: String,
+    /// Bit index.
+    pub index: usize,
+}
+
+/// Right-hand side of a `wire` initializer or `assign`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// `{a[1], b[0], ...}` — parts as written, MSB first.
+    Concat(Vec<BitRef>),
+    /// `bus[hi:lo]` — a contiguous slice.
+    Slice {
+        /// Source bus name.
+        bus: String,
+        /// High bit (inclusive).
+        hi: usize,
+        /// Low bit (inclusive).
+        lo: usize,
+    },
+    /// `bus[i]` — a single bit.
+    Bit(BitRef),
+}
+
+/// One explicit `case` arm: `W'dADDR: target = W'dWORD;`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RomArm {
+    /// 1-based source line of the arm.
+    pub line: usize,
+    /// The matched address value.
+    pub address: u64,
+    /// Declared width of the address literal.
+    pub addr_width: usize,
+    /// The assigned data word.
+    pub word: u64,
+    /// Declared width of the data literal.
+    pub word_width: usize,
+}
+
+/// An `always @* begin case (addr) … endcase end` ROM process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RomBlock {
+    /// 1-based line of the `always`.
+    pub line: usize,
+    /// The `reg` bus every arm assigns.
+    pub target: String,
+    /// The bus scrutinized by the `case`.
+    pub addr: String,
+    /// Explicit arms in source order.
+    pub arms: Vec<RomArm>,
+    /// The `default:` word, when present, with its line.
+    pub default: Option<(usize, u64)>,
+}
+
+/// A module-body item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerilogItem {
+    /// `wire [w-1:0] name;` or `wire [w-1:0] name = expr;`
+    Wire {
+        /// 1-based source line.
+        line: usize,
+        /// Bus name.
+        name: String,
+        /// Bus width in bits.
+        width: usize,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// `reg [w-1:0] name;`
+    Reg {
+        /// 1-based source line.
+        line: usize,
+        /// Bus name.
+        name: String,
+        /// Bus width in bits.
+        width: usize,
+    },
+    /// A combinational `case` ROM.
+    Rom(RomBlock),
+    /// `assign bus[i] = expr;`
+    Assign {
+        /// 1-based source line.
+        line: usize,
+        /// Assigned bit.
+        target: BitRef,
+        /// Driven value.
+        value: Expr,
+    },
+}
+
+/// Port direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortDir {
+    /// `input wire [..:0]`.
+    Input,
+    /// `output wire [..:0]`.
+    Output,
+}
+
+/// One module port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Port {
+    /// 1-based source line.
+    pub line: usize,
+    /// Direction.
+    pub dir: PortDir,
+    /// Bus name.
+    pub name: String,
+    /// Width in bits.
+    pub width: usize,
+}
+
+/// A parsed module of the emitted subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerilogModule {
+    /// Module name.
+    pub name: String,
+    /// Ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Body items in source order.
+    pub items: Vec<VerilogItem>,
+}
+
+impl VerilogModule {
+    /// The single input port, when the module has exactly one.
+    pub fn input_port(&self) -> Option<&Port> {
+        let mut inputs = self.ports.iter().filter(|p| p.dir == PortDir::Input);
+        match (inputs.next(), inputs.next()) {
+            (Some(p), None) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The single output port, when the module has exactly one.
+    pub fn output_port(&self) -> Option<&Port> {
+        let mut outputs = self.ports.iter().filter(|p| p.dir == PortDir::Output);
+        match (outputs.next(), outputs.next()) {
+            (Some(p), None) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    /// Plain decimal number.
+    Number(u64),
+    /// Sized literal `W'dN`.
+    Sized(usize, u64),
+    Punct(char),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Number(n) => write!(f, "`{n}`"),
+            Tok::Sized(w, n) => write!(f, "`{w}'d{n}`"),
+            Tok::Punct(c) => write!(f, "`{c}`"),
+        }
+    }
+}
+
+fn tokenize(text: &str) -> Result<Vec<(usize, Tok)>, VerilogParseError> {
+    let mut tokens = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let code = raw.split("//").next().unwrap_or("");
+        let bytes: Vec<char> = code.chars().collect();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let c = bytes[pos];
+            if c.is_whitespace() {
+                pos += 1;
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                let start = pos;
+                while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == '_')
+                {
+                    pos += 1;
+                }
+                tokens.push((line, Tok::Ident(bytes[start..pos].iter().collect())));
+            } else if c.is_ascii_digit() {
+                let start = pos;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let digits: String = bytes[start..pos].iter().collect();
+                let value: u64 = digits
+                    .parse()
+                    .map_err(|e| err(line, format!("number {digits:?}: {e}")))?;
+                if pos < bytes.len() && bytes[pos] == '\'' {
+                    // Sized literal: W'dN (only decimal, as emitted).
+                    pos += 1;
+                    if pos >= bytes.len() || bytes[pos] != 'd' {
+                        return Err(err(line, "expected `d` after `'` in sized literal"));
+                    }
+                    pos += 1;
+                    let vstart = pos;
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                    if vstart == pos {
+                        return Err(err(line, "sized literal has no value digits"));
+                    }
+                    let vdigits: String = bytes[vstart..pos].iter().collect();
+                    let v: u64 = vdigits
+                        .parse()
+                        .map_err(|e| err(line, format!("sized literal {vdigits:?}: {e}")))?;
+                    let width = usize::try_from(value)
+                        .map_err(|_| err(line, format!("literal width {value} too large")))?;
+                    tokens.push((line, Tok::Sized(width, v)));
+                } else {
+                    tokens.push((line, Tok::Number(value)));
+                }
+            } else if "()[]{}:;,=@*".contains(c) {
+                tokens.push((line, Tok::Punct(c)));
+                pos += 1;
+            } else {
+                return Err(err(line, format!("unexpected character {c:?}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |(l, _)| *l)
+    }
+
+    fn next(&mut self, what: &str) -> Result<(usize, Tok), VerilogParseError> {
+        let got = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| err(0, format!("unexpected end of input, expected {what}")))?;
+        self.pos += 1;
+        Ok(got)
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<usize, VerilogParseError> {
+        let (line, tok) = self.next(&format!("`{c}`"))?;
+        if tok == Tok::Punct(c) {
+            Ok(line)
+        } else {
+            Err(err(line, format!("expected `{c}`, got {tok}")))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<usize, VerilogParseError> {
+        let (line, tok) = self.next(&format!("`{kw}`"))?;
+        match tok {
+            Tok::Ident(ref s) if s == kw => Ok(line),
+            other => Err(err(line, format!("expected `{kw}`, got {other}"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(usize, String), VerilogParseError> {
+        let (line, tok) = self.next(what)?;
+        match tok {
+            Tok::Ident(s) => Ok((line, s)),
+            other => Err(err(line, format!("expected {what}, got {other}"))),
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<(usize, u64), VerilogParseError> {
+        let (line, tok) = self.next(what)?;
+        match tok {
+            Tok::Number(n) => Ok((line, n)),
+            other => Err(err(line, format!("expected {what}, got {other}"))),
+        }
+    }
+
+    /// `[hi:0]` (declarations) or `[hi:lo]` — returns (hi, lo).
+    fn range(&mut self) -> Result<(usize, usize), VerilogParseError> {
+        self.expect_punct('[')?;
+        let (line, hi) = self.expect_number("range high bound")?;
+        let hi = usize::try_from(hi).map_err(|_| err(line, "range bound too large"))?;
+        self.expect_punct(':')?;
+        let (line, lo) = self.expect_number("range low bound")?;
+        let lo = usize::try_from(lo).map_err(|_| err(line, "range bound too large"))?;
+        self.expect_punct(']')?;
+        if lo > hi {
+            return Err(err(line, format!("descending range [{hi}:{lo}]")));
+        }
+        Ok((hi, lo))
+    }
+
+    /// `bus[i]`.
+    fn bit_ref(&mut self) -> Result<BitRef, VerilogParseError> {
+        let (_, bus) = self.expect_ident("bus name")?;
+        self.expect_punct('[')?;
+        let (line, index) = self.expect_number("bit index")?;
+        let index = usize::try_from(index).map_err(|_| err(line, "bit index too large"))?;
+        self.expect_punct(']')?;
+        Ok(BitRef { bus, index })
+    }
+
+    /// Concat, slice, or single bit.
+    fn expr(&mut self) -> Result<Expr, VerilogParseError> {
+        if self.peek() == Some(&Tok::Punct('{')) {
+            self.expect_punct('{')?;
+            let mut parts = Vec::new();
+            if self.peek() != Some(&Tok::Punct('}')) {
+                loop {
+                    parts.push(self.bit_ref()?);
+                    if self.peek() == Some(&Tok::Punct(',')) {
+                        self.expect_punct(',')?;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct('}')?;
+            return Ok(Expr::Concat(parts));
+        }
+        let (_, bus) = self.expect_ident("bus name")?;
+        self.expect_punct('[')?;
+        let (line, first) = self.expect_number("bit index")?;
+        let first = usize::try_from(first).map_err(|_| err(line, "bit index too large"))?;
+        if self.peek() == Some(&Tok::Punct(':')) {
+            self.expect_punct(':')?;
+            let (line, lo) = self.expect_number("slice low bound")?;
+            let lo = usize::try_from(lo).map_err(|_| err(line, "slice bound too large"))?;
+            self.expect_punct(']')?;
+            if lo > first {
+                return Err(err(line, format!("descending slice [{first}:{lo}]")));
+            }
+            return Ok(Expr::Slice { bus, hi: first, lo });
+        }
+        self.expect_punct(']')?;
+        Ok(Expr::Bit(BitRef { bus, index: first }))
+    }
+
+    /// `always @* begin case (addr) arms… endcase end`.
+    fn rom(&mut self, line: usize) -> Result<RomBlock, VerilogParseError> {
+        self.expect_punct('@')?;
+        self.expect_punct('*')?;
+        self.expect_keyword("begin")?;
+        self.expect_keyword("case")?;
+        self.expect_punct('(')?;
+        let (_, addr) = self.expect_ident("case scrutinee")?;
+        self.expect_punct(')')?;
+        let mut arms = Vec::new();
+        let mut default = None;
+        let mut target: Option<String> = None;
+        loop {
+            let (arm_line, tok) = self.next("case arm or `endcase`")?;
+            match tok {
+                Tok::Ident(ref s) if s == "endcase" => break,
+                Tok::Ident(ref s) if s == "default" => {
+                    self.expect_punct(':')?;
+                    let (tline, t) = self.expect_ident("assignment target")?;
+                    check_target(&mut target, &t, tline)?;
+                    self.expect_punct('=')?;
+                    let (_, word) = self.sized("default data word")?;
+                    self.expect_punct(';')?;
+                    if default.replace((arm_line, word.1)).is_some() {
+                        return Err(err(arm_line, "duplicate `default` arm"));
+                    }
+                }
+                Tok::Sized(addr_width, address) => {
+                    self.expect_punct(':')?;
+                    let (tline, t) = self.expect_ident("assignment target")?;
+                    check_target(&mut target, &t, tline)?;
+                    self.expect_punct('=')?;
+                    let (word_width, word) = self.sized("case data word")?.1;
+                    self.expect_punct(';')?;
+                    arms.push(RomArm {
+                        line: arm_line,
+                        address,
+                        addr_width,
+                        word,
+                        word_width,
+                    });
+                }
+                other => {
+                    return Err(err(
+                        arm_line,
+                        format!(
+                            "expected a sized case label, `default`, or `endcase`, got {other}"
+                        ),
+                    ))
+                }
+            }
+        }
+        self.expect_keyword("end")?;
+        let target = target.ok_or_else(|| err(line, "case block assigns nothing"))?;
+        Ok(RomBlock {
+            line,
+            target,
+            addr,
+            arms,
+            default,
+        })
+    }
+
+    fn sized(&mut self, what: &str) -> Result<(usize, (usize, u64)), VerilogParseError> {
+        let (line, tok) = self.next(what)?;
+        match tok {
+            Tok::Sized(w, v) => Ok((line, (w, v))),
+            other => Err(err(line, format!("expected {what} (`W'dN`), got {other}"))),
+        }
+    }
+}
+
+fn check_target(
+    target: &mut Option<String>,
+    t: &str,
+    line: usize,
+) -> Result<(), VerilogParseError> {
+    match target {
+        None => {
+            *target = Some(t.to_owned());
+            Ok(())
+        }
+        Some(prev) if prev == t => Ok(()),
+        Some(prev) => Err(err(
+            line,
+            format!("case block assigns both `{prev}` and `{t}`"),
+        )),
+    }
+}
+
+/// Parses a module of the emitted Verilog subset.
+///
+/// # Errors
+///
+/// Returns a line-numbered [`VerilogParseError`] on any construct outside
+/// the subset, malformed syntax, or truncation.
+pub fn parse_verilog(text: &str) -> Result<VerilogModule, VerilogParseError> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+
+    p.expect_keyword("module")?;
+    let (_, name) = p.expect_ident("module name")?;
+    p.expect_punct('(')?;
+    let mut ports = Vec::new();
+    loop {
+        let (line, tok) = p.next("port declaration or `)`")?;
+        let dir = match tok {
+            Tok::Ident(ref s) if s == "input" => PortDir::Input,
+            Tok::Ident(ref s) if s == "output" => PortDir::Output,
+            Tok::Punct(')') if !ports.is_empty() => break,
+            other => {
+                return Err(err(
+                    line,
+                    format!("expected `input` or `output`, got {other}"),
+                ))
+            }
+        };
+        p.expect_keyword("wire")?;
+        let (hi, lo) = p.range()?;
+        if lo != 0 {
+            return Err(err(line, "port ranges must be [N:0]"));
+        }
+        let (_, pname) = p.expect_ident("port name")?;
+        ports.push(Port {
+            line,
+            dir,
+            name: pname,
+            width: hi + 1,
+        });
+        match p.peek() {
+            Some(Tok::Punct(',')) => {
+                p.expect_punct(',')?;
+            }
+            Some(Tok::Punct(')')) => {
+                p.expect_punct(')')?;
+                break;
+            }
+            _ => return Err(err(p.line(), "expected `,` or `)` in port list")),
+        }
+    }
+    p.expect_punct(';')?;
+
+    let mut items = Vec::new();
+    loop {
+        let (line, tok) = p.next("module item or `endmodule`")?;
+        match tok {
+            Tok::Ident(ref s) if s == "endmodule" => break,
+            Tok::Ident(ref s) if s == "wire" => {
+                let (hi, lo) = p.range()?;
+                if lo != 0 {
+                    return Err(err(line, "wire ranges must be [N:0]"));
+                }
+                let (_, wname) = p.expect_ident("wire name")?;
+                let init = if p.peek() == Some(&Tok::Punct('=')) {
+                    p.expect_punct('=')?;
+                    Some(p.expr()?)
+                } else {
+                    None
+                };
+                p.expect_punct(';')?;
+                items.push(VerilogItem::Wire {
+                    line,
+                    name: wname,
+                    width: hi + 1,
+                    init,
+                });
+            }
+            Tok::Ident(ref s) if s == "reg" => {
+                let (hi, lo) = p.range()?;
+                if lo != 0 {
+                    return Err(err(line, "reg ranges must be [N:0]"));
+                }
+                let (_, rname) = p.expect_ident("reg name")?;
+                p.expect_punct(';')?;
+                items.push(VerilogItem::Reg {
+                    line,
+                    name: rname,
+                    width: hi + 1,
+                });
+            }
+            Tok::Ident(ref s) if s == "always" => {
+                items.push(VerilogItem::Rom(p.rom(line)?));
+            }
+            Tok::Ident(ref s) if s == "assign" => {
+                let target = p.bit_ref()?;
+                p.expect_punct('=')?;
+                let value = p.expr()?;
+                p.expect_punct(';')?;
+                items.push(VerilogItem::Assign {
+                    line,
+                    target,
+                    value,
+                });
+            }
+            other => {
+                return Err(err(
+                    line,
+                    format!(
+                        "expected `wire`, `reg`, `always`, `assign`, or `endmodule`, got {other}"
+                    ),
+                ))
+            }
+        }
+    }
+    if p.pos != p.tokens.len() {
+        return Err(err(p.line(), "trailing tokens after `endmodule`"));
+    }
+    Ok(VerilogModule { name, ports, items })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verilog::cascade_to_verilog;
+    use bddcf_cascade::{synthesize, CascadeOptions};
+    use bddcf_core::Cf;
+    use bddcf_logic::TruthTable;
+
+    fn sample_verilog() -> String {
+        let mut cf = Cf::from_truth_table(&TruthTable::paper_table1());
+        let cascade = synthesize(
+            &mut cf,
+            &CascadeOptions {
+                max_cell_inputs: 4,
+                max_cell_outputs: 4,
+                ..CascadeOptions::default()
+            },
+        )
+        .expect("fits");
+        cascade_to_verilog(&cascade, "paper_table1").expect("valid module name")
+    }
+
+    #[test]
+    fn parses_emitted_module() {
+        let text = sample_verilog();
+        let module = parse_verilog(&text).expect("emitted Verilog parses");
+        assert_eq!(module.name, "paper_table1");
+        assert_eq!(module.input_port().expect("one input").width, 4);
+        assert_eq!(module.output_port().expect("one output").width, 2);
+        let roms = module
+            .items
+            .iter()
+            .filter(|i| matches!(i, VerilogItem::Rom(_)))
+            .count();
+        assert!(roms >= 1, "at least one ROM process");
+    }
+
+    #[test]
+    fn case_arms_carry_lines_and_widths() {
+        let text = sample_verilog();
+        let module = parse_verilog(&text).expect("parses");
+        for item in &module.items {
+            if let VerilogItem::Rom(rom) = item {
+                assert!(!rom.arms.is_empty());
+                assert!(rom.default.is_some(), "emitter always writes a default");
+                for arm in &rom.arms {
+                    assert!(arm.line > 0);
+                    assert!(arm.addr_width > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let text = sample_verilog();
+        // Cutting anywhere strictly inside the module must fail: either at
+        // the cut line (mid-construct) or at line 0 (missing `endmodule`).
+        for cut in [text.len() / 3, text.len() / 2, text.len() - 10] {
+            let e = parse_verilog(&text[..cut]).expect_err("truncated input must fail");
+            assert!(e.line <= text.lines().count(), "{e}");
+        }
+    }
+
+    #[test]
+    fn junk_is_rejected_with_line_numbers() {
+        let e = parse_verilog(
+            "module m (\n  input wire [3:0] x,\n  output wire [1:0] y\n);\n  junk;\nendmodule\n",
+        )
+        .expect_err("junk item");
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("junk"), "{e}");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let text = "// header\nmodule m ( // ports\n  input wire [0:0] x,\n  output wire [0:0] y\n);\n  assign y[0] = x[0];\nendmodule\n";
+        let module = parse_verilog(text).expect("comments tolerated");
+        assert_eq!(module.items.len(), 1);
+    }
+}

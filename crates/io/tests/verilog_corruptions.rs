@@ -1,0 +1,149 @@
+//! Corruption table for the Verilog artifact parser: every entry plants
+//! one byte-level defect in a known-good emitted module and asserts a
+//! *typed, line-numbered* [`VerilogParseError`] — the same contract the
+//! PLA and cascade-text readers honor. A parser that starts panicking,
+//! mis-numbering lines, or silently accepting garbage fails here.
+
+use bddcf_cascade::{synthesize, CascadeOptions, Segmentation};
+use bddcf_core::Cf;
+use bddcf_io::{cascade_to_verilog, parse_verilog, VerilogParseError};
+use bddcf_logic::TruthTable;
+
+fn clean_artifact() -> String {
+    let table = TruthTable::paper_table1();
+    let mut cf = Cf::from_truth_table(&table);
+    let cascade = synthesize(
+        &mut cf,
+        &CascadeOptions {
+            max_cell_inputs: 4,
+            max_cell_outputs: 4,
+            segmentation: Segmentation::MinCells,
+        },
+    )
+    .expect("paper_table1 fits a 4-input cell");
+    cascade_to_verilog(&cascade, "m").expect("valid module name")
+}
+
+/// One corruption: replace the first `from` with `to`, expect a parse
+/// error whose message contains `msg` and whose line is 0 (end of input)
+/// or within two lines after the corruption site.
+struct Corruption {
+    name: &'static str,
+    from: &'static str,
+    to: &'static str,
+    msg: &'static str,
+}
+
+const TABLE: &[Corruption] = &[
+    Corruption {
+        name: "digit-leading module name",
+        from: "module m (",
+        to: "module 0m (",
+        msg: "module name",
+    },
+    Corruption {
+        name: "misspelled port direction",
+        from: "input  wire",
+        to: "inpt  wire",
+        msg: "expected `input` or `output`",
+    },
+    Corruption {
+        name: "wire range not dropping to zero",
+        from: "wire [3:0] addr0",
+        to: "wire [3:2] addr0",
+        msg: "must be [N:0]",
+    },
+    Corruption {
+        name: "missing semicolon after declaration",
+        from: "reg [1:0] data0;",
+        to: "reg [1:0] data0",
+        msg: "expected `;`",
+    },
+    Corruption {
+        name: "unsized case label",
+        from: "4'd4: data0",
+        to: "4: data0",
+        msg: "case label",
+    },
+    Corruption {
+        name: "sized literal without the d base",
+        from: "4'd4: data0",
+        to: "4'x4: data0",
+        msg: "expected `d` after `'`",
+    },
+    Corruption {
+        name: "non-numeric bit index",
+        from: "assign y[0]",
+        to: "assign y[z]",
+        msg: "",
+    },
+    Corruption {
+        name: "unknown module item",
+        from: "  assign y[0]",
+        to: "  assgin y[0]",
+        msg: "expected `wire`, `reg`, `always`, `assign`, or `endmodule`",
+    },
+    Corruption {
+        name: "trailing tokens after endmodule",
+        from: "endmodule",
+        to: "endmodule\nwire [0:0] late;",
+        msg: "trailing tokens",
+    },
+];
+
+#[test]
+fn every_corruption_yields_a_typed_line_numbered_error() {
+    let clean = clean_artifact();
+    assert!(parse_verilog(&clean).is_ok(), "baseline must parse");
+    for c in TABLE {
+        assert!(
+            clean.contains(c.from),
+            "{}: anchor {:?} missing",
+            c.name,
+            c.from
+        );
+        let anchor = clean
+            .lines()
+            .position(|l| l.contains(c.from))
+            .expect("anchor line exists")
+            + 1;
+        let corrupted = clean.replacen(c.from, c.to, 1);
+        let e: VerilogParseError =
+            parse_verilog(&corrupted).expect_err(&format!("{}: corruption must not parse", c.name));
+        assert!(
+            e.message.contains(c.msg),
+            "{}: message {:?} lacks {:?}",
+            c.name,
+            e.message,
+            c.msg
+        );
+        assert!(
+            e.line == 0 || (anchor..=anchor + 2).contains(&e.line),
+            "{}: error line {} far from corruption at line {anchor} ({})",
+            c.name,
+            e.line,
+            e.message
+        );
+    }
+}
+
+#[test]
+fn truncation_at_every_quarter_fails_with_a_bounded_line() {
+    let clean = clean_artifact();
+    for cut in [clean.len() / 4, clean.len() / 2, 3 * clean.len() / 4] {
+        let e = parse_verilog(&clean[..cut]).expect_err("truncation must not parse");
+        assert!(
+            e.line <= clean[..cut].lines().count(),
+            "cut {cut}: line {} out of range ({})",
+            e.line,
+            e.message
+        );
+    }
+}
+
+#[test]
+fn error_display_carries_the_line() {
+    let e = parse_verilog("module 0m ();").expect_err("bad name");
+    let rendered = e.to_string();
+    assert!(rendered.contains("line 1"), "{rendered}");
+}

@@ -1,0 +1,37 @@
+//! `bddcf-xlint`: runs the workspace source lints (XL001–XL003) and
+//! prints machine-readable findings (`file:line: [ID] message`).
+//!
+//! Usage: `bddcf-xlint [workspace-root]` (default: the current
+//! directory). Exits 1 when any finding survives, 2 on I/O errors.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => ".".to_string(),
+        [root] => root.clone(),
+        _ => {
+            eprintln!("usage: bddcf-xlint [workspace-root]");
+            return ExitCode::from(2);
+        }
+    };
+    match bddcf_xlint::lint_workspace(Path::new(&root)) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xlint: governed paths clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("xlint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xlint: cannot walk `{root}`: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

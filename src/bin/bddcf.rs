@@ -21,6 +21,13 @@
 //!     refinement oracle, cascade lints) over registry benchmarks; exits
 //!     nonzero if any layer reports a finding.
 //!
+//! bddcf lint [label-substring...] [--suite small|table4] [--max-iter N]
+//!     Static translation validation of emitted artifacts: synthesize each
+//!     benchmark, emit Verilog and cascade text, parse them back, run the
+//!     netlist lints (NL001–NL009), require a byte-faithful re-emission,
+//!     and prove χ_netlist ⇒ χ_spec on the BDDs. Findings are printed
+//!     machine-readably as `file:line: [ID] message`; exits nonzero on any.
+//!
 //! bddcf inject [label-substring...] [--suite small|table4] [--seed N]
 //!              [--points N] [--max-iter N] [--samples N]
 //!     Seeded fault injection: exhaust node/step budgets and fire
@@ -90,6 +97,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "cascade" => cascade(&args[1..]),
         "sim" => sim(&args[1..]),
         "check" => check(&args[1..]),
+        "lint" => lint(&args[1..]),
         "inject" => inject(&args[1..]),
         "resume" => resume(&args[1..]),
         "crashtest" => crashtest(&args[1..]),
@@ -108,6 +116,7 @@ USAGE:
   bddcf sim <file.cas> <input-bits>
   bddcf check [label-substring...] [--suite small|table4] [--samples N]
               [--max-iter N]
+  bddcf lint  [label-substring...] [--suite small|table4] [--max-iter N]
   bddcf inject [label-substring...] [--suite small|table4] [--seed N]
                [--points N] [--max-iter N] [--samples N]
   bddcf resume <file.bddcfck> [--max-iter N] [--max-in K] [--max-out L]
@@ -295,6 +304,20 @@ fn report_degradations(report: &DegradationReport) {
     for line in report.render().lines() {
         eprintln!("  {line}");
     }
+}
+
+/// [`emit_verilog`] with the typed emission error folded into `io::Error`,
+/// so it can stream through [`write_file_with`]. An invalid module name is
+/// reported as `InvalidInput` instead of a panic.
+fn emit_verilog_io<W: std::io::Write>(
+    cascade: &bddcf::cascade::Cascade,
+    module_name: &str,
+    w: &mut W,
+) -> std::io::Result<()> {
+    emit_verilog(cascade, module_name, w).map_err(|e| match e {
+        bddcf::io::VerilogEmitError::Io(e) => e,
+        other => std::io::Error::new(std::io::ErrorKind::InvalidInput, other.to_string()),
+    })
 }
 
 /// Streams `emit` into `path` through a `BufWriter`, so writer failures
@@ -506,12 +529,15 @@ fn cascade(args: &[String]) -> Result<(), String> {
         println!("cell tables written to {cas_path}");
     }
     if let Some(v_path) = flags.verilog {
-        let module = std::path::Path::new(path)
+        let mut module = std::path::Path::new(path)
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("cascade")
             .replace(|c: char| !c.is_ascii_alphanumeric(), "_");
-        write_file_with(&v_path, |w| emit_verilog(&result, &module, w))?;
+        if !bddcf::io::is_valid_module_name(&module) {
+            module = format!("m_{module}");
+        }
+        write_file_with(&v_path, |w| emit_verilog_io(&result, &module, w))?;
         println!("Verilog written to {v_path}");
     }
     Ok(())
@@ -650,6 +676,60 @@ fn check(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn lint(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let selected = select_suite(&flags)?;
+    let options = bddcf::check::LintOptions {
+        max_iterations: flags.max_iter,
+        ..bddcf::check::LintOptions::default()
+    };
+    let probe = bddcf::check::PanicProbe;
+    let mut failures = 0usize;
+    let mut quarantined = Vec::new();
+    bddcf::check::with_quiet_panics(|| {
+        for (label, benchmark) in batch_entries(&selected, &probe, flags.panic_probe) {
+            let result = match bddcf::check::run_quarantined(label, || {
+                bddcf::check::lint_benchmark(benchmark, &options)
+            }) {
+                Ok(result) => result,
+                Err(q) => {
+                    quarantined.push(q);
+                    continue;
+                }
+            };
+            let verdict = if result.report.is_clean() {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            println!(
+                "{verdict:4} {label:<28} {} artifact(s) analyzed",
+                result.artifacts
+            );
+            if !result.report.is_clean() {
+                failures += 1;
+                for finding in result.report.findings() {
+                    println!("{finding}");
+                }
+            }
+        }
+    });
+    report_quarantines(&quarantined);
+    let expected_quarantines = usize::from(flags.panic_probe);
+    if failures > 0 || quarantined.len() != expected_quarantines {
+        return Err(format!(
+            "{failures} benchmark(s) produced artifacts with lint findings, {} quarantined",
+            quarantined.len()
+        ));
+    }
+    println!(
+        "all {} benchmark(s) emit artifacts that parse back, round-trip \
+         byte-faithfully, and refine their specifications",
+        selected.len()
+    );
+    Ok(())
+}
+
 fn inject(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let selected = select_suite(&flags)?;
@@ -759,7 +839,7 @@ fn resume(args: &[String]) -> Result<(), String> {
             println!("cell tables written to {cas_path}");
         }
         if let Some(v_path) = flags.verilog {
-            write_file_with(&v_path, |w| emit_verilog(&result, "resumed", w))?;
+            write_file_with(&v_path, |w| emit_verilog_io(&result, "resumed", w))?;
             println!("Verilog written to {v_path}");
         }
     }

@@ -185,3 +185,27 @@ fn conflicting_pla_is_rejected() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("driven both"), "stderr: {err}");
 }
+
+#[test]
+fn lint_certifies_the_translation_chain_for_one_benchmark() {
+    let out = bddcf().arg("lint").arg("3-nary").output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ok"), "{text}");
+    assert!(text.contains("artifact(s) analyzed"), "{text}");
+    assert!(text.contains("round-trip"), "{text}");
+}
+
+#[test]
+fn lint_rejects_unknown_selections() {
+    let out = bddcf()
+        .arg("lint")
+        .arg("no-such-benchmark")
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+}

@@ -165,4 +165,41 @@ proptest! {
             prop_assert!(words.contains(&w1));
         }
     }
+
+    #[test]
+    fn emitted_artifacts_round_trip_and_refine_the_spec(table in arb_table()) {
+        // The full translation chain on a random ISF: reduce → synthesize
+        // → emit Verilog → parse → lower → lint → reconstruct → re-emit
+        // byte-identically, and the symbolic χ of the netlist refines the
+        // original specification (Layer 5's contract, end to end).
+        let mut cf = Cf::from_truth_table(&table);
+        cf.reduce_alg33_default();
+        let cascade = synthesize(&mut cf, &CascadeOptions {
+            max_cell_inputs: 4,
+            max_cell_outputs: 4,
+            ..CascadeOptions::default()
+        }).expect("a 4-input function always fits 4-input cells");
+
+        let text = bddcf::io::cascade_to_verilog(&cascade, "m")
+            .expect("`m` is a valid module name");
+        let parsed = bddcf::io::parse_verilog(&text)
+            .map_err(|e| proptest::TestCaseError(format!("emitted Verilog must parse: {e}")))?;
+        let (net, lowering) = bddcf::check::netlist_from_verilog(&parsed, "prop.v");
+        prop_assert!(lowering.is_clean(), "{lowering}");
+        // A random ISF may keep spec-vacuous inputs wired into ROM
+        // addresses; suppress NL007 for exactly those, as `bddcf lint` does.
+        let live = cf.support_inputs();
+        let spec_vacuous: Vec<usize> = (0..NUM_INPUTS).filter(|i| !live.contains(i)).collect();
+        let lint = bddcf::check::lint_netlist_with_spec(&net, "prop.v", &spec_vacuous);
+        prop_assert!(lint.is_clean(), "{lint}");
+
+        let rebuilt = bddcf::check::netlist_to_cascade(&net, "prop.v")
+            .map_err(|r| proptest::TestCaseError(format!("reconstruction failed: {r}")))?;
+        let reemitted = bddcf::io::cascade_to_verilog(&rebuilt, "m")
+            .expect("`m` is a valid module name");
+        prop_assert_eq!(&reemitted, &text, "emit → parse → re-emit must be byte-faithful");
+
+        let refinement = bddcf::check::check_netlist_refinement(&net, &mut cf, "prop.v");
+        prop_assert!(refinement.is_clean(), "{refinement}");
+    }
 }

@@ -1,0 +1,1023 @@
+//! Offline stand-in for the slice of the `syn` crate this workspace uses:
+//! [`parse_file`] into a [`File`] of items ([`ItemFn`], [`ItemMod`],
+//! [`ItemConst`], [`ItemImpl`], verbatim rest), attributes, visibilities,
+//! and line-spanned token streams, plus [`tokenize`] for the raw
+//! `proc-macro2`-style stream.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this mini-parser instead. Scope: item-level structure only —
+//! function bodies stay flat [`TokenStream`]s and analyses (the
+//! `bddcf-xlint` passes) work on the token level via helpers like
+//! [`TokenStream::method_calls`]. Trait declarations, macros, and unusual
+//! items are preserved verbatim, not modeled; `const` generic braces in
+//! signatures outside `[]`/`()` groups are the one known parse blind spot.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A lex or parse failure, with the 1-based source line.
+#[derive(Debug)]
+pub struct Error {
+    /// 1-based line where the failure was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn err(line: usize, message: impl Into<String>) -> Error {
+    Error {
+        line,
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------
+
+/// Lexical class of a [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`s, prefix stripped).
+    Ident,
+    /// Number, string, byte, or char literal (verbatim, quotes included).
+    Literal,
+    /// A lifetime such as `'a` (verbatim, leading quote included).
+    Lifetime,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexical token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Source text (for [`TokenKind::Ident`] the identifier itself).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// A flat, line-spanned token sequence (comments and whitespace removed).
+#[derive(Clone, Debug, Default)]
+pub struct TokenStream {
+    /// The tokens, in source order.
+    pub tokens: Vec<Token>,
+}
+
+impl TokenStream {
+    /// All identifier tokens, in order.
+    pub fn idents(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(|t| t.kind == TokenKind::Ident)
+    }
+
+    /// True if some identifier token equals `name` exactly.
+    pub fn contains_ident(&self, name: &str) -> bool {
+        self.idents().any(|t| t.text == name)
+    }
+
+    /// Method-call name tokens: every `ident` in a `. ident (` sequence.
+    /// (Field accesses lack the `(`; tuple indices are literals; float
+    /// literals lex as single tokens, so `1.0` never splits.)
+    pub fn method_calls(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.windows(3).filter_map(|w| {
+            (w[0].is_punct('.') && w[1].kind == TokenKind::Ident && w[2].is_punct('('))
+                .then_some(&w[1])
+        })
+    }
+}
+
+/// Lexes `src` into a flat token stream: whitespace and comments (line,
+/// nested block, doc) are dropped; strings, raw strings, byte strings,
+/// chars, lifetimes, and numbers become single [`TokenKind::Literal`] /
+/// [`TokenKind::Lifetime`] tokens.
+pub fn tokenize(src: &str) -> Result<TokenStream, Error> {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut out = Vec::new();
+
+    let ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < b.len() {
+        let c = b[i];
+        let start_line = line;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            if depth > 0 {
+                return Err(err(start_line, "unterminated block comment"));
+            }
+        } else if c == '"' {
+            let (text, ni, nl) = lex_string(&b, i, line)?;
+            out.push(Token {
+                kind: TokenKind::Literal,
+                text,
+                line: start_line,
+            });
+            i = ni;
+            line = nl;
+        } else if c == '\'' {
+            // Lifetime (`'a` with no closing quote) or char literal.
+            let mut j = i + 1;
+            if j < b.len() && ident_start(b[j]) {
+                while j < b.len() && ident_cont(b[j]) {
+                    j += 1;
+                }
+                if j >= b.len() || b[j] != '\'' {
+                    let text: String = b[i..j].iter().collect();
+                    out.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text,
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            let (text, ni, nl) = lex_char(&b, i, line)?;
+            out.push(Token {
+                kind: TokenKind::Literal,
+                text,
+                line: start_line,
+            });
+            i = ni;
+            line = nl;
+        } else if (c == 'r' || c == 'b') && is_string_prefix(&b, i) {
+            let (text, ni, nl) = lex_prefixed_literal(&b, i, line)?;
+            out.push(Token {
+                kind: TokenKind::Literal,
+                text,
+                line: start_line,
+            });
+            i = ni;
+            line = nl;
+        } else if c == 'r'
+            && i + 1 < b.len()
+            && b[i + 1] == '#'
+            && i + 2 < b.len()
+            && ident_start(b[i + 2])
+        {
+            // Raw identifier `r#type`: strip the prefix.
+            let mut j = i + 2;
+            while j < b.len() && ident_cont(b[j]) {
+                j += 1;
+            }
+            let text: String = b[i + 2..j].iter().collect();
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line: start_line,
+            });
+            i = j;
+        } else if ident_start(c) {
+            let mut j = i;
+            while j < b.len() && ident_cont(b[j]) {
+                j += 1;
+            }
+            let text: String = b[i..j].iter().collect();
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line: start_line,
+            });
+            i = j;
+        } else if c.is_ascii_digit() {
+            let mut j = i;
+            while j < b.len() {
+                let d = b[j];
+                if ident_cont(d) {
+                    j += 1;
+                } else if d == '.' && j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                    j += 1; // decimal point of a float, not a method call
+                } else if (d == '+' || d == '-') && j > i && matches!(b[j - 1], 'e' | 'E') {
+                    j += 1; // exponent sign
+                } else {
+                    break;
+                }
+            }
+            let text: String = b[i..j].iter().collect();
+            out.push(Token {
+                kind: TokenKind::Literal,
+                text,
+                line: start_line,
+            });
+            i = j;
+        } else {
+            out.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line: start_line,
+            });
+            i += 1;
+        }
+    }
+    Ok(TokenStream { tokens: out })
+}
+
+/// Is `b[i..]` a string-ish literal prefix (`r"`, `r#"`, `b"`, `b'`, `br`)?
+fn is_string_prefix(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < b.len() && b[j] == '\'' {
+            return true;
+        }
+    }
+    if j < b.len() && b[j] == 'r' {
+        j += 1;
+        while j < b.len() && b[j] == '#' {
+            j += 1;
+        }
+    }
+    j < b.len() && b[j] == '"' && j > i
+}
+
+/// Lexes a `"…"` string starting at `b[i]`; returns (text, next, line).
+fn lex_string(b: &[char], i: usize, mut line: usize) -> Result<(String, usize, usize), Error> {
+    let start_line = line;
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                line += 1;
+                j += 1;
+            }
+            '"' => {
+                let text: String = b[i..=j].iter().collect();
+                return Ok((text, j + 1, line));
+            }
+            _ => j += 1,
+        }
+    }
+    Err(err(start_line, "unterminated string literal"))
+}
+
+/// Lexes a `'…'` char literal starting at `b[i]`.
+fn lex_char(b: &[char], i: usize, line: usize) -> Result<(String, usize, usize), Error> {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\'' => {
+                let text: String = b[i..=j].iter().collect();
+                return Ok((text, j + 1, line));
+            }
+            '\n' => return Err(err(line, "unterminated char literal")),
+            _ => j += 1,
+        }
+    }
+    Err(err(line, "unterminated char literal"))
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#` starting at `b[i]`.
+fn lex_prefixed_literal(
+    b: &[char],
+    i: usize,
+    mut line: usize,
+) -> Result<(String, usize, usize), Error> {
+    let start_line = line;
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < b.len() && b[j] == '\'' {
+            let (text, ni, nl) = lex_char(b, j, line)?;
+            return Ok((format!("b{text}"), ni, nl));
+        }
+        if j < b.len() && b[j] == '"' {
+            let (text, ni, nl) = lex_string(b, j, line)?;
+            return Ok((format!("b{text}"), ni, nl));
+        }
+    }
+    // Raw (byte) string: r/br, then hashes, then the quoted body ended by
+    // a quote followed by the same number of hashes.
+    if j < b.len() && b[j] == 'r' {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != '"' {
+        return Err(err(start_line, "malformed raw string prefix"));
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == '\n' {
+            line += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < b.len() && b[k] == '#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                let text: String = b[i..k].iter().collect();
+                return Ok((text, k, line));
+            }
+        }
+        j += 1;
+    }
+    Err(err(start_line, "unterminated raw string literal"))
+}
+
+// ---------------------------------------------------------------------
+// Items
+// ---------------------------------------------------------------------
+
+/// An identifier with its source line (the `syn`/`proc-macro2` span slice
+/// this workspace needs).
+#[derive(Clone, Debug)]
+pub struct Ident {
+    /// The identifier text.
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// An outer attribute, rendered compactly: `#[cfg(test)]` becomes
+/// `cfg(test)` (spaces only between adjacent word characters).
+#[derive(Clone, Debug)]
+pub struct Attribute {
+    /// Compact text of the bracketed body.
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+impl Attribute {
+    /// The leading path ident (`cfg` for `#[cfg(test)]`), if any.
+    pub fn path(&self) -> &str {
+        let end = self
+            .text
+            .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':'))
+            .unwrap_or(self.text.len());
+        &self.text[..end]
+    }
+}
+
+/// Item visibility.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Visibility {
+    /// `pub`.
+    Public,
+    /// `pub(crate)`, `pub(super)`, … with the compact restriction text.
+    Restricted(String),
+    /// Private.
+    Inherited,
+}
+
+impl Visibility {
+    /// True for plain `pub`.
+    pub fn is_pub(&self) -> bool {
+        matches!(self, Visibility::Public)
+    }
+}
+
+/// A function signature: the name plus the flat tokens between the name
+/// and the body (generics, arguments, return type, where clause).
+#[derive(Clone, Debug)]
+pub struct Signature {
+    /// The function name.
+    pub ident: Ident,
+    /// Everything after the name and before `{` / `;`.
+    pub tokens: TokenStream,
+}
+
+/// A `fn` item (free or inherent-impl).
+#[derive(Clone, Debug)]
+pub struct ItemFn {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Visibility.
+    pub vis: Visibility,
+    /// Name and signature tokens.
+    pub sig: Signature,
+    /// Body tokens (without the outer braces); `None` for a bodyless
+    /// declaration.
+    pub block: Option<TokenStream>,
+}
+
+/// A `mod` item.
+#[derive(Clone, Debug)]
+pub struct ItemMod {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Visibility.
+    pub vis: Visibility,
+    /// Module name.
+    pub ident: Ident,
+    /// Inline content; `None` for `mod name;`.
+    pub content: Option<Vec<Item>>,
+}
+
+/// A `const` or `static` item.
+#[derive(Clone, Debug)]
+pub struct ItemConst {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Visibility.
+    pub vis: Visibility,
+    /// Constant name.
+    pub ident: Ident,
+}
+
+/// An `impl` block; only `fn` members are modeled.
+#[derive(Clone, Debug)]
+pub struct ItemImpl {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Compact text of the tokens between `impl` and the body.
+    pub self_ty: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+    /// The member functions.
+    pub fns: Vec<ItemFn>,
+}
+
+/// One top-level or module-level item.
+#[derive(Clone, Debug)]
+pub enum Item {
+    /// A function.
+    Fn(ItemFn),
+    /// A module.
+    Mod(ItemMod),
+    /// A constant or static.
+    Const(ItemConst),
+    /// An impl block.
+    Impl(ItemImpl),
+    /// Anything else (structs, enums, uses, traits, macros), skipped as a
+    /// balanced unit.
+    Verbatim(TokenStream),
+}
+
+/// A parsed source file.
+#[derive(Clone, Debug)]
+pub struct File {
+    /// The top-level items.
+    pub items: Vec<Item>,
+}
+
+/// Parses `src` into a [`File`]. Lex errors and unbalanced delimiters
+/// fail; unmodeled constructs become [`Item::Verbatim`].
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let stream = tokenize(src)?;
+    let mut cur = Cursor {
+        toks: &stream.tokens,
+        pos: 0,
+    };
+    let items = parse_items(&mut cur, false)?;
+    Ok(File { items })
+}
+
+struct Cursor<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + offset)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn line(&self) -> usize {
+        self.peek()
+            .or_else(|| self.toks.last())
+            .map_or(1, |t| t.line)
+    }
+
+    /// Consumes a balanced `open … close` group (the delimiters included),
+    /// returning the inner tokens.
+    fn balanced(&mut self, open: char, close: char) -> Result<Vec<Token>, Error> {
+        let start = self.line();
+        let Some(t) = self.next() else {
+            return Err(err(start, format!("expected `{open}`")));
+        };
+        if !t.is_punct(open) {
+            return Err(err(
+                t.line,
+                format!("expected `{open}`, found `{}`", t.text),
+            ));
+        }
+        let mut depth = 1usize;
+        let mut inner = Vec::new();
+        while let Some(t) = self.next() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(inner);
+                }
+            }
+            inner.push(t.clone());
+        }
+        Err(err(start, format!("unbalanced `{open}…{close}`")))
+    }
+}
+
+/// Joins token texts compactly: a space only between adjacent word-ish
+/// tokens (`pub fn` stays readable, `cfg(test)` stays tight).
+fn compact(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        let wordish = |c: char| c.is_alphanumeric() || c == '_' || c == '"';
+        if let (Some(last), Some(first)) = (s.chars().last(), t.text.chars().next()) {
+            if wordish(last) && wordish(first) {
+                s.push(' ');
+            }
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+fn parse_attrs(cur: &mut Cursor<'_>) -> Result<Vec<Attribute>, Error> {
+    let mut attrs = Vec::new();
+    while let Some(t) = cur.peek() {
+        if !t.is_punct('#') {
+            break;
+        }
+        let line = t.line;
+        cur.next();
+        // Inner attributes `#![…]` configure the file; recorded like outer
+        // ones so callers can ignore them uniformly.
+        if cur.peek().is_some_and(|t| t.is_punct('!')) {
+            cur.next();
+        }
+        let inner = cur.balanced('[', ']')?;
+        attrs.push(Attribute {
+            text: compact(&inner),
+            line,
+        });
+    }
+    Ok(attrs)
+}
+
+fn parse_visibility(cur: &mut Cursor<'_>) -> Result<Visibility, Error> {
+    if !cur.peek().is_some_and(|t| t.is_ident("pub")) {
+        return Ok(Visibility::Inherited);
+    }
+    cur.next();
+    if cur.peek().is_some_and(|t| t.is_punct('(')) {
+        let inner = cur.balanced('(', ')')?;
+        return Ok(Visibility::Restricted(compact(&inner)));
+    }
+    Ok(Visibility::Public)
+}
+
+/// Skips tokens until a `;` at depth 0 or a balanced depth-0 `{…}` group,
+/// collecting everything consumed. Covers `use …;`, `struct … { … }`,
+/// `macro_rules! m { … }`, `trait T { … }`, and initializer expressions
+/// with nested braces.
+fn skip_item_rest(cur: &mut Cursor<'_>, sink: &mut Vec<Token>) -> Result<(), Error> {
+    let start = cur.line();
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    while let Some(t) = cur.peek() {
+        if paren == 0 && bracket == 0 {
+            if t.is_punct(';') {
+                sink.push(t.clone());
+                cur.next();
+                return Ok(());
+            }
+            if t.is_punct('{') {
+                sink.push(t.clone());
+                let inner = cur.balanced('{', '}')?;
+                sink.extend(inner);
+                sink.push(Token {
+                    kind: TokenKind::Punct,
+                    text: "}".into(),
+                    line: cur.line(),
+                });
+                return Ok(());
+            }
+            if t.is_punct('}') {
+                // The enclosing block is closing; the item had no body.
+                return Ok(());
+            }
+        }
+        match () {
+            _ if t.is_punct('(') => paren += 1,
+            _ if t.is_punct(')') => paren = paren.saturating_sub(1),
+            _ if t.is_punct('[') => bracket += 1,
+            _ if t.is_punct(']') => bracket = bracket.saturating_sub(1),
+            _ => {}
+        }
+        sink.push(t.clone());
+        cur.next();
+    }
+    Err(err(start, "item runs past the end of the file"))
+}
+
+/// Consumes `fn` modifiers (`const`, `unsafe`, `async`, `extern "C"`)
+/// when they precede a `fn`. Returns false when the leading keyword
+/// starts a different item.
+fn eat_fn_modifiers(cur: &mut Cursor<'_>) -> bool {
+    let mut progressed = false;
+    loop {
+        let Some(t) = cur.peek() else {
+            return progressed;
+        };
+        match t.text.as_str() {
+            "fn" => return true,
+            "const" | "unsafe" | "async" => {
+                // `const` may open a const item instead of `const fn`.
+                let next = cur.peek_at(1);
+                let fn_like = matches!(
+                    next.map(|n| n.text.as_str()),
+                    Some("fn" | "unsafe" | "async" | "extern")
+                );
+                if t.is_ident("const") && !fn_like {
+                    return progressed;
+                }
+                cur.next();
+                progressed = true;
+            }
+            "extern" => {
+                cur.next();
+                progressed = true;
+                if cur.peek().is_some_and(|t| t.kind == TokenKind::Literal) {
+                    cur.next();
+                }
+            }
+            _ => return progressed,
+        }
+    }
+}
+
+fn parse_fn(cur: &mut Cursor<'_>, attrs: Vec<Attribute>, vis: Visibility) -> Result<ItemFn, Error> {
+    let kw = cur.next().expect("caller checked `fn`");
+    debug_assert!(kw.is_ident("fn"));
+    let Some(name) = cur.next() else {
+        return Err(err(kw.line, "`fn` without a name"));
+    };
+    if name.kind != TokenKind::Ident {
+        return Err(err(
+            name.line,
+            format!("expected fn name, found `{}`", name.text),
+        ));
+    }
+    let ident = Ident {
+        name: name.text.clone(),
+        line: name.line,
+    };
+    // Signature: everything up to the body `{` (or `;`) at ()/[] depth 0.
+    let mut sig = Vec::new();
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    let block = loop {
+        let Some(t) = cur.peek() else {
+            return Err(err(ident.line, format!("fn `{}` has no body", ident.name)));
+        };
+        if paren == 0 && bracket == 0 {
+            if t.is_punct('{') {
+                let inner = cur.balanced('{', '}')?;
+                break Some(TokenStream { tokens: inner });
+            }
+            if t.is_punct(';') {
+                cur.next();
+                break None;
+            }
+        }
+        match () {
+            _ if t.is_punct('(') => paren += 1,
+            _ if t.is_punct(')') => paren = paren.saturating_sub(1),
+            _ if t.is_punct('[') => bracket += 1,
+            _ if t.is_punct(']') => bracket = bracket.saturating_sub(1),
+            _ => {}
+        }
+        sig.push(t.clone());
+        cur.next();
+    };
+    Ok(ItemFn {
+        attrs,
+        vis,
+        sig: Signature {
+            ident,
+            tokens: TokenStream { tokens: sig },
+        },
+        block,
+    })
+}
+
+fn parse_impl(cur: &mut Cursor<'_>, attrs: Vec<Attribute>) -> Result<ItemImpl, Error> {
+    let kw = cur.next().expect("caller checked `impl`");
+    let line = kw.line;
+    let mut ty = Vec::new();
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    loop {
+        let Some(t) = cur.peek() else {
+            return Err(err(line, "impl block without a body"));
+        };
+        if paren == 0 && bracket == 0 && t.is_punct('{') {
+            break;
+        }
+        match () {
+            _ if t.is_punct('(') => paren += 1,
+            _ if t.is_punct(')') => paren = paren.saturating_sub(1),
+            _ if t.is_punct('[') => bracket += 1,
+            _ if t.is_punct(']') => bracket = bracket.saturating_sub(1),
+            _ => {}
+        }
+        ty.push(t.clone());
+        cur.next();
+    }
+    let body = cur.balanced('{', '}')?;
+    let mut inner = Cursor {
+        toks: &body,
+        pos: 0,
+    };
+    let mut fns = Vec::new();
+    while inner.peek().is_some() {
+        let attrs = parse_attrs(&mut inner)?;
+        let vis = parse_visibility(&mut inner)?;
+        if eat_fn_modifiers(&mut inner) && inner.peek().is_some_and(|t| t.is_ident("fn")) {
+            fns.push(parse_fn(&mut inner, attrs, vis)?);
+        } else {
+            // Associated const/type or an unmodeled member: skip a unit.
+            let mut sink = Vec::new();
+            skip_item_rest(&mut inner, &mut sink)?;
+            if sink.is_empty() {
+                inner.next(); // guarantee progress
+            }
+        }
+    }
+    Ok(ItemImpl {
+        attrs,
+        self_ty: compact(&ty),
+        line,
+        fns,
+    })
+}
+
+fn parse_items(cur: &mut Cursor<'_>, in_block: bool) -> Result<Vec<Item>, Error> {
+    let mut items = Vec::new();
+    while let Some(t) = cur.peek() {
+        if in_block && t.is_punct('}') {
+            break;
+        }
+        let attrs = parse_attrs(cur)?;
+        let vis = parse_visibility(cur)?;
+        let Some(t) = cur.peek() else { break };
+        match t.text.as_str() {
+            "fn" | "unsafe" | "async" | "extern" | "const" | "static"
+                if t.kind == TokenKind::Ident =>
+            {
+                let is_data = t.is_ident("const") || t.is_ident("static");
+                if eat_fn_modifiers(cur) && cur.peek().is_some_and(|t| t.is_ident("fn")) {
+                    items.push(Item::Fn(parse_fn(cur, attrs, vis)?));
+                } else if is_data {
+                    let kw = cur.next().expect("peeked const/static");
+                    if cur.peek().is_some_and(|t| t.is_ident("mut")) {
+                        cur.next();
+                    }
+                    let Some(name) = cur.next() else {
+                        return Err(err(kw.line, "const without a name"));
+                    };
+                    let ident = Ident {
+                        name: name.text.clone(),
+                        line: name.line,
+                    };
+                    let mut sink = Vec::new();
+                    skip_item_rest(cur, &mut sink)?;
+                    items.push(Item::Const(ItemConst { attrs, vis, ident }));
+                } else {
+                    // `extern "C" { … }` block or similar: verbatim.
+                    let mut sink = Vec::new();
+                    skip_item_rest(cur, &mut sink)?;
+                    items.push(Item::Verbatim(TokenStream { tokens: sink }));
+                }
+            }
+            "mod" if t.kind == TokenKind::Ident => {
+                let kw = cur.next().expect("peeked mod");
+                let Some(name) = cur.next() else {
+                    return Err(err(kw.line, "`mod` without a name"));
+                };
+                let ident = Ident {
+                    name: name.text.clone(),
+                    line: name.line,
+                };
+                let content = if cur.peek().is_some_and(|t| t.is_punct(';')) {
+                    cur.next();
+                    None
+                } else {
+                    let body = cur.balanced('{', '}')?;
+                    let mut inner = Cursor {
+                        toks: &body,
+                        pos: 0,
+                    };
+                    Some(parse_items(&mut inner, false)?)
+                };
+                items.push(Item::Mod(ItemMod {
+                    attrs,
+                    vis,
+                    ident,
+                    content,
+                }));
+            }
+            "impl" if t.kind == TokenKind::Ident => {
+                items.push(Item::Impl(parse_impl(cur, attrs)?));
+            }
+            _ => {
+                let mut sink = Vec::new();
+                skip_item_rest(cur, &mut sink)?;
+                if sink.is_empty() {
+                    cur.next(); // stray token; guarantee progress
+                } else {
+                    items.push(Item::Verbatim(TokenStream { tokens: sink }));
+                }
+            }
+        }
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_strips_comments_and_lexes_literals() {
+        let src = r####"
+// line comment
+/* block /* nested */ still comment */
+fn f() {
+    let s = "a \" quoted";
+    let r = r#"raw "inside""#;
+    let b = b"bytes";
+    let c = 'x';
+    let lt: &'static str = s;
+    let v = 1.0f64.max(2.5);
+}
+"####;
+        let ts = tokenize(src).expect("lexes");
+        assert!(ts.contains_ident("fn"));
+        assert!(!ts.tokens.iter().any(|t| t.text.contains("comment")));
+        let lits: Vec<&str> = ts
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(lits.contains(&"\"a \\\" quoted\""));
+        assert!(lits.contains(&"r#\"raw \"inside\"\"#"));
+        assert!(lits.contains(&"b\"bytes\""));
+        assert!(lits.contains(&"'x'"));
+        assert!(lits.contains(&"1.0f64"));
+        assert!(ts
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'static"));
+    }
+
+    #[test]
+    fn method_calls_are_detected_on_the_token_level() {
+        let ts = tokenize("fn f() { a.and(b); c.d; t.0; x .or (y); 1.0.sqrt(); }").expect("lexes");
+        let names: Vec<&str> = ts.method_calls().map(|t| t.text.as_str()).collect();
+        assert_eq!(names, ["and", "or", "sqrt"]);
+    }
+
+    #[test]
+    fn parses_fns_mods_impls_and_consts() {
+        let src = r#"
+pub const MAGIC: [u8; 4] = *b"MAGI";
+
+pub struct S { x: u32 }
+
+impl S {
+    /// Doc.
+    pub fn try_new(x: u32) -> Result<Self, ()> {
+        if x > 3 { return Err(()); }
+        Ok(S { x })
+    }
+
+    fn helper(&self) -> u32 { self.x.min(2) }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn inner() {}
+}
+"#;
+        let file = parse_file(src).expect("parses");
+        let mut fns = 0;
+        let mut consts = 0;
+        let mut mods = 0;
+        for item in &file.items {
+            match item {
+                Item::Const(c) => {
+                    consts += 1;
+                    assert_eq!(c.ident.name, "MAGIC");
+                    assert!(c.vis.is_pub());
+                }
+                Item::Impl(i) => {
+                    assert_eq!(i.fns.len(), 2);
+                    assert_eq!(i.fns[0].sig.ident.name, "try_new");
+                    assert!(i.fns[0].vis.is_pub());
+                    assert!(i.fns[0]
+                        .block
+                        .as_ref()
+                        .expect("has body")
+                        .contains_ident("Err"));
+                    assert!(!i.fns[1].vis.is_pub());
+                    fns += i.fns.len();
+                }
+                Item::Mod(m) => {
+                    mods += 1;
+                    assert_eq!(m.ident.name, "tests");
+                    assert!(m.attrs.iter().any(|a| a.text == "cfg(test)"));
+                    assert_eq!(m.content.as_ref().map(Vec::len), Some(1));
+                }
+                _ => {}
+            }
+        }
+        assert_eq!((fns, consts, mods), (2, 1, 1));
+    }
+
+    #[test]
+    fn signature_tokens_and_lines_are_kept() {
+        let src = "fn f(a: u32) -> Result<(), Error> {\n    body();\n}\n";
+        let file = parse_file(src).expect("parses");
+        let Item::Fn(f) = &file.items[0] else {
+            panic!("expected a fn")
+        };
+        assert!(f.sig.tokens.contains_ident("Error"));
+        assert_eq!(f.sig.ident.line, 1);
+        let body = f.block.as_ref().expect("has body");
+        assert_eq!(body.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_prefix() {
+        let ts = tokenize("let r#type = 1;").expect("lexes");
+        assert!(ts.contains_ident("type"));
+    }
+
+    #[test]
+    fn unbalanced_input_is_a_typed_error() {
+        let e = parse_file("fn f() {").expect_err("unbalanced");
+        assert!(e.to_string().contains("unbalanced"));
+    }
+}
