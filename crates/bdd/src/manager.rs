@@ -43,8 +43,48 @@ impl fmt::Debug for Var {
 /// A `NodeId` is only meaningful together with the manager that allocated
 /// it. Equal ids denote identical functions (the manager maintains a strong
 /// canonical form).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(pub(crate) u32);
+///
+/// With the `check` feature enabled each id additionally carries a *brand*:
+/// the epoch of the manager generation that minted it. Manager accessors
+/// verify the brand on every dereference, so using an id against a foreign
+/// manager — or after the owning manager's [`gc`](BddManager::gc)
+/// invalidated it — panics immediately instead of silently denoting the
+/// wrong function. The brand never participates in equality, ordering, or
+/// hashing, and release builds carry no second field at all.
+#[derive(Clone, Copy)]
+pub struct NodeId(
+    pub(crate) u32,
+    /// Epoch of the minting manager generation; 0 = unbranded (terminals,
+    /// wire-format ids), accepted by every manager.
+    #[cfg(feature = "check")]
+    pub(crate) u32,
+);
+
+impl PartialEq for NodeId {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for NodeId {}
+
+impl PartialOrd for NodeId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for NodeId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for NodeId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
 
 impl NodeId {
     /// The raw arena index, for wire formats and diagnostics. Only
@@ -57,25 +97,56 @@ impl NodeId {
     /// snapshot. The index is *not* checked here; callers must validate it
     /// against the arena of the manager the id will be used with (a stale
     /// or forged id panics or denotes the wrong function at use sites).
+    /// The result is unbranded: `check` builds accept it against any
+    /// manager.
     pub fn from_raw(raw: u32) -> NodeId {
+        Self::unbranded(raw)
+    }
+
+    /// An id with no brand (accepted by every manager in `check` builds).
+    pub(crate) fn unbranded(raw: u32) -> NodeId {
+        #[cfg(feature = "check")]
+        return NodeId(raw, 0);
+        #[cfg(not(feature = "check"))]
         NodeId(raw)
     }
 }
 
 impl fmt::Debug for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
-            FALSE => write!(f, "n⊥"),
-            TRUE => write!(f, "n⊤"),
-            NodeId(i) => write!(f, "n{i}"),
+        if *self == FALSE {
+            write!(f, "n⊥")
+        } else if *self == TRUE {
+            write!(f, "n⊤")
+        } else {
+            write!(f, "n{}", self.0)
         }
     }
 }
 
 /// The constant-false terminal node.
+#[cfg(not(feature = "check"))]
 pub const FALSE: NodeId = NodeId(0);
+/// The constant-false terminal node.
+#[cfg(feature = "check")]
+pub const FALSE: NodeId = NodeId(0, 0);
 /// The constant-true terminal node.
+#[cfg(not(feature = "check"))]
 pub const TRUE: NodeId = NodeId(1);
+/// The constant-true terminal node.
+#[cfg(feature = "check")]
+pub const TRUE: NodeId = NodeId(1, 0);
+
+/// Source of manager epochs for `check`-build NodeId brands. Epoch 0 is
+/// reserved for unbranded ids, so the counter starts at 1.
+#[cfg(feature = "check")]
+static NEXT_EPOCH: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(1);
+
+/// A fresh, never-before-issued manager epoch.
+#[cfg(feature = "check")]
+fn fresh_epoch() -> u32 {
+    NEXT_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
 
 /// Sentinel variable index used by terminal nodes.
 const TERMINAL_VAR: u32 = u32::MAX;
@@ -113,6 +184,24 @@ pub struct BddManager {
     budget: Budget,
     steps: u64,
     poisoned: bool,
+    /// Long-lived roots registered via [`register_root`](Self::register_root):
+    /// [`gc`](Self::gc) keeps them alive and remaps them in place, so ids
+    /// stored in structures outside the call site survive compaction.
+    registered_roots: Vec<NodeId>,
+    /// Brand epoch for `check` builds: every id this manager generation
+    /// mints carries it, and every dereference verifies it. A clone shares
+    /// the epoch (its arena is a snapshot, so foreign ids stay valid);
+    /// [`gc`](Self::gc) moves to a fresh epoch because it invalidates all
+    /// unreturned ids.
+    #[cfg(feature = "check")]
+    epoch: u32,
+    /// `check` builds: a snapshot-restored manager accepts ids of *any*
+    /// brand — the wire format erases provenance while the documented
+    /// contract keeps original ids valid in the restored arena. The first
+    /// [`gc`](Self::gc) re-mints every surviving id under this manager's
+    /// own epoch and closes the window.
+    #[cfg(feature = "check")]
+    open: bool,
 }
 
 impl fmt::Debug for BddManager {
@@ -140,6 +229,11 @@ impl BddManager {
             budget: Budget::default(),
             steps: 0,
             poisoned: false,
+            registered_roots: Vec::new(),
+            #[cfg(feature = "check")]
+            epoch: fresh_epoch(),
+            #[cfg(feature = "check")]
+            open: false,
         };
         mgr.nodes.push(Node {
             var: TERMINAL_VAR,
@@ -225,6 +319,7 @@ impl BddManager {
     /// would silently violate the level invariant — rebuilding under a new
     /// order is the job of the [`reorder`](crate::reorder) module). On
     /// `Err` the manager is unchanged.
+    // xlint: allow(XL104): indices are range-checked by the short-circuit `>=` guard and the validation loop above each use
     pub fn try_set_order(&mut self, order: &[Var]) -> Result<(), OrderError> {
         if order.len() != self.num_vars() {
             return Err(OrderError::WrongLength {
@@ -400,12 +495,46 @@ impl BddManager {
         id == FALSE || id == TRUE
     }
 
+    /// Brands a raw arena index with this manager's current epoch
+    /// (`check` builds); a plain constructor otherwise.
+    #[inline]
+    pub(crate) fn brand(&self, raw: u32) -> NodeId {
+        #[cfg(feature = "check")]
+        return NodeId(raw, self.epoch);
+        #[cfg(not(feature = "check"))]
+        NodeId(raw)
+    }
+
+    /// Verifies (in `check` builds) that `id` was minted by this manager
+    /// generation. Unbranded ids — terminals and wire-format ids — always
+    /// pass; everything else must carry the current epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a brand mismatch: the id came from a different manager,
+    /// or from this manager before its last [`gc`](Self::gc).
+    #[inline]
+    pub(crate) fn check_brand(&self, id: NodeId) {
+        #[cfg(feature = "check")]
+        assert!(
+            self.open || id.1 == 0 || id.1 == self.epoch,
+            "NodeId n{} (brand {}) used against a manager at epoch {}: the id was \
+             minted by a different manager, or invalidated by this manager's gc",
+            id.0,
+            id.1,
+            self.epoch,
+        );
+        #[cfg(not(feature = "check"))]
+        let _ = id;
+    }
+
     /// Top variable of a non-terminal node.
     ///
     /// # Panics
     ///
     /// Panics if `id` is a terminal.
     pub fn var_of(&self, id: NodeId) -> Var {
+        self.check_brand(id);
         assert!(!self.is_const(id), "terminals have no variable");
         Var(self.nodes[id.0 as usize].var)
     }
@@ -416,6 +545,7 @@ impl BddManager {
     ///
     /// Panics if `id` is a terminal.
     pub fn lo(&self, id: NodeId) -> NodeId {
+        self.check_brand(id);
         assert!(!self.is_const(id), "terminals have no successors");
         self.nodes[id.0 as usize].lo
     }
@@ -426,12 +556,14 @@ impl BddManager {
     ///
     /// Panics if `id` is a terminal.
     pub fn hi(&self, id: NodeId) -> NodeId {
+        self.check_brand(id);
         assert!(!self.is_const(id), "terminals have no successors");
         self.nodes[id.0 as usize].hi
     }
 
     /// Level of the node's top variable; `u32::MAX` for terminals.
     pub fn level_of_node(&self, id: NodeId) -> u32 {
+        self.check_brand(id);
         let node = self.nodes[id.0 as usize];
         if node.var == TERMINAL_VAR {
             TERMINAL_LEVEL
@@ -499,9 +631,15 @@ impl BddManager {
             return Err((0, format!("variable order is not a permutation: {e:?}")));
         }
         mgr.poisoned = poisoned;
+        #[cfg(feature = "check")]
+        {
+            // Restored arenas honor the snapshot contract: ids from the
+            // manager that produced the bytes stay valid here.
+            mgr.open = true;
+        }
         mgr.nodes.reserve(triples.len());
         for (i, &(var, lo, hi)) in triples.iter().enumerate() {
-            let id = NodeId((i + 2) as u32);
+            let id = mgr.brand((i + 2) as u32);
             if var as usize >= num_vars {
                 return Err((
                     i,
@@ -517,7 +655,7 @@ impl BddManager {
                     format!("node n{}: child does not precede parent in the arena", id.0),
                 ));
             }
-            let (lo, hi) = (NodeId(lo), NodeId(hi));
+            let (lo, hi) = (mgr.brand(lo), mgr.brand(hi));
             let level = mgr.level_of_var[var as usize];
             if level >= mgr.level_of_node(lo) || level >= mgr.level_of_node(hi) {
                 return Err((
@@ -552,6 +690,8 @@ impl BddManager {
     /// [`Error::NodeLimit`] if a genuinely new node would push the arena
     /// past the quota. Reduction-rule and unique-table hits never fail.
     pub fn try_mk(&mut self, var: Var, lo: NodeId, hi: NodeId) -> Result<NodeId, Error> {
+        self.check_brand(lo);
+        self.check_brand(hi);
         if self.poisoned {
             return Err(Error::Poisoned);
         }
@@ -575,7 +715,7 @@ impl BddManager {
                 return Err(Error::NodeLimit { limit });
             }
         }
-        let id = NodeId(self.nodes.len() as u32);
+        let id = self.brand(self.nodes.len() as u32);
         assert!(self.nodes.len() < u32::MAX as usize, "node arena overflow");
         self.nodes.push(Node { var: var.0, lo, hi });
         self.unique.insert(key, id);
@@ -620,6 +760,7 @@ impl BddManager {
     }
 
     /// Budgeted variant of [`cube`](Self::cube).
+    // xlint: allow(XL104): `pair[0]`/`pair[1]` index `windows(2)` chunks, which always hold exactly two elements
     pub fn try_cube(&mut self, literals: &[(Var, bool)]) -> Result<NodeId, Error> {
         let mut lits: Vec<(u32, Var, bool)> = literals
             .iter()
@@ -661,6 +802,7 @@ impl BddManager {
 
     /// Budgeted variant of [`from_minterms`](Self::from_minterms); the
     /// documented panics on malformed input apply unchanged.
+    // xlint: allow(XL104): `vars[j]` uses `j` drawn from an enumeration of `vars`' own indices
     pub fn try_from_minterms(&mut self, vars: &[Var], minterms: &[u64]) -> Result<NodeId, Error> {
         if minterms.is_empty() {
             return Ok(FALSE);
@@ -1019,6 +1161,7 @@ impl BddManager {
     }
 
     /// Budgeted variant of [`exists_cube`](Self::exists_cube).
+    // xlint: allow(XL104): `nodes[f.0]` is the manager representation invariant: every reachable NodeId indexes the arena
     pub fn try_exists_cube(&mut self, f: NodeId, cube: NodeId) -> Result<NodeId, Error> {
         if self.is_const(f) || cube == TRUE {
             return Ok(f);
@@ -1326,11 +1469,37 @@ impl BddManager {
 
     /// Mark-and-rebuild garbage collection.
     ///
-    /// Keeps exactly the nodes reachable from `roots`, compacts the arena,
-    /// and returns the ids of the roots in the new arena (same order as the
-    /// input). All previously held [`NodeId`]s — other than the returned
-    /// ones and the terminals — are invalidated.
+    /// Keeps exactly the nodes reachable from `roots` (plus every root
+    /// registered via [`register_root`](Self::register_root), which is
+    /// remapped in place), compacts the arena, and returns the ids of the
+    /// roots in the new arena (same order as the input). All previously
+    /// held [`NodeId`]s — other than the returned ones, the re-registered
+    /// ones, and the terminals — are invalidated. In `check` builds the
+    /// manager moves to a fresh brand epoch, so dereferencing a stale
+    /// pre-gc id panics instead of denoting the wrong function.
     pub fn gc(&mut self, roots: &[NodeId]) -> Vec<NodeId> {
+        for &r in roots {
+            self.check_brand(r);
+        }
+        let registered = std::mem::take(&mut self.registered_roots);
+        #[cfg(feature = "check")]
+        {
+            self.epoch = fresh_epoch();
+            // Everything surviving this gc is re-minted under the new
+            // epoch, so even a snapshot-restored manager is strict now.
+            self.open = false;
+        }
+        let brand_new = {
+            #[cfg(feature = "check")]
+            {
+                let epoch = self.epoch;
+                move |raw: u32| NodeId(raw, epoch)
+            }
+            #[cfg(not(feature = "check"))]
+            {
+                NodeId
+            }
+        };
         let mut new_nodes: Vec<Node> = Vec::with_capacity(2 + roots.len());
         new_nodes.push(self.nodes[0]);
         new_nodes.push(self.nodes[1]);
@@ -1339,9 +1508,10 @@ impl BddManager {
         remap.insert(FALSE, FALSE);
         remap.insert(TRUE, TRUE);
 
-        // Iterative post-order copy.
-        let mut result = Vec::with_capacity(roots.len());
-        for &root in roots {
+        // Iterative post-order copy, registered roots after the explicit
+        // ones so they can be split back off the shared result vector.
+        let mut result = Vec::with_capacity(roots.len() + registered.len());
+        for &root in roots.iter().chain(registered.iter()) {
             let mut stack = vec![(root, false)];
             while let Some((n, expanded)) = stack.pop() {
                 if remap.contains_key(&n) {
@@ -1353,7 +1523,7 @@ impl BddManager {
                     let hi = remap[&node.hi];
                     let key = (node.var, lo, hi);
                     let id = *new_unique.entry(key).or_insert_with(|| {
-                        let id = NodeId(new_nodes.len() as u32);
+                        let id = brand_new(new_nodes.len() as u32);
                         new_nodes.push(Node {
                             var: node.var,
                             lo,
@@ -1373,7 +1543,33 @@ impl BddManager {
         self.nodes = new_nodes;
         self.unique = new_unique;
         self.clear_caches();
+        self.registered_roots = result.split_off(roots.len());
         result
+    }
+
+    /// Registers `id` as a long-lived root: every future
+    /// [`gc`](Self::gc) keeps it alive and remaps the registered entry in
+    /// place, so the current value (see
+    /// [`registered_roots`](Self::registered_roots)) stays valid across
+    /// compactions. Stored ids that are *not* re-read after gc still go
+    /// stale — registration protects the node, not old copies of the id.
+    /// Duplicate registrations are ignored.
+    pub fn register_root(&mut self, id: NodeId) {
+        self.check_brand(id);
+        if !self.is_const(id) && !self.registered_roots.contains(&id) {
+            self.registered_roots.push(id);
+        }
+    }
+
+    /// Removes `id` from the registered-root set (a no-op if absent).
+    pub fn unregister_root(&mut self, id: NodeId) {
+        self.registered_roots.retain(|&r| r != id);
+    }
+
+    /// The currently registered long-lived roots, remapped by every
+    /// [`gc`](Self::gc), in registration order.
+    pub fn registered_roots(&self) -> &[NodeId] {
+        &self.registered_roots
     }
 
     // ---------------------------------------------------------------------
@@ -1431,7 +1627,7 @@ impl BddManager {
 
         // 3. Interior nodes.
         for (i, node) in self.nodes.iter().enumerate().skip(2) {
-            let id = NodeId(i as u32);
+            let id = self.brand(i as u32);
             if node.var == TERMINAL_VAR {
                 out.push(V::MalformedTerminal { id });
                 continue;
@@ -1463,7 +1659,7 @@ impl BddManager {
 
         // 4. Unique table ↔ arena bijection.
         for (i, node) in self.nodes.iter().enumerate().skip(2) {
-            let id = NodeId(i as u32);
+            let id = self.brand(i as u32);
             if node.var == TERMINAL_VAR || node.lo.0 as usize >= len || node.hi.0 as usize >= len {
                 continue; // already reported above
             }
@@ -1536,23 +1732,23 @@ impl BddManager {
                 self.unique.remove(&(node.var, node.lo, node.hi));
             }
             TestCorruption::DanglingCacheEntry => {
-                let dangling = NodeId(self.nodes.len() as u32);
+                let dangling = self.brand(self.nodes.len() as u32);
                 self.ite_cache.insert((FALSE, TRUE, FALSE), dangling);
             }
             TestCorruption::DanglingExistsEntry => {
-                let dangling = NodeId(self.nodes.len() as u32);
+                let dangling = self.brand(self.nodes.len() as u32);
                 self.exists_cache.insert((FALSE, TRUE), dangling);
             }
             TestCorruption::DanglingAndExistsEntry => {
-                let dangling = NodeId(self.nodes.len() as u32);
+                let dangling = self.brand(self.nodes.len() as u32);
                 self.and_exists_cache.insert((FALSE, TRUE, TRUE), dangling);
             }
             TestCorruption::DanglingComposeEntry => {
-                let dangling = NodeId(self.nodes.len() as u32);
+                let dangling = self.brand(self.nodes.len() as u32);
                 self.compose_cache.insert((FALSE, 0, TRUE), dangling);
             }
             TestCorruption::StaleUniqueEntry => {
-                let dangling = NodeId(self.nodes.len() as u32);
+                let dangling = self.brand(self.nodes.len() as u32);
                 self.unique.insert((0, FALSE, TRUE), dangling);
             }
             TestCorruption::PermutationClash => {
@@ -2331,5 +2527,75 @@ mod tests {
             });
             assert!(matched, "{kind:?} not matched in {violations:?}");
         }
+    }
+
+    #[test]
+    fn registered_roots_survive_gc_and_are_remapped() {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(Var(0));
+        let b = mgr.var(Var(1));
+        let keep = mgr.and(a, b);
+        mgr.register_root(keep);
+        // Garbage that would otherwise pin `keep`'s old arena position.
+        let c = mgr.var(Var(2));
+        let _junk = mgr.xor(a, c);
+        let explicit = mgr.gc(&[]);
+        assert!(explicit.is_empty());
+        let &[kept] = mgr.registered_roots() else {
+            panic!("exactly one registered root expected");
+        };
+        // The remapped root still denotes a ∧ b.
+        let a = mgr.var(Var(0));
+        let b = mgr.var(Var(1));
+        assert_eq!(mgr.and(a, b), kept);
+        mgr.unregister_root(kept);
+        assert!(mgr.registered_roots().is_empty());
+    }
+
+    #[test]
+    fn register_root_ignores_terminals_and_duplicates() {
+        let mut mgr = BddManager::new(1);
+        mgr.register_root(TRUE);
+        mgr.register_root(FALSE);
+        let v = mgr.var(Var(0));
+        mgr.register_root(v);
+        mgr.register_root(v);
+        assert_eq!(mgr.registered_roots(), &[v]);
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    #[should_panic(expected = "minted by a different manager")]
+    fn brand_check_catches_cross_manager_misuse() {
+        let mut a = BddManager::new(2);
+        let mut b = BddManager::new(2);
+        let in_a = a.var(Var(0));
+        let _in_b = b.var(Var(1)); // b's arena is non-trivial too
+        let _ = b.lo(in_a); // `in_a` means nothing to `b`
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    #[should_panic(expected = "minted by a different manager")]
+    fn brand_check_catches_stale_post_gc_id() {
+        let mut mgr = BddManager::new(2);
+        let a = mgr.var(Var(0));
+        let b = mgr.var(Var(1));
+        let stale = mgr.and(a, b);
+        let _ = mgr.gc(&[]); // drops everything; `stale` now dangles
+        let _ = mgr.var_of(stale);
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    fn brand_check_accepts_clones_and_wire_ids() {
+        let mut mgr = BddManager::new(2);
+        let a = mgr.var(Var(0));
+        // Clone snapshots the arena: original ids stay valid in the clone.
+        let clone = mgr.clone();
+        assert_eq!(clone.var_of(a), Var(0));
+        // Wire-format ids are unbranded and accepted.
+        let wire = NodeId::from_raw(a.raw());
+        assert_eq!(mgr.var_of(wire), Var(0));
     }
 }

@@ -125,7 +125,7 @@ impl BddManager {
             if min_parent_level == UNSEEN {
                 continue;
             }
-            let n = NodeId(idx as u32);
+            let n = self.brand(idx as u32);
             let lo = (min_parent_level + 1).max(0) as usize;
             let hi = (self.level_of_node(n) as usize).min(t);
             if lo <= hi {

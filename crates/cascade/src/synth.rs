@@ -124,6 +124,7 @@ impl Cascade {
     /// Returns a description when the rail widths of adjacent cells
     /// disagree, the chain does not start/end with zero rails, a primary
     /// id is out of range, or an output is produced more than once.
+    // xlint: allow(XL104): `produced[id]` is guarded by the `id >= num_outputs` rejection immediately above
     pub fn from_cells(
         cells: Vec<LutCell>,
         num_inputs: usize,
@@ -233,6 +234,7 @@ impl Cascade {
     /// # Panics
     ///
     /// Panics if `input` has the wrong arity.
+    // xlint: allow(XL104): input arity is asserted on entry; the panic is the documented contract of this debug helper
     pub fn eval(&self, input: &[bool]) -> u64 {
         assert_eq!(input.len(), self.num_inputs, "input arity mismatch");
         let mut rail = 0u64;
@@ -355,6 +357,7 @@ pub fn synthesize_governed(
 
 /// The read-only remainder of synthesis: segmentation and cell
 /// materialization, given a validated choice map.
+// xlint: allow(XL104): all indices are cut positions in `0..=t` over vectors allocated with length `t + 1` in this function
 fn synthesize_with_choices(
     cf: &mut Cf,
     options: &CascadeOptions,
@@ -473,6 +476,7 @@ fn synthesize_with_choices(
     })
 }
 
+// xlint: allow(XL104): indices range over lengths of the column/table vectors computed in the same function
 fn extract_cell(
     cf: &Cf,
     s: usize,

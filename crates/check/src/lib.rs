@@ -64,8 +64,8 @@ pub use netlist::{
 };
 pub use pipeline::{check_benchmark, BenchmarkCheck, CheckOptions};
 pub use quarantine::{
-    panic_payload_text, quarantine_op, run_quarantined, with_quiet_panics, PanicProbe, Quarantine,
-    PANIC_PROBE_MESSAGE,
+    panic_payload_text, quarantine_op, run_quarantined, with_quiet_panics, FindingProbe,
+    PanicProbe, Quarantine, PANIC_PROBE_MESSAGE,
 };
 pub use refine::{check_refinement, naive_width_profile};
 

@@ -153,6 +153,56 @@ impl bddcf_funcs::Benchmark for PanicProbe {
     }
 }
 
+/// A deliberately *finding-producing* [`Benchmark`](bddcf_funcs::Benchmark):
+/// its function is `f = x₀`, but its preferred order puts the output
+/// variable **above** `x₀`, violating Definition 2.4 (outputs strictly
+/// below their essential support). The CF lints must report it — without
+/// any panic — so batch harnesses append it (`bddcf check
+/// --finding-probe`) to prove the findings exit path (exit code 1) end to
+/// end.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FindingProbe;
+
+impl bddcf_logic::MultiOracle for FindingProbe {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn respond(&self, inputs: &[bool]) -> bddcf_logic::Response {
+        bddcf_logic::Response::Value(u64::from(inputs[0]))
+    }
+}
+
+impl bddcf_funcs::Benchmark for FindingProbe {
+    fn name(&self) -> String {
+        "finding probe".to_owned()
+    }
+
+    fn build_isf(
+        &self,
+        mgr: &mut BddManager,
+        layout: &bddcf_core::CfLayout,
+    ) -> bddcf_core::IsfBdds {
+        let x0 = mgr.var(layout.input_var(0));
+        bddcf_core::IsfBdds::from_on_dc(mgr, vec![x0], vec![bddcf_bdd::FALSE])
+    }
+
+    fn dc_ratio(&self) -> f64 {
+        0.0
+    }
+
+    fn preferred_order(&self) -> Option<Vec<bddcf_bdd::Var>> {
+        let layout = bddcf_funcs::Benchmark::layout(self);
+        // Output above its essential support: the Definition 2.4 lint
+        // must flag this.
+        Some(vec![layout.output_var(0), layout.input_var(0)])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

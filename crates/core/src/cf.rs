@@ -296,6 +296,7 @@ impl Cf {
     ///
     /// Panics on the same *caller-bug* conditions as `from_isf`: wrong
     /// arity, invalid partition, or output-variable dependence.
+    // xlint: allow(XL104): `remapped` mirrors `roots`, which is built non-empty (the chi root occupies index 0)
     pub fn try_from_isf(
         mut mgr: BddManager,
         layout: CfLayout,
@@ -886,6 +887,7 @@ fn chi_of(mgr: &mut BddManager, layout: &CfLayout, isf: &IsfBdds) -> NodeId {
 
 /// Budgeted [`chi_of`]: the χ construction of Definition 2.3, failing
 /// cleanly when the manager's installed budget runs out.
+// xlint: allow(XL104): the ISF on/off/dc vectors are sized `num_outputs` by construction; `j` ranges below that
 fn try_chi_of(
     mgr: &mut BddManager,
     layout: &CfLayout,

@@ -427,6 +427,7 @@ pub struct LoadedCheckpoint {
 
 /// Decodes a checkpoint from bytes, validating the checksum, every node id,
 /// and the stored width/node-count summary against the restored state.
+// xlint: allow(XL104): every slice offset is validated by an explicit `Truncated` length check before the split
 pub fn decode_checkpoint(bytes: &[u8]) -> Result<LoadedCheckpoint, CheckpointError> {
     let mut header = ByteReader::new(bytes);
     let magic = header.take(CHECKPOINT_MAGIC.len())?;

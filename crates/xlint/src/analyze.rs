@@ -1,0 +1,131 @@
+//! `bddcf-analyze` — the XL1xx dataflow lint series.
+//!
+//! Where the XL0xx lints ([`crate::lint_source`]) scan flat tokens, the
+//! XL1xx passes analyze statement-structured bodies (via the vendored
+//! `syn` body parser and CFG builder) with workspace-wide function
+//! summaries:
+//!
+//! - **XL101** NodeId provenance — node ids must stay with the manager
+//!   that created them (across lets, reassignments, fields, and calls
+//!   with known manager/node parameter shapes).
+//! - **XL102** GC-escape — a node id stored into a field or collection
+//!   that is live across a later `gc()` must be rooted (or carry an
+//!   `// xlint: rooted` waiver).
+//! - **XL103** budget-poll — every working loop on a governed path must
+//!   poll `Budget`/`CancelToken` on every iteration path.
+//! - **XL104** panic-surface — no raw indexing/slicing or `*_unchecked`
+//!   calls on governed paths.
+//! - **XL105** concurrency-readiness — no interior mutability in modules
+//!   the ROADMAP schedules for sharding.
+//! - **XL106** undocumented `unsafe` — every `unsafe` needs a
+//!   `// SAFETY:` comment.
+//!
+//! Waivers use the same `// xlint: allow(XLnnn)` comment syntax as the
+//! XL0xx series (same line or the line above).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::dataflow::Summaries;
+use crate::{allow_map, collect_rs_files, passes, Finding, XL000_PARSE};
+
+/// Analyzes a set of `(workspace-relative path, source)` files as one
+/// unit: summaries are built across all of them, then every XL1xx pass
+/// runs on each. Unparseable files surface as [`XL000_PARSE`] findings.
+pub fn analyze_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut parsed = Vec::new();
+    for (rel, source) in files {
+        match syn::parse_file(source) {
+            Ok(file) => parsed.push((rel.clone(), file)),
+            Err(e) => findings.push(Finding {
+                file: rel.clone(),
+                line: e.line,
+                id: XL000_PARSE,
+                message: format!("cannot parse: {}", e.message),
+            }),
+        }
+    }
+    let summaries = Summaries::build(&parsed);
+    for (rel, source) in files {
+        let Some((_, file)) = parsed.iter().find(|(r, _)| r == rel) else {
+            continue;
+        };
+        let allow = allow_map(source);
+        passes::provenance::run(rel, file, &allow, &summaries, &mut findings);
+        passes::gc_escape::run(rel, file, source, &allow, &summaries, &mut findings);
+        passes::budget_poll::run(rel, file, &allow, &summaries, &mut findings);
+        passes::panic_surface::run(rel, file, &allow, &mut findings);
+        if let Ok(tokens) = syn::tokenize(source) {
+            passes::concurrency::run(rel, &tokens, &allow, &mut findings);
+            passes::unsafe_doc::run(rel, &tokens, source, &allow, &mut findings);
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.id).cmp(&(&b.file, b.line, b.id)));
+    findings
+}
+
+/// Analyzes one file in isolation (fixture helper; summaries come from
+/// that file alone).
+pub fn analyze_source(rel: &str, source: &str) -> Vec<Finding> {
+    analyze_sources(&[(rel.to_string(), source.to_string())])
+}
+
+/// Runs the XL1xx series over every `.rs` file under `<root>/src` and
+/// `<root>/crates/*/src` (the lint crate itself excluded, like
+/// [`crate::lint_workspace`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the directory walk.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut paths = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect_rs_files(&src, &mut paths)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xlint"))
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs_files(&src, &mut paths)?;
+            }
+        }
+    }
+    paths.sort();
+    let mut files = Vec::new();
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push((rel, fs::read_to_string(&path)?));
+    }
+    Ok(analyze_sources(&files))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_real_workspace_is_xl1xx_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/xlint sits two levels below the root");
+        let findings = analyze_workspace(root).expect("workspace readable");
+        let rendered: Vec<String> = findings.iter().map(ToString::to_string).collect();
+        assert!(findings.is_empty(), "{}", rendered.join("\n"));
+    }
+}

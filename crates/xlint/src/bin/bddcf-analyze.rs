@@ -1,0 +1,40 @@
+//! `bddcf-analyze`: runs the XL1xx dataflow lint series (NodeId
+//! provenance, GC-escape, budget-poll, panic-surface, concurrency-
+//! readiness, undocumented unsafe) over the workspace and prints
+//! machine-readable findings (`file:line: [ID] message`).
+//!
+//! Usage: `bddcf-analyze [workspace-root]` (default: the current
+//! directory). Exits 0 when clean, 1 when any finding survives, 2 on
+//! usage or I/O errors.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => ".".to_string(),
+        [root] => root.clone(),
+        _ => {
+            eprintln!("usage: bddcf-analyze [workspace-root]");
+            return ExitCode::from(2);
+        }
+    };
+    match bddcf_xlint::analyze::analyze_workspace(Path::new(&root)) {
+        Ok(findings) if findings.is_empty() => {
+            println!("analyze: workspace clean (XL101–XL106)");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("analyze: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("analyze: cannot walk `{root}`: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

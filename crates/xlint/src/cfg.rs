@@ -1,0 +1,71 @@
+//! Poll-aware control-flow queries on top of the vendored `syn` CFG
+//! builder — the XL103 (budget-poll) core.
+//!
+//! A node *polls* when its flat tokens name the budget/cancel surface
+//! (`charge`, `is_cancelled`, a `try_*`/`*_governed` call, …) or a
+//! function whose workspace summary polls transitively. A loop is
+//! reported when some path from the body entry back to the iteration
+//! boundary avoids every polling node — i.e. the loop can spin without
+//! ever consulting `Budget`/`CancelToken`.
+
+use syn::body::parse_block;
+use syn::cfg::{Cfg, CfgNode};
+use syn::{ItemFn, TokenStream};
+
+use crate::dataflow::Summaries;
+use crate::INFALLIBLE_OPS;
+
+/// One loop that can iterate without polling.
+#[derive(Debug)]
+pub struct UnpolledLoop {
+    /// 1-based line of the loop keyword.
+    pub line: usize,
+    /// True when the loop body touches the manager (the reason the loop
+    /// is worth governing at all).
+    pub does_work: bool,
+}
+
+fn node_polls(node: &CfgNode, summaries: &Summaries) -> bool {
+    node.tokens.idents().any(|t| summaries.polls(&t.text))
+}
+
+/// True when the fragment touches the manager: an infallible op, a
+/// budgeted twin, a governed entry, or a `gc`.
+fn node_works(tokens: &TokenStream) -> bool {
+    tokens.idents().any(|t| {
+        let base = t.text.strip_prefix("try_").unwrap_or(&t.text);
+        INFALLIBLE_OPS.contains(&base)
+            || base == "gc"
+            || t.text.ends_with("_governed")
+            || t.text.contains("_governed_")
+    })
+}
+
+/// Every loop of `func` that has an iteration path avoiding all polls.
+pub fn unpolled_loops(func: &ItemFn, summaries: &Summaries) -> Vec<UnpolledLoop> {
+    let Some(body) = &func.block else {
+        return Vec::new();
+    };
+    let cfg = Cfg::build(&parse_block(body));
+    let mut out = Vec::new();
+    for l in &cfg.loops {
+        // A polling header (while-condition) covers every iteration.
+        if node_polls(&cfg.nodes[l.header], summaries) {
+            continue;
+        }
+        let avoid = |n: &CfgNode| node_polls(n, summaries);
+        if !cfg.body_path_avoiding(l.body_entry, l.back_target, &avoid) {
+            continue;
+        }
+        let does_work = l
+            .body_nodes
+            .clone()
+            .any(|i| node_works(&cfg.nodes[i].tokens))
+            || node_works(&cfg.nodes[l.header].tokens);
+        out.push(UnpolledLoop {
+            line: l.line,
+            does_work,
+        });
+    }
+    out
+}

@@ -1,0 +1,888 @@
+//! Intraprocedural dataflow over statement-structured bodies: manager
+//! identities, `NodeId` provenance, and function summaries.
+//!
+//! The XL101/XL102 passes consume a *linear action trace* of a function:
+//! every call event with its receiver resolved to a manager identity and
+//! its arguments resolved to node provenances, plus field stores and
+//! `roots`-mentioning statements. Branches are walked in source order
+//! with a shared environment (a linearization — sound enough for a lint:
+//! provenance is only ever *assigned*, never speculatively merged, and a
+//! binding whose provenance would differ across branches keeps the last
+//! one written, which can at worst miss a finding in one branch, never
+//! invent a cross-manager flow that no branch contains).
+//!
+//! Manager identities:
+//! - every parameter whose type mentions `BddManager`/`MtManager` gets a
+//!   fresh identity; `self` inside such an impl likewise;
+//! - every `BddManager::…(…)`/`MtManager::…(…)` associated call bound by
+//!   a `let` creates a fresh identity (covers `new`, `from_snapshot`);
+//! - `.clone()` of a manager shares the original's identity (documented:
+//!   node ids of the original remain valid in the clone);
+//! - conventional owner fields (`self.mgr`, `cf.manager()`, …) normalize
+//!   to one canonical chain; in a function with *no* manager parameters
+//!   they all resolve to a single ambient identity (the enclosing
+//!   object's manager), which is also what `NodeId` parameters default
+//!   to. With explicit manager parameters in scope, `NodeId` parameters
+//!   belong to the *first* manager parameter, and owner fields get their
+//!   own identity — mixing them is exactly the hazard XL101 reports.
+
+use std::collections::HashMap;
+
+use syn::body::{call_events, parse_block, ArgShape, Block, CallEvent, Stmt};
+use syn::{ItemFn, Token, TokenKind, TokenStream};
+
+use crate::INFALLIBLE_OPS;
+
+/// Names that poll the budget/cancel state (directly or by convention).
+pub(crate) fn is_poll_name(name: &str) -> bool {
+    matches!(
+        name,
+        "charge" | "is_cancelled" | "terminal_cause" | "check_budget" | "checkpoint"
+    ) || name.starts_with("try_")
+        || name.ends_with("_governed")
+        || name.contains("_governed_")
+}
+
+/// True for manager method names that *produce* node ids (infallible ops,
+/// their `try_` twins, and `gc`, whose return is the remapped roots).
+fn is_node_producing(name: &str) -> bool {
+    let base = name.strip_prefix("try_").unwrap_or(name);
+    INFALLIBLE_OPS.contains(&base) || base == "gc"
+}
+
+/// Summary of one named function, for cross-function checks.
+#[derive(Clone, Debug, Default)]
+pub struct FnSummary {
+    /// Body references the budget/poll surface (transitively closed).
+    pub polls: bool,
+    /// 0-based indices of parameters whose type mentions a manager.
+    pub manager_params: Vec<usize>,
+    /// The subset of [`FnSummary::manager_params`] taken by `&mut` or by
+    /// value — the only managers a call can create new nodes in.
+    pub mut_manager_params: Vec<usize>,
+    /// 0-based indices of parameters whose type mentions `NodeId`.
+    pub node_params: Vec<usize>,
+    /// Return type mentions `NodeId`.
+    pub returns_node: bool,
+}
+
+/// Per-workspace function summaries, keyed by bare function name.
+/// Same-named functions with conflicting shapes are dropped (ambiguous).
+#[derive(Debug, Default)]
+pub struct Summaries {
+    fns: HashMap<String, Option<FnSummary>>,
+}
+
+impl Summaries {
+    /// The summary for `name`, unless unknown or ambiguous.
+    pub fn get(&self, name: &str) -> Option<&FnSummary> {
+        self.fns.get(name).and_then(|s| s.as_ref())
+    }
+
+    /// True when calling `name` polls the budget (by summary or by
+    /// naming convention).
+    pub fn polls(&self, name: &str) -> bool {
+        is_poll_name(name) || self.get(name).is_some_and(|s| s.polls)
+    }
+
+    /// Builds summaries for every non-test function of the given parsed
+    /// files, closing `polls` transitively over the call-by-name graph.
+    pub fn build(files: &[(String, syn::File)]) -> Summaries {
+        struct Raw {
+            summary: FnSummary,
+            body_idents: Vec<String>,
+        }
+        let mut raw: HashMap<String, Option<Raw>> = HashMap::new();
+        for (_rel, file) in files {
+            crate::for_each_fn(&file.items, &mut |func| {
+                let name = func.sig.ident.name.clone();
+                let params = params_of(func);
+                let mut summary = FnSummary {
+                    returns_node: returns_node(func),
+                    ..FnSummary::default()
+                };
+                let mut body_idents = Vec::new();
+                if let Some(body) = &func.block {
+                    summary.polls = body.idents().any(|t| is_poll_name(&t.text));
+                    body_idents = body.idents().map(|t| t.text.clone()).collect();
+                }
+                for (i, p) in params.iter().enumerate() {
+                    match p.kind {
+                        ParamKind::Manager => {
+                            summary.manager_params.push(i);
+                            if p.mutable {
+                                summary.mut_manager_params.push(i);
+                            }
+                        }
+                        ParamKind::Node => summary.node_params.push(i),
+                        ParamKind::Other => {}
+                    }
+                }
+                let entry = Raw {
+                    summary,
+                    body_idents,
+                };
+                match raw.entry(name) {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(Some(entry));
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        // Keep only shape-identical duplicates; `polls`
+                        // merges conservatively (all must poll).
+                        let keep = o.get_mut();
+                        match keep {
+                            Some(prev)
+                                if prev.summary.manager_params == entry.summary.manager_params
+                                    && prev.summary.node_params == entry.summary.node_params =>
+                            {
+                                prev.summary.polls &= entry.summary.polls;
+                                prev.summary.returns_node &= entry.summary.returns_node;
+                                prev.body_idents.extend(entry.body_idents);
+                            }
+                            _ => *keep = None,
+                        }
+                    }
+                }
+            });
+        }
+        // Transitive polls: a function polls if it names a polling one.
+        loop {
+            let polling: Vec<String> = raw
+                .iter()
+                .filter(|(_, r)| r.as_ref().is_some_and(|r| r.summary.polls))
+                .map(|(n, _)| n.clone())
+                .collect();
+            let mut changed = false;
+            for r in raw.values_mut().flatten() {
+                if !r.summary.polls
+                    && r.body_idents
+                        .iter()
+                        .any(|id| polling.iter().any(|p| p == id))
+                {
+                    r.summary.polls = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Summaries {
+            fns: raw
+                .into_iter()
+                .map(|(n, r)| (n, r.map(|r| r.summary)))
+                .collect(),
+        }
+    }
+}
+
+/// Parameter classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Type mentions `BddManager`/`MtManager`.
+    Manager,
+    /// Type mentions `NodeId`/`MtNodeId`.
+    Node,
+    /// Anything else.
+    Other,
+}
+
+/// One parsed parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Binding name (`self` for receivers).
+    pub name: String,
+    /// Classification by type text.
+    pub kind: ParamKind,
+    /// Taken by `&mut` or by value (node creation is possible).
+    pub mutable: bool,
+}
+
+/// Parses the parameter list out of a signature token stream (generics
+/// skipped with `->`-aware angle tracking; top-level comma split).
+pub fn params_of(func: &ItemFn) -> Vec<Param> {
+    let toks = &func.sig.tokens.tokens;
+    let name = &func.sig.ident.name;
+    // Find the parameter parens: the first depth-0 `(` after the fn name,
+    // skipping a generics group.
+    let mut i = toks
+        .iter()
+        .position(|t| t.is_ident(name))
+        .map_or(0, |p| p + 1);
+    let mut angle = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if angle == 0 && t.is_punct('(') {
+            break;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')) {
+            angle -= 1;
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return Vec::new();
+    }
+    // Collect the group, split at top-level commas.
+    let mut groups: Vec<Vec<&Token>> = vec![Vec::new()];
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut j = i + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            if depth == 0 && t.is_punct(')') {
+                break;
+            }
+            depth -= 1;
+        } else if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !toks[j - 1].is_punct('-') {
+            angle -= 1;
+        }
+        if depth == 0 && angle <= 0 && t.is_punct(',') {
+            groups.push(Vec::new());
+        } else {
+            groups.last_mut().expect("non-empty").push(t);
+        }
+        j += 1;
+    }
+    let mut params = Vec::new();
+    for g in groups {
+        if g.is_empty() {
+            continue;
+        }
+        let first_core = g
+            .iter()
+            .find(|t| !(t.is_punct('&') || t.is_ident("mut") || t.kind == TokenKind::Lifetime));
+        if first_core.is_some_and(|t| t.is_ident("self")) {
+            params.push(Param {
+                name: "self".to_string(),
+                kind: ParamKind::Other, // the caller upgrades manager-impl receivers
+                mutable: g.iter().any(|t| t.is_ident("mut")),
+            });
+            continue;
+        }
+        let colon = g.iter().position(|t| t.is_punct(':'));
+        let (name_part, ty_part) = match colon {
+            Some(c) => (&g[..c], &g[c + 1..]),
+            None => (&g[..], &[][..]),
+        };
+        let Some(name_tok) = name_part.iter().rev().find(|t| t.kind == TokenKind::Ident) else {
+            continue;
+        };
+        let mentions = |needle: &str| ty_part.iter().any(|t| t.is_ident(needle));
+        let kind = if mentions("BddManager") || mentions("MtManager") {
+            ParamKind::Manager
+        } else if mentions("NodeId") || mentions("MtNodeId") {
+            ParamKind::Node
+        } else {
+            ParamKind::Other
+        };
+        // `&mut T` and by-value `T` can create nodes; `&T` cannot.
+        let mutable =
+            ty_part.iter().any(|t| t.is_ident("mut")) || !ty_part.iter().any(|t| t.is_punct('&'));
+        params.push(Param {
+            name: name_tok.text.clone(),
+            kind,
+            mutable,
+        });
+    }
+    params
+}
+
+/// True when the return type (tokens after `->`) mentions `NodeId`.
+fn returns_node(func: &ItemFn) -> bool {
+    let toks = &func.sig.tokens.tokens;
+    let Some(arrow) = toks
+        .windows(2)
+        .position(|w| w[0].is_punct('-') && w[1].is_punct('>'))
+    else {
+        return false;
+    };
+    toks[arrow + 2..]
+        .iter()
+        .any(|t| t.is_ident("NodeId") || t.is_ident("MtNodeId"))
+}
+
+/// The provenance environment of one function walk.
+#[derive(Debug, Default)]
+pub struct Env {
+    managers: HashMap<String, usize>,
+    nodes: HashMap<String, usize>,
+    next: usize,
+    /// Set when the function has no explicit manager parameters: the
+    /// identity all conventional owner chains and node params share.
+    ambient: Option<usize>,
+}
+
+/// Conventional names for "the manager field" of an owning object.
+const MANAGER_FIELD_NAMES: &[&str] = &["mgr", "manager", "manager_mut", "mgr_mut", "bdd_manager"];
+
+impl Env {
+    fn fresh(&mut self) -> usize {
+        self.next += 1;
+        self.next
+    }
+
+    /// Canonical key of a dotted chain: called segments lose their `()`,
+    /// conventional manager-field names collapse to `mgr`.
+    fn canon(chain: &[String]) -> String {
+        chain
+            .iter()
+            .map(|s| {
+                let bare = s.strip_suffix("()").unwrap_or(s);
+                if MANAGER_FIELD_NAMES.contains(&bare) {
+                    "mgr"
+                } else {
+                    bare
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+
+    /// Resolves a chain to a manager identity, lazily registering
+    /// conventional owner chains (`…​.mgr`).
+    pub fn manager_of(&mut self, chain: &[String]) -> Option<usize> {
+        let key = Self::canon(chain);
+        if let Some(&id) = self.managers.get(&key) {
+            return Some(id);
+        }
+        let last_is_field = chain
+            .last()
+            .map(|s| s.strip_suffix("()").unwrap_or(s))
+            .is_some_and(|s| MANAGER_FIELD_NAMES.contains(&s));
+        if last_is_field {
+            let id = match self.ambient {
+                Some(a) => a,
+                None => self.fresh(),
+            };
+            self.managers.insert(key, id);
+            return Some(id);
+        }
+        None
+    }
+
+    /// Provenance of a value chain, if tracked.
+    pub fn node_of(&self, chain: &[String]) -> Option<usize> {
+        self.nodes.get(&Self::canon(chain)).copied()
+    }
+
+    fn bind_manager(&mut self, name: &str, id: usize) {
+        self.managers.insert(name.to_string(), id);
+    }
+
+    fn bind_node(&mut self, key: String, id: usize) {
+        self.nodes.insert(key, id);
+    }
+}
+
+/// One step of the linear action trace.
+#[derive(Debug)]
+pub enum Action {
+    /// A call, with its receiver and simple-path arguments resolved.
+    Call {
+        /// The raw event.
+        event: CallEvent,
+        /// Manager identity of the receiver chain, when it is one.
+        recv_manager: Option<usize>,
+        /// Node provenance per argument (parallel to `event.args`).
+        arg_prov: Vec<Option<usize>>,
+        /// Manager identity per argument, when an argument *is* a manager.
+        arg_manager: Vec<Option<usize>>,
+    },
+    /// `chain = value` where the left side is a dotted field chain.
+    StoreField {
+        /// Canonical target chain.
+        target: String,
+        /// Node provenance of the right side, if tracked.
+        prov: Option<usize>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// A statement mentioning the identifier `roots` (the rooting
+    /// convention XL102 credits).
+    RootsMention {
+        /// Every identifier in the statement.
+        idents: Vec<String>,
+    },
+}
+
+/// Walks one function into its linear action trace.
+pub fn trace_fn(func: &ItemFn, self_is_manager: bool, summaries: &Summaries) -> Vec<Action> {
+    let mut env = Env::default();
+    let params = params_of(func);
+    let mut first_manager = None;
+    // Each node parameter is owned by the nearest preceding *immutable*
+    // manager parameter, falling back to the nearest preceding one of
+    // any mutability: in the `transfer(src, dst, node)` convention the
+    // node is read out of the `&` source manager while the `&mut`
+    // destination only receives the rebuilt copy.
+    let mut last_manager = None;
+    let mut last_immutable = None;
+    let mut node_bindings: Vec<(String, Option<usize>)> = Vec::new();
+    for p in &params {
+        if p.kind == ParamKind::Manager || (p.name == "self" && self_is_manager) {
+            let id = env.fresh();
+            env.bind_manager(&p.name, id);
+            first_manager.get_or_insert(id);
+            last_manager = Some(id);
+            if !p.mutable {
+                last_immutable = Some(id);
+            }
+        } else if p.kind == ParamKind::Node {
+            node_bindings.push((p.name.clone(), last_immutable.or(last_manager)));
+        }
+    }
+    let fallback = match first_manager {
+        Some(id) => id,
+        None => {
+            let a = env.fresh();
+            env.ambient = Some(a);
+            a
+        }
+    };
+    for (name, home) in node_bindings {
+        env.bind_node(name, home.unwrap_or(fallback));
+    }
+    let mut trace = Vec::new();
+    if let Some(body) = &func.block {
+        let block = parse_block(body);
+        walk_block(&block, &mut env, summaries, &mut trace);
+    }
+    trace
+}
+
+fn walk_block(block: &Block, env: &mut Env, summaries: &Summaries, trace: &mut Vec<Action>) {
+    for stmt in &block.stmts {
+        walk_stmt(stmt, env, summaries, trace);
+    }
+}
+
+fn walk_stmt(stmt: &Stmt, env: &mut Env, summaries: &Summaries, trace: &mut Vec<Action>) {
+    match stmt {
+        Stmt::Item(_) => {}
+        Stmt::Let(l) => {
+            if let Some(init) = &l.init {
+                for nested in &init.nested {
+                    walk_stmt(nested, env, summaries, trace);
+                }
+                emit_fragment(&init.tokens, env, trace);
+                bind_from_init(&l.names, &init.tokens, env, summaries);
+            }
+            if let Some(else_block) = &l.else_block {
+                walk_block(else_block, env, summaries, trace);
+            }
+        }
+        Stmt::If(i) => {
+            for nested in &i.cond.nested {
+                walk_stmt(nested, env, summaries, trace);
+            }
+            emit_fragment(&i.cond.tokens, env, trace);
+            bind_let_condition(&i.cond.tokens, env, summaries);
+            walk_block(&i.then_branch, env, summaries, trace);
+            if let Some(e) = &i.else_branch {
+                walk_block(e, env, summaries, trace);
+            }
+        }
+        Stmt::Match(m) => {
+            for nested in &m.scrutinee.nested {
+                walk_stmt(nested, env, summaries, trace);
+            }
+            emit_fragment(&m.scrutinee.tokens, env, trace);
+            // Names an arm pattern binds inherit the scrutinee's
+            // provenance (the `Ok(id) => …` shape).
+            let scrutinee_prov = fragment_prov(&m.scrutinee.tokens, env, summaries);
+            for arm in &m.arms {
+                if let Some(p) = scrutinee_prov {
+                    for name in &arm.names {
+                        env.bind_node(name.name.clone(), p);
+                    }
+                }
+                walk_block(&arm.body, env, summaries, trace);
+            }
+        }
+        Stmt::Loop(l) => {
+            for nested in &l.header.nested {
+                walk_stmt(nested, env, summaries, trace);
+            }
+            emit_fragment(&l.header.tokens, env, trace);
+            bind_let_condition(&l.header.tokens, env, summaries);
+            walk_block(&l.body, env, summaries, trace);
+        }
+        Stmt::Expr(e) => {
+            for nested in &e.nested {
+                walk_stmt(nested, env, summaries, trace);
+            }
+            emit_fragment(&e.tokens, env, trace);
+            handle_assignment(&e.tokens, e.line, env, summaries, trace);
+        }
+    }
+}
+
+/// Emits the call events and `roots` mentions of one flat fragment.
+fn emit_fragment(tokens: &TokenStream, env: &mut Env, trace: &mut Vec<Action>) {
+    if tokens.contains_ident("roots") {
+        trace.push(Action::RootsMention {
+            idents: tokens.idents().map(|t| t.text.clone()).collect(),
+        });
+    }
+    for event in call_events(tokens) {
+        let recv_manager = event
+            .receiver
+            .as_deref()
+            .and_then(|chain| env.manager_of(chain));
+        let arg_prov: Vec<Option<usize>> = event
+            .args
+            .iter()
+            .map(|a| match a {
+                ArgShape::Path { segments, .. } => env.node_of(segments),
+                ArgShape::Other => None,
+            })
+            .collect();
+        let arg_manager: Vec<Option<usize>> = event
+            .args
+            .iter()
+            .map(|a| match a {
+                ArgShape::Path { segments, .. } => env.manager_of(segments),
+                ArgShape::Other => None,
+            })
+            .collect();
+        trace.push(Action::Call {
+            event,
+            recv_manager,
+            arg_prov,
+            arg_manager,
+        });
+    }
+}
+
+/// Provenance the value of a fragment would carry: the last node-producing
+/// manager call, a summary-known free call, or a pure copy of a tracked
+/// chain.
+fn fragment_prov(tokens: &TokenStream, env: &mut Env, summaries: &Summaries) -> Option<usize> {
+    let events = call_events(tokens);
+    for event in events.iter().rev() {
+        if event.is_method && is_node_producing(&event.name) {
+            if let Some(id) = event
+                .receiver
+                .as_deref()
+                .and_then(|chain| env.manager_of(chain))
+            {
+                return Some(id);
+            }
+        }
+        if !event.is_method {
+            if let Some(s) = summaries.get(&event.name) {
+                if s.returns_node {
+                    // The produced node belongs to the *mutable* manager
+                    // argument — only a `&mut` (or owned) manager can
+                    // allocate nodes, so in a two-manager helper like
+                    // `transfer(src, node, dst)` the return is `dst`'s.
+                    let owner = s
+                        .mut_manager_params
+                        .first()
+                        .or_else(|| s.manager_params.first());
+                    if let Some(&mi) = owner {
+                        if let Some(ArgShape::Path { segments, .. }) = event.args.get(mi) {
+                            if let Some(id) = env.manager_of(segments) {
+                                return Some(id);
+                            }
+                        }
+                    } else if let Some(a) = env.ambient {
+                        return Some(a);
+                    }
+                }
+            }
+        }
+    }
+    // Pure copy: `&`/`mut`/`?`-stripped chain of idents and dots.
+    let plain: Vec<&Token> = tokens
+        .tokens
+        .iter()
+        .filter(|t| !(t.is_punct('&') || t.is_punct('?') || t.is_ident("mut")))
+        .collect();
+    let mut chain = Vec::new();
+    let mut expect_ident = true;
+    for t in &plain {
+        if expect_ident {
+            if t.kind != TokenKind::Ident {
+                return None;
+            }
+            chain.push(t.text.clone());
+            expect_ident = false;
+        } else {
+            if !t.is_punct('.') {
+                return None;
+            }
+            expect_ident = true;
+        }
+    }
+    if chain.is_empty() || expect_ident {
+        return None;
+    }
+    env.node_of(&chain)
+}
+
+/// Binds `let` names from an initializer fragment.
+fn bind_from_init(
+    names: &[syn::Ident],
+    tokens: &TokenStream,
+    env: &mut Env,
+    summaries: &Summaries,
+) {
+    // Manager-producing initializers first.
+    let events = call_events(tokens);
+    let manager_id = events
+        .iter()
+        .find_map(|e| {
+            if !e.is_method
+                && e.path
+                    .first()
+                    .is_some_and(|p| p == "BddManager" || p == "MtManager")
+            {
+                Some(None) // fresh identity per binding below
+            } else if e.is_method && e.name == "clone" {
+                e.receiver
+                    .as_deref()
+                    .and_then(|chain| env.manager_of(chain))
+                    .map(Some)
+            } else {
+                None
+            }
+        })
+        .or_else(|| {
+            // `let m2 = m;` / `let m2 = &mut m;` manager aliasing.
+            let plain: Vec<&Token> = tokens
+                .tokens
+                .iter()
+                .filter(|t| !(t.is_punct('&') || t.is_ident("mut")))
+                .collect();
+            if plain.len() == 1 && plain[0].kind == TokenKind::Ident {
+                env.manager_of(&[plain[0].text.clone()]).map(Some)
+            } else {
+                None
+            }
+        });
+    if let Some(id) = manager_id {
+        for name in names {
+            let id = id.unwrap_or_else(|| env.fresh());
+            env.bind_manager(&name.name, id);
+        }
+        return;
+    }
+    if let Some(prov) = fragment_prov(tokens, env, summaries) {
+        for name in names {
+            env.bind_node(name.name.clone(), prov);
+        }
+    } else {
+        // The binding is reassigned to something untracked.
+        for name in names {
+            env.nodes.remove(&name.name);
+        }
+    }
+}
+
+/// Binds names from `if let P = expr` / `while let P = expr` headers: the
+/// pattern idents inherit the expression's provenance.
+fn bind_let_condition(tokens: &TokenStream, env: &mut Env, summaries: &Summaries) {
+    let toks = &tokens.tokens;
+    let Some(let_pos) = toks.iter().position(|t| t.is_ident("let")) else {
+        return;
+    };
+    let Some(eq_rel) = toks[let_pos..].iter().position(|t| t.is_punct('=')) else {
+        return;
+    };
+    let eq = let_pos + eq_rel;
+    let pat = &toks[let_pos + 1..eq];
+    let rhs = TokenStream {
+        tokens: toks[eq + 1..].to_vec(),
+    };
+    if let Some(prov) = fragment_prov(&rhs, env, summaries) {
+        for name in syn::body::bound_names(pat) {
+            env.bind_node(name.name, prov);
+        }
+    }
+}
+
+/// Handles `lhs = rhs` fragments: rebinding simple names, recording field
+/// stores.
+fn handle_assignment(
+    tokens: &TokenStream,
+    line: usize,
+    env: &mut Env,
+    summaries: &Summaries,
+    trace: &mut Vec<Action>,
+) {
+    let toks = &tokens.tokens;
+    // First top-level `=` that is plain assignment (not ==, <=, +=, …).
+    let mut depth = 0i32;
+    let mut eq = None;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('=') {
+            let prev_compound = i > 0
+                && ['=', '!', '<', '>', '+', '-', '*', '/', '%', '&', '|', '^']
+                    .iter()
+                    .any(|c| toks[i - 1].is_punct(*c));
+            let next_eq = toks.get(i + 1).is_some_and(|n| n.is_punct('='));
+            if !prev_compound && !next_eq {
+                eq = Some(i);
+                break;
+            }
+        }
+    }
+    let Some(eq) = eq else { return };
+    // Left side must be a pure dotted chain.
+    let mut chain = Vec::new();
+    let mut expect_ident = true;
+    for t in &toks[..eq] {
+        if expect_ident {
+            if t.kind != TokenKind::Ident {
+                return;
+            }
+            chain.push(t.text.clone());
+            expect_ident = false;
+        } else {
+            if !t.is_punct('.') {
+                return;
+            }
+            expect_ident = true;
+        }
+    }
+    if chain.is_empty() || expect_ident {
+        return;
+    }
+    let rhs = TokenStream {
+        tokens: toks[eq + 1..].to_vec(),
+    };
+    let prov = fragment_prov(&rhs, env, summaries);
+    let key = Env::canon(&chain);
+    match prov {
+        Some(p) => env.bind_node(key.clone(), p),
+        None => {
+            env.nodes.remove(&key);
+        }
+    }
+    if chain.len() > 1 {
+        trace.push(Action::StoreField {
+            target: key,
+            prov,
+            line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fn_of(src: &str) -> ItemFn {
+        let file = syn::parse_file(src).expect("parses");
+        let mut found = None;
+        crate::for_each_fn(&file.items, &mut |f| {
+            if found.is_none() {
+                found = Some(f.clone());
+            }
+        });
+        found.expect("one fn")
+    }
+
+    #[test]
+    fn params_classify_by_type_text() {
+        let f = fn_of(
+            "fn f(mgr: &mut BddManager, ids: &[NodeId], n: usize, \
+             other: &BddManager) -> NodeId { n }\n",
+        );
+        let p = params_of(&f);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0].kind, ParamKind::Manager);
+        assert_eq!(p[1].kind, ParamKind::Node);
+        assert_eq!(p[2].kind, ParamKind::Other);
+        assert_eq!(p[3].kind, ParamKind::Manager);
+        assert!(returns_node(&f));
+    }
+
+    #[test]
+    fn generics_do_not_confuse_the_param_scan() {
+        let f = fn_of("fn g<F: Fn(u32) -> u32>(cb: F, map: HashMap<u32, NodeId>) {}\n");
+        let p = params_of(&f);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].name, "cb");
+        assert_eq!(p[1].kind, ParamKind::Node);
+    }
+
+    #[test]
+    fn trace_resolves_cross_manager_flow() {
+        let f = fn_of(
+            "fn bad() {\n\
+             \x20   let mut m1 = BddManager::new(4);\n\
+             \x20   let mut m2 = BddManager::new(4);\n\
+             \x20   let f = m1.literal(0, true);\n\
+             \x20   let g = m2.and(f, f);\n\
+             }\n",
+        );
+        let trace = trace_fn(&f, false, &Summaries::default());
+        let cross = trace.iter().any(|a| match a {
+            Action::Call {
+                event,
+                recv_manager: Some(r),
+                arg_prov,
+                ..
+            } => event.name == "and" && arg_prov.iter().flatten().any(|p| p != r),
+            _ => false,
+        });
+        assert!(cross, "m2.and(f_from_m1, …) must surface as cross-manager");
+    }
+
+    #[test]
+    fn owner_fields_share_the_ambient_identity() {
+        let f = fn_of(
+            "impl Cf {\n\
+             \x20   fn ok(&mut self, f: NodeId) {\n\
+             \x20       let g = self.mgr.not(f);\n\
+             \x20       self.manager_mut().ite(f, g, g);\n\
+             \x20   }\n\
+             }\n",
+        );
+        let trace = trace_fn(&f, false, &Summaries::default());
+        for a in &trace {
+            if let Action::Call {
+                recv_manager: Some(r),
+                arg_prov,
+                ..
+            } = a
+            {
+                for p in arg_prov.iter().flatten() {
+                    assert_eq!(p, r, "owner-field ops stay same-identity");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summaries_close_polls_transitively() {
+        let files = vec![(
+            "crates/x/src/lib.rs".to_string(),
+            syn::parse_file(
+                "fn leaf(mgr: &mut BddManager) { mgr.charge(); }\n\
+                 fn middle(mgr: &mut BddManager) { leaf(mgr); }\n\
+                 fn outer(mgr: &mut BddManager) { middle(mgr); }\n\
+                 fn cold(mgr: &mut BddManager) { mgr.node_count(); }\n",
+            )
+            .expect("parses"),
+        )];
+        let s = Summaries::build(&files);
+        assert!(s.polls("leaf"));
+        assert!(s.polls("outer"), "polls closes over the call graph");
+        assert!(!s.polls("cold"));
+    }
+}

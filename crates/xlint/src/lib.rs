@@ -23,8 +23,17 @@
 //!
 //! A finding on line `L` can be waived with `// xlint: allow(XLnnn)` on
 //! line `L` or `L-1`. `#[cfg(test)]` subtrees are never linted.
+//!
+//! The XL1xx series — dataflow-level analyses over statement-structured
+//! bodies (`bddcf-analyze`) — lives in [`analyze`]; see that module and
+//! the catalog constants below.
 
 #![forbid(unsafe_code)]
+
+pub mod analyze;
+pub(crate) mod cfg;
+pub(crate) mod dataflow;
+pub(crate) mod passes;
 
 use std::collections::HashMap;
 use std::fmt;
@@ -43,9 +52,23 @@ pub const XL001_INFALLIBLE_OP: &str = "XL001";
 pub const XL002_MAGIC_LEAK: &str = "XL002";
 /// XL003: a budgeted entry point without a poison/budget gate.
 pub const XL003_UNGATED_ENTRY: &str = "XL003";
+/// XL101: a `NodeId` from one manager flows into a different manager.
+pub const XL101_PROVENANCE: &str = "XL101";
+/// XL102: a stored `NodeId` is live across a `gc()` without being rooted.
+pub const XL102_GC_ESCAPE: &str = "XL102";
+/// XL103: a governed loop has an iteration path that never polls the
+/// budget/cancel state.
+pub const XL103_BUDGET_POLL: &str = "XL103";
+/// XL104: raw indexing/slicing or `*_unchecked` call on a governed path.
+pub const XL104_PANIC_SURFACE: &str = "XL104";
+/// XL105: interior mutability / non-`Send` state in a module the ROADMAP
+/// names for sharding.
+pub const XL105_CONCURRENCY: &str = "XL105";
+/// XL106: an `unsafe` block/fn/impl without a `// SAFETY:` comment.
+pub const XL106_UNDOC_UNSAFE: &str = "XL106";
 
 /// Files whose *every* function is a governed path.
-const GOVERNED_FILES: &[&str] = &[
+pub(crate) const GOVERNED_FILES: &[&str] = &[
     "crates/core/src/driver.rs",
     "crates/core/src/checkpoint.rs",
     "crates/cascade/src/synth.rs",
@@ -53,7 +76,7 @@ const GOVERNED_FILES: &[&str] = &[
 
 /// Files where only the `try_*` / `*_governed` functions are governed
 /// (they coexist with intentionally-infallible convenience wrappers).
-const GOVERNED_FN_FILES: &[&str] = &[
+pub(crate) const GOVERNED_FN_FILES: &[&str] = &[
     "crates/core/src/cf.rs",
     "crates/core/src/alg31.rs",
     "crates/core/src/alg33.rs",
@@ -62,7 +85,7 @@ const GOVERNED_FN_FILES: &[&str] = &[
 
 /// `BddManager` methods with a budgeted `try_*` twin; calling the bare
 /// name on a governed path bypasses budgets and the poison gate.
-const INFALLIBLE_OPS: &[&str] = &[
+pub(crate) const INFALLIBLE_OPS: &[&str] = &[
     "mk",
     "literal",
     "cube",
@@ -124,7 +147,7 @@ impl fmt::Display for Finding {
 }
 
 /// Lines carrying `// xlint: allow(XLnnn, …)` waivers, by line number.
-fn allow_map(source: &str) -> HashMap<usize, Vec<String>> {
+pub(crate) fn allow_map(source: &str) -> HashMap<usize, Vec<String>> {
     let mut map = HashMap::new();
     for (i, text) in source.lines().enumerate() {
         let Some(pos) = text.find("xlint: allow(") else {
@@ -142,19 +165,19 @@ fn allow_map(source: &str) -> HashMap<usize, Vec<String>> {
     map
 }
 
-fn is_waived(allow: &HashMap<usize, Vec<String>>, line: usize, id: &str) -> bool {
+pub(crate) fn is_waived(allow: &HashMap<usize, Vec<String>>, line: usize, id: &str) -> bool {
     let hit = |l: usize| allow.get(&l).is_some_and(|ids| ids.iter().any(|i| i == id));
     hit(line) || (line > 1 && hit(line - 1))
 }
 
-fn is_test_only(attrs: &[syn::Attribute]) -> bool {
+pub(crate) fn is_test_only(attrs: &[syn::Attribute]) -> bool {
     attrs
         .iter()
         .any(|a| a.path() == "cfg" && a.text.contains("test"))
 }
 
 /// Walks every non-`#[cfg(test)]` function of `items`, depth first.
-fn for_each_fn<'a>(items: &'a [Item], f: &mut impl FnMut(&'a ItemFn)) {
+pub(crate) fn for_each_fn<'a>(items: &'a [Item], f: &mut impl FnMut(&'a ItemFn)) {
     for item in items {
         match item {
             Item::Fn(func) if !is_test_only(&func.attrs) => f(func),
@@ -175,7 +198,7 @@ fn for_each_fn<'a>(items: &'a [Item], f: &mut impl FnMut(&'a ItemFn)) {
     }
 }
 
-fn is_governed_fn_name(name: &str) -> bool {
+pub(crate) fn is_governed_fn_name(name: &str) -> bool {
     name.starts_with("try_") || name.ends_with("_governed") || name.contains("_governed_")
 }
 
@@ -359,7 +382,7 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
         if path.is_dir() {

@@ -1,0 +1,42 @@
+//! XL103 — budget-poll: every loop on a governed path whose body does
+//! manager work must poll `Budget`/`CancelToken` on every iteration
+//! path.
+
+use std::collections::HashMap;
+
+use syn::File;
+
+use crate::cfg::unpolled_loops;
+use crate::dataflow::Summaries;
+use crate::passes::{for_each_fn_scoped, in_governed_scope};
+use crate::{is_waived, Finding, XL103_BUDGET_POLL};
+
+pub(crate) fn run(
+    rel: &str,
+    file: &File,
+    allow: &HashMap<usize, Vec<String>>,
+    summaries: &Summaries,
+    findings: &mut Vec<Finding>,
+) {
+    for_each_fn_scoped(&file.items, &mut |func, _self_is_manager| {
+        let fn_name = &func.sig.ident.name;
+        if !in_governed_scope(rel, fn_name) {
+            return;
+        }
+        for l in unpolled_loops(func, summaries) {
+            if !l.does_work || is_waived(allow, l.line, XL103_BUDGET_POLL) {
+                continue;
+            }
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: l.line,
+                id: XL103_BUDGET_POLL,
+                message: format!(
+                    "loop in governed `{fn_name}` has an iteration path that never \
+                     polls Budget/CancelToken; charge the budget (or call a `try_*`/\
+                     `*_governed` helper) on every path through the body"
+                ),
+            });
+        }
+    });
+}

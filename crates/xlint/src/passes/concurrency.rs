@@ -1,0 +1,63 @@
+//! XL105 — concurrency-readiness: interior mutability and other
+//! non-`Send`/`Sync` state in the modules the ROADMAP schedules for
+//! sharding must be flagged before the parallel rewrite starts.
+
+use std::collections::HashMap;
+
+use syn::{TokenKind, TokenStream};
+
+use crate::passes::SHARDING_FILES;
+use crate::{is_waived, Finding, XL105_CONCURRENCY};
+
+/// Types that block `Send`/`Sync` or hide mutation from a future
+/// sharding split.
+const INTERIOR_MUTABILITY: &[&str] = &["Cell", "RefCell", "UnsafeCell", "Rc", "OnceCell"];
+
+pub(crate) fn run(
+    rel: &str,
+    tokens: &TokenStream,
+    allow: &HashMap<usize, Vec<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    if !SHARDING_FILES.contains(&rel) {
+        return;
+    }
+    let toks = &tokens.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let flagged = if INTERIOR_MUTABILITY.contains(&t.text.as_str()) {
+            Some(format!(
+                "`{}` in a module scheduled for sharding; replace with \
+                 exclusive ownership or a `Sync` primitive before the \
+                 parallel rewrite",
+                t.text
+            ))
+        } else if t.text == "static" && toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            Some(
+                "`static mut` in a module scheduled for sharding; use an \
+                 atomic or pass state explicitly"
+                    .to_string(),
+            )
+        } else if t.text == "thread_local" {
+            Some(
+                "`thread_local!` state in a module scheduled for sharding \
+                 will silently diverge across worker threads"
+                    .to_string(),
+            )
+        } else {
+            None
+        };
+        if let Some(message) = flagged {
+            if !is_waived(allow, t.line, XL105_CONCURRENCY) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: t.line,
+                    id: XL105_CONCURRENCY,
+                    message,
+                });
+            }
+        }
+    }
+}

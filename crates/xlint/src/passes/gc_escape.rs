@@ -1,0 +1,141 @@
+//! XL102 — GC-escape: a `NodeId` stored into a struct field or
+//! collection that is live across a `gc()` call must be registered as a
+//! root (passed to `gc`, or routed through a `roots`-building statement)
+//! or carry an `// xlint: rooted` waiver.
+
+use std::collections::{HashMap, HashSet};
+
+use syn::File;
+
+use crate::dataflow::{trace_fn, Action, Summaries};
+use crate::passes::for_each_fn_scoped;
+use crate::{is_waived, Finding, XL102_GC_ESCAPE};
+
+/// Collection methods that retain their argument.
+const STORE_METHODS: &[&str] = &[
+    "push",
+    "insert",
+    "push_back",
+    "push_front",
+    "extend",
+    "replace",
+];
+
+/// Lines carrying an `xlint: rooted` marker.
+fn rooted_lines(source: &str) -> HashSet<usize> {
+    source
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("xlint: rooted"))
+        .map(|(i, _)| i + 1)
+        .collect()
+}
+
+struct Store {
+    index: usize,
+    line: usize,
+    container: String,
+    value: Option<String>,
+}
+
+pub(crate) fn run(
+    rel: &str,
+    file: &File,
+    source: &str,
+    allow: &HashMap<usize, Vec<String>>,
+    summaries: &Summaries,
+    findings: &mut Vec<Finding>,
+) {
+    let rooted = rooted_lines(source);
+    let is_rooted =
+        |line: usize| rooted.contains(&line) || (line > 1 && rooted.contains(&(line - 1)));
+    for_each_fn_scoped(&file.items, &mut |func, self_is_manager| {
+        let trace = trace_fn(func, self_is_manager, summaries);
+        let mut stores: Vec<Store> = Vec::new();
+        let mut flagged: HashSet<usize> = HashSet::new();
+        for (index, action) in trace.iter().enumerate() {
+            match action {
+                Action::StoreField {
+                    target,
+                    prov: Some(_),
+                    line,
+                } => stores.push(Store {
+                    index,
+                    line: *line,
+                    container: target.clone(),
+                    value: None,
+                }),
+                Action::Call {
+                    event,
+                    recv_manager: None,
+                    arg_prov,
+                    ..
+                } if STORE_METHODS.contains(&event.name.as_str()) => {
+                    let Some(chain) = event.receiver.as_deref() else {
+                        continue;
+                    };
+                    for (i, prov) in arg_prov.iter().enumerate() {
+                        if prov.is_some() {
+                            stores.push(Store {
+                                index,
+                                line: event.line,
+                                container: chain.join("."),
+                                value: event.args[i].root().map(str::to_string),
+                            });
+                        }
+                    }
+                }
+                Action::Call {
+                    event,
+                    recv_manager: Some(_),
+                    ..
+                } if event.name == "gc" || event.name == "try_gc" => {
+                    let gc_arg_roots: Vec<&str> =
+                        event.args.iter().filter_map(|a| a.root()).collect();
+                    for store in &stores {
+                        if store.index >= index || flagged.contains(&store.index) {
+                            continue;
+                        }
+                        let container_last = store
+                            .container
+                            .rsplit('.')
+                            .next()
+                            .unwrap_or(&store.container);
+                        let names: Vec<&str> = std::iter::once(container_last)
+                            .chain(store.value.as_deref())
+                            .collect();
+                        // Rooted via the gc call itself?
+                        if names.iter().any(|n| gc_arg_roots.contains(n)) {
+                            continue;
+                        }
+                        // Rooted via a `roots`-building statement between
+                        // the store and the gc?
+                        let routed = trace[store.index..index].iter().any(|a| {
+                            matches!(a, Action::RootsMention { idents }
+                                if names.iter().any(|n| idents.iter().any(|i| i == n)))
+                        });
+                        if routed
+                            || is_rooted(store.line)
+                            || is_waived(allow, store.line, XL102_GC_ESCAPE)
+                        {
+                            continue;
+                        }
+                        flagged.insert(store.index);
+                        findings.push(Finding {
+                            file: rel.to_string(),
+                            line: store.line,
+                            id: XL102_GC_ESCAPE,
+                            message: format!(
+                                "NodeId stored into `{}` is live across a later `gc()` \
+                                 but never registered as a root; pass it to `gc`, route \
+                                 it through `roots`, or mark the store `xlint: rooted`",
+                                store.container
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    });
+}

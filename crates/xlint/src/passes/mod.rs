@@ -1,0 +1,59 @@
+//! The XL1xx analysis passes (`bddcf-analyze`).
+//!
+//! Each pass takes one parsed file plus the workspace summaries and
+//! appends findings. Shared scope predicates live here.
+
+pub(crate) mod budget_poll;
+pub(crate) mod concurrency;
+pub(crate) mod gc_escape;
+pub(crate) mod panic_surface;
+pub(crate) mod provenance;
+pub(crate) mod unsafe_doc;
+
+use syn::{Item, ItemFn};
+
+use crate::{is_governed_fn_name, is_test_only, GOVERNED_FILES};
+
+/// Modules the ROADMAP names for sharding/parallelisation (the XL105
+/// concurrency-readiness scope): the manager's hot paths, the per-level
+/// parallel reduction candidate, and the benchmark batch executor.
+pub(crate) const SHARDING_FILES: &[&str] = &[
+    "crates/bdd/src/manager.rs",
+    "crates/core/src/alg33.rs",
+    "crates/bench/src/pipeline.rs",
+];
+
+/// True when `func` in file `rel` is on a governed path (the XL103/XL104
+/// scope): every function of a governed file or degradation module, and
+/// every `try_*`/`*_governed` function anywhere.
+pub(crate) fn in_governed_scope(rel: &str, fn_name: &str) -> bool {
+    GOVERNED_FILES.contains(&rel)
+        || rel.contains("degrade")
+        || rel.contains("checkpoint")
+        || is_governed_fn_name(fn_name)
+}
+
+/// Walks every non-test function with its impl context (whether `self`
+/// is a manager).
+pub(crate) fn for_each_fn_scoped(items: &[Item], f: &mut impl FnMut(&ItemFn, bool)) {
+    for item in items {
+        match item {
+            Item::Fn(func) if !is_test_only(&func.attrs) => f(func, false),
+            Item::Impl(imp) if !is_test_only(&imp.attrs) => {
+                let self_is_manager =
+                    imp.self_ty.contains("BddManager") || imp.self_ty.contains("MtManager");
+                for func in &imp.fns {
+                    if !is_test_only(&func.attrs) {
+                        f(func, self_is_manager);
+                    }
+                }
+            }
+            Item::Mod(m) if !is_test_only(&m.attrs) => {
+                if let Some(content) = &m.content {
+                    for_each_fn_scoped(content, f);
+                }
+            }
+            _ => {}
+        }
+    }
+}

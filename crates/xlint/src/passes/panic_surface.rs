@@ -1,0 +1,74 @@
+//! XL104 — panic-surface: raw indexing/slicing and `*_unchecked` calls
+//! on governed paths (which promise to degrade gracefully, not panic).
+
+use std::collections::HashMap;
+
+use syn::{File, TokenKind};
+
+use crate::passes::{for_each_fn_scoped, in_governed_scope};
+use crate::{is_waived, Finding, XL104_PANIC_SURFACE};
+
+/// Identifiers that may legally precede `[` without forming an index
+/// expression.
+const NON_INDEX_PREFIX: &[&str] = &["let", "mut", "ref", "in", "box", "return", "break"];
+
+pub(crate) fn run(
+    rel: &str,
+    file: &File,
+    allow: &HashMap<usize, Vec<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    for_each_fn_scoped(&file.items, &mut |func, _| {
+        let fn_name = &func.sig.ident.name;
+        if !in_governed_scope(rel, fn_name) {
+            return;
+        }
+        // A waiver on the `fn` signature line covers the whole body —
+        // XL104 findings cluster (decode loops index byte-by-byte), and
+        // one justified comment beats a dozen repeated ones.
+        if is_waived(allow, func.sig.ident.line, XL104_PANIC_SURFACE) {
+            return;
+        }
+        let Some(body) = &func.block else { return };
+        let toks = &body.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            // Raw index/slice: `expr[…]` — an opening bracket directly
+            // after a value (identifier or closing delimiter).
+            if t.is_punct('[') && i > 0 {
+                let prev = &toks[i - 1];
+                let after_value = (prev.kind == TokenKind::Ident
+                    && !NON_INDEX_PREFIX.contains(&prev.text.as_str()))
+                    || prev.is_punct(')')
+                    || prev.is_punct(']');
+                if after_value && !is_waived(allow, t.line, XL104_PANIC_SURFACE) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: t.line,
+                        id: XL104_PANIC_SURFACE,
+                        message: format!(
+                            "raw index/slice in governed `{fn_name}` can panic; use \
+                             `.get(…)` and surface the failure, or waive with a \
+                             justification"
+                        ),
+                    });
+                }
+            }
+            // Unchecked arithmetic/access.
+            if t.kind == TokenKind::Ident
+                && (t.text.starts_with("unchecked_") || t.text.contains("_unchecked"))
+                && !is_waived(allow, t.line, XL104_PANIC_SURFACE)
+            {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: t.line,
+                    id: XL104_PANIC_SURFACE,
+                    message: format!(
+                        "`{}` in governed `{fn_name}` bypasses checks on a path that \
+                         promises graceful degradation",
+                        t.text
+                    ),
+                });
+            }
+        }
+    });
+}

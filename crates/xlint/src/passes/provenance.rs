@@ -1,0 +1,107 @@
+//! XL101 — NodeId provenance: a `NodeId` obtained from one manager
+//! binding must not flow into a call on a different manager binding.
+
+use std::collections::HashMap;
+
+use syn::File;
+
+use crate::dataflow::{trace_fn, Action, Summaries};
+use crate::passes::for_each_fn_scoped;
+use crate::{is_waived, Finding, XL101_PROVENANCE};
+
+pub(crate) fn run(
+    rel: &str,
+    file: &File,
+    allow: &HashMap<usize, Vec<String>>,
+    summaries: &Summaries,
+    findings: &mut Vec<Finding>,
+) {
+    for_each_fn_scoped(&file.items, &mut |func, self_is_manager| {
+        let fn_name = &func.sig.ident.name;
+        for action in trace_fn(func, self_is_manager, summaries) {
+            let Action::Call {
+                event,
+                recv_manager,
+                arg_prov,
+                arg_manager,
+            } = action
+            else {
+                continue;
+            };
+            if is_waived(allow, event.line, XL101_PROVENANCE) {
+                continue;
+            }
+            // Method call on a manager: every node argument must come
+            // from that same manager.
+            if let Some(recv_id) = recv_manager {
+                for (i, prov) in arg_prov.iter().enumerate() {
+                    if let Some(p) = prov {
+                        if *p != recv_id {
+                            let arg = event.args[i].root().unwrap_or("<arg>").to_string();
+                            let recv = event
+                                .receiver
+                                .as_deref()
+                                .map(|c| c.join("."))
+                                .unwrap_or_default();
+                            findings.push(Finding {
+                                file: rel.to_string(),
+                                line: event.line,
+                                id: XL101_PROVENANCE,
+                                message: format!(
+                                    "in `{fn_name}`, `{arg}` was produced by a different \
+                                     manager than `{recv}`; NodeIds are only valid against \
+                                     the manager that created them"
+                                ),
+                            });
+                        }
+                    }
+                }
+                continue;
+            }
+            // Free call with a known (manager, node) parameter shape:
+            // the node arguments must belong to the manager argument.
+            if event.is_method {
+                continue;
+            }
+            let Some(summary) = summaries.get(&event.name) else {
+                continue;
+            };
+            if summary.manager_params.is_empty() {
+                continue;
+            }
+            for &ni in &summary.node_params {
+                // A node parameter belongs to the nearest preceding
+                // *immutable* manager parameter (the
+                // `transfer(src, dst, node)` convention: nodes are read
+                // from the `&` source), falling back to the nearest
+                // preceding one of any mutability, then the first.
+                let preceding = |mutable_too: bool| {
+                    summary.manager_params.iter().copied().rfind(|&mi| {
+                        mi < ni && (mutable_too || !summary.mut_manager_params.contains(&mi))
+                    })
+                };
+                let mi = preceding(false)
+                    .or_else(|| preceding(true))
+                    .or_else(|| summary.manager_params.first().copied());
+                let Some(target) = mi.and_then(|mi| arg_manager.get(mi).copied().flatten()) else {
+                    continue;
+                };
+                if let Some(Some(p)) = arg_prov.get(ni) {
+                    if *p != target {
+                        let arg = event.args[ni].root().unwrap_or("<arg>").to_string();
+                        findings.push(Finding {
+                            file: rel.to_string(),
+                            line: event.line,
+                            id: XL101_PROVENANCE,
+                            message: format!(
+                                "in `{fn_name}`, `{arg}` is passed to `{callee}` alongside \
+                                 a manager that did not create it",
+                                callee = event.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    });
+}

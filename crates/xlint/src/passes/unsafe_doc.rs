@@ -1,0 +1,39 @@
+//! XL106 — undocumented `unsafe`: every `unsafe` block/fn/impl must be
+//! justified by a `// SAFETY:` comment on or within three lines above
+//! the `unsafe` keyword.
+
+use std::collections::HashMap;
+
+use syn::TokenStream;
+
+use crate::{is_waived, Finding, XL106_UNDOC_UNSAFE};
+
+pub(crate) fn run(
+    rel: &str,
+    tokens: &TokenStream,
+    source: &str,
+    allow: &HashMap<usize, Vec<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    let lines: Vec<&str> = source.lines().collect();
+    for t in tokens.idents() {
+        if t.text != "unsafe" {
+            continue;
+        }
+        let lo = t.line.saturating_sub(4); // the keyword line and 3 above
+        let documented = (lo..t.line)
+            .filter_map(|i| lines.get(i))
+            .any(|l| l.contains("SAFETY:"));
+        if documented || is_waived(allow, t.line, XL106_UNDOC_UNSAFE) {
+            continue;
+        }
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: t.line,
+            id: XL106_UNDOC_UNSAFE,
+            message: "`unsafe` without a `// SAFETY:` comment; state the invariant \
+                      that makes this sound (or delete the unsafe)"
+                .to_string(),
+        });
+    }
+}

@@ -62,6 +62,8 @@
 //! PLA semantics follow `bddcf_io::pla` (`fr`-type: uncovered minterms are
 //! don't cares; add `.type fd` to the file for unlisted-means-0).
 
+#![forbid(unsafe_code)]
+
 use bddcf::bdd::{Budget, ReorderCost};
 use bddcf::cascade::{synthesize_governed, CascadeOptions, SynthesisError};
 use bddcf::core::degrade::{DegradationReport, DegradeAction, Phase};
@@ -71,35 +73,47 @@ use bddcf::logic::{Ternary, TruthTable};
 use std::process::ExitCode;
 use std::time::Duration;
 
+/// What a verification subcommand concluded. The distinction drives the
+/// exit code: findings are a *successful* run that discovered problems
+/// (exit 1), unlike usage or internal errors (exit 2).
+enum Outcome {
+    /// Everything checked out.
+    Clean,
+    /// The run completed and surfaced findings (already printed).
+    Findings,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Outcome::Clean) => ExitCode::SUCCESS,
+        Ok(Outcome::Findings) => ExitCode::FAILURE,
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!("run `bddcf help` for usage");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<Outcome, String> {
     let Some(command) = args.first() else {
         return Err("missing subcommand (stats | reduce | cascade | help)".into());
     };
+    let clean = |()| Outcome::Clean;
     match command.as_str() {
         "help" | "--help" | "-h" => {
             print!("{}", USAGE);
-            Ok(())
+            Ok(Outcome::Clean)
         }
-        "stats" => stats(&args[1..]),
-        "reduce" => reduce(&args[1..]),
-        "cascade" => cascade(&args[1..]),
-        "sim" => sim(&args[1..]),
+        "stats" => stats(&args[1..]).map(clean),
+        "reduce" => reduce(&args[1..]).map(clean),
+        "cascade" => cascade(&args[1..]).map(clean),
+        "sim" => sim(&args[1..]).map(clean),
         "check" => check(&args[1..]),
         "lint" => lint(&args[1..]),
         "inject" => inject(&args[1..]),
-        "resume" => resume(&args[1..]),
+        "resume" => resume(&args[1..]).map(clean),
         "crashtest" => crashtest(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -137,6 +151,12 @@ CRASH SAFETY:
       boundary (resume later with `bddcf resume D/ckpt-NNNNNN.bddcfck`)
   check | inject | crashtest --panic-probe
       append a deliberately panicking benchmark to prove quarantine
+  check | lint | inject | crashtest --finding-probe
+      append a benchmark that violates Definition 2.4 to prove the
+      findings exit path (exit 1)
+
+EXIT CODES:
+  0  clean   1  findings reported   2  usage or internal error
 ";
 
 struct Flags {
@@ -160,6 +180,7 @@ struct Flags {
     kill_points: usize,
     dir: Option<String>,
     panic_probe: bool,
+    finding_probe: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -184,6 +205,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         kill_points: 12,
         dir: None,
         panic_probe: false,
+        finding_probe: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -264,6 +286,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--dir" => flags.dir = Some(grab("--dir")?),
             "--panic-probe" => flags.panic_probe = true,
+            "--finding-probe" => flags.finding_probe = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => flags.positional.push(other.to_string()),
         }
@@ -602,15 +625,19 @@ fn select_suite(flags: &Flags) -> Result<Vec<bddcf::funcs::BenchmarkEntry>, Stri
 /// selected suite, plus the deliberately panicking probe when requested.
 fn batch_entries<'a>(
     selected: &'a [bddcf::funcs::BenchmarkEntry],
-    probe: &'a bddcf::check::PanicProbe,
-    include_probe: bool,
+    flags: &Flags,
+    panic_probe: &'a bddcf::check::PanicProbe,
+    finding_probe: &'a bddcf::check::FindingProbe,
 ) -> Vec<(&'a str, &'a dyn bddcf::funcs::Benchmark)> {
     let mut entries: Vec<(&str, &dyn bddcf::funcs::Benchmark)> = selected
         .iter()
         .map(|entry| (entry.label, entry.benchmark.as_ref()))
         .collect();
-    if include_probe {
-        entries.push(("panic probe", probe));
+    if flags.panic_probe {
+        entries.push(("panic probe", panic_probe));
+    }
+    if flags.finding_probe {
+        entries.push(("finding probe", finding_probe));
     }
     entries
 }
@@ -622,7 +649,7 @@ fn report_quarantines(quarantined: &[bddcf::check::Quarantine]) {
     }
 }
 
-fn check(args: &[String]) -> Result<(), String> {
+fn check(args: &[String]) -> Result<Outcome, String> {
     let flags = parse_flags(args)?;
     let selected = select_suite(&flags)?;
     let options = bddcf::check::CheckOptions {
@@ -630,11 +657,12 @@ fn check(args: &[String]) -> Result<(), String> {
         max_iterations: flags.max_iter,
         ..bddcf::check::CheckOptions::default()
     };
-    let probe = bddcf::check::PanicProbe;
+    let panic_probe = bddcf::check::PanicProbe;
+    let finding_probe = bddcf::check::FindingProbe;
     let mut failures = 0usize;
     let mut quarantined = Vec::new();
     bddcf::check::with_quiet_panics(|| {
-        for (label, benchmark) in batch_entries(&selected, &probe, flags.panic_probe) {
+        for (label, benchmark) in batch_entries(&selected, &flags, &panic_probe, &finding_probe) {
             let result = match bddcf::check::run_quarantined(label, || {
                 bddcf::check::check_benchmark(benchmark, &options)
             }) {
@@ -664,30 +692,32 @@ fn check(args: &[String]) -> Result<(), String> {
     report_quarantines(&quarantined);
     let expected_quarantines = usize::from(flags.panic_probe);
     if failures > 0 || quarantined.len() != expected_quarantines {
-        return Err(format!(
+        eprintln!(
             "{failures} benchmark(s) violated pipeline invariants, {} quarantined",
             quarantined.len()
-        ));
+        );
+        return Ok(Outcome::Findings);
     }
     println!(
         "all {} benchmark(s) pass every invariant layer",
         selected.len()
     );
-    Ok(())
+    Ok(Outcome::Clean)
 }
 
-fn lint(args: &[String]) -> Result<(), String> {
+fn lint(args: &[String]) -> Result<Outcome, String> {
     let flags = parse_flags(args)?;
     let selected = select_suite(&flags)?;
     let options = bddcf::check::LintOptions {
         max_iterations: flags.max_iter,
         ..bddcf::check::LintOptions::default()
     };
-    let probe = bddcf::check::PanicProbe;
+    let panic_probe = bddcf::check::PanicProbe;
+    let finding_probe = bddcf::check::FindingProbe;
     let mut failures = 0usize;
     let mut quarantined = Vec::new();
     bddcf::check::with_quiet_panics(|| {
-        for (label, benchmark) in batch_entries(&selected, &probe, flags.panic_probe) {
+        for (label, benchmark) in batch_entries(&selected, &flags, &panic_probe, &finding_probe) {
             let result = match bddcf::check::run_quarantined(label, || {
                 bddcf::check::lint_benchmark(benchmark, &options)
             }) {
@@ -717,20 +747,21 @@ fn lint(args: &[String]) -> Result<(), String> {
     report_quarantines(&quarantined);
     let expected_quarantines = usize::from(flags.panic_probe);
     if failures > 0 || quarantined.len() != expected_quarantines {
-        return Err(format!(
+        eprintln!(
             "{failures} benchmark(s) produced artifacts with lint findings, {} quarantined",
             quarantined.len()
-        ));
+        );
+        return Ok(Outcome::Findings);
     }
     println!(
         "all {} benchmark(s) emit artifacts that parse back, round-trip \
          byte-faithfully, and refine their specifications",
         selected.len()
     );
-    Ok(())
+    Ok(Outcome::Clean)
 }
 
-fn inject(args: &[String]) -> Result<(), String> {
+fn inject(args: &[String]) -> Result<Outcome, String> {
     let flags = parse_flags(args)?;
     let selected = select_suite(&flags)?;
     let options = bddcf::check::InjectionOptions {
@@ -740,11 +771,12 @@ fn inject(args: &[String]) -> Result<(), String> {
         samples: flags.samples.min(64),
         ..bddcf::check::InjectionOptions::default()
     };
-    let probe = bddcf::check::PanicProbe;
+    let panic_probe = bddcf::check::PanicProbe;
+    let finding_probe = bddcf::check::FindingProbe;
     let mut failures = 0usize;
     let mut quarantined = Vec::new();
     bddcf::check::with_quiet_panics(|| {
-        for (label, benchmark) in batch_entries(&selected, &probe, flags.panic_probe) {
+        for (label, benchmark) in batch_entries(&selected, &flags, &panic_probe, &finding_probe) {
             let outcome = match bddcf::check::run_quarantined(label, || {
                 bddcf::check::run_injection(benchmark, &options)
             }) {
@@ -766,10 +798,11 @@ fn inject(args: &[String]) -> Result<(), String> {
     report_quarantines(&quarantined);
     let expected_quarantines = usize::from(flags.panic_probe);
     if failures > 0 || quarantined.len() != expected_quarantines {
-        return Err(format!(
+        eprintln!(
             "{failures} benchmark(s) violated an invariant under fault injection, {} quarantined",
             quarantined.len()
-        ));
+        );
+        return Ok(Outcome::Findings);
     }
     println!(
         "all {} benchmark(s) survive {} fault injection(s) each (seed {:#x})",
@@ -777,7 +810,7 @@ fn inject(args: &[String]) -> Result<(), String> {
         flags.points,
         flags.seed
     );
-    Ok(())
+    Ok(Outcome::Clean)
 }
 
 fn resume(args: &[String]) -> Result<(), String> {
@@ -847,7 +880,7 @@ fn resume(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn crashtest(args: &[String]) -> Result<(), String> {
+fn crashtest(args: &[String]) -> Result<Outcome, String> {
     let flags = parse_flags(args)?;
     let selected = select_suite(&flags)?;
     let options = bddcf::check::CrashTestOptions {
@@ -861,11 +894,12 @@ fn crashtest(args: &[String]) -> Result<(), String> {
             .unwrap_or_else(|| std::env::temp_dir().join("bddcf-crashtest")),
         ..bddcf::check::CrashTestOptions::default()
     };
-    let probe = bddcf::check::PanicProbe;
+    let panic_probe = bddcf::check::PanicProbe;
+    let finding_probe = bddcf::check::FindingProbe;
     let mut failures = 0usize;
     let mut quarantined = Vec::new();
     bddcf::check::with_quiet_panics(|| {
-        for (label, benchmark) in batch_entries(&selected, &probe, flags.panic_probe) {
+        for (label, benchmark) in batch_entries(&selected, &flags, &panic_probe, &finding_probe) {
             let outcome = match bddcf::check::run_quarantined(label, || {
                 bddcf::check::run_crashtest(benchmark, &options)
             }) {
@@ -902,10 +936,11 @@ fn crashtest(args: &[String]) -> Result<(), String> {
     report_quarantines(&quarantined);
     let expected_quarantines = usize::from(flags.panic_probe);
     if failures > 0 || quarantined.len() != expected_quarantines {
-        return Err(format!(
+        eprintln!(
             "{failures} benchmark(s) failed crash recovery, {} quarantined",
             quarantined.len()
-        ));
+        );
+        return Ok(Outcome::Findings);
     }
     println!(
         "all {} benchmark(s) recover byte-identically from {} seeded kill(s) each (seed {:#x})",
@@ -913,5 +948,5 @@ fn crashtest(args: &[String]) -> Result<(), String> {
         flags.kill_points,
         flags.seed
     );
-    Ok(())
+    Ok(Outcome::Clean)
 }

@@ -19,6 +19,8 @@
 //!   (`bddcf check`, and phase-boundary assertions behind the `check`
 //!   cargo feature).
 
+#![forbid(unsafe_code)]
+
 pub use bddcf_bdd as bdd;
 pub use bddcf_cascade as cascade;
 pub use bddcf_check as check;

@@ -209,3 +209,61 @@ fn lint_rejects_unknown_selections() {
         .expect("spawn");
     assert!(!out.status.success());
 }
+
+/// The verification subcommands follow one exit-code convention:
+/// 0 = clean, 1 = the run completed and reported findings,
+/// 2 = usage or internal error.
+#[test]
+fn exit_codes_distinguish_findings_from_usage_errors() {
+    // 0: a clean check run.
+    let out = bddcf()
+        .args(["check", "3-nary", "--samples", "4", "--max-iter", "1"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "clean check must exit 0");
+
+    // 1: the finding probe violates Definition 2.4, so the run completes
+    // with findings.
+    let out = bddcf()
+        .args([
+            "check",
+            "no-such-benchmark-so-only-the-probe-runs",
+            "--finding-probe",
+            "--samples",
+            "4",
+            "--max-iter",
+            "1",
+        ])
+        .output()
+        .expect("spawn");
+    // Selecting nothing is a usage error, so pair the probe with a real
+    // benchmark instead.
+    assert_eq!(out.status.code(), Some(2), "empty selection is usage");
+    let out = bddcf()
+        .args([
+            "check",
+            "3-nary",
+            "--finding-probe",
+            "--samples",
+            "4",
+            "--max-iter",
+            "1",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Definition 2.4 violated"), "{text}");
+
+    // 2: usage errors across the verification subcommands.
+    for args in [
+        vec!["check", "--no-such-flag"],
+        vec!["lint", "--suite", "no-such-suite"],
+        vec!["inject", "--no-such-flag"],
+        vec!["crashtest", "--no-such-flag"],
+        vec!["frobnicate"],
+    ] {
+        let out = bddcf().args(&args).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "usage error for {args:?}");
+    }
+}

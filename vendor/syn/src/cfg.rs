@@ -1,0 +1,395 @@
+//! Control-flow graph construction over the statement model in
+//! [`crate::body`].
+//!
+//! Nodes are flat expression fragments (plus synthetic entry/exit/join
+//! nodes); edges are possible successions. Loops are recorded with enough
+//! structure ([`LoopCfg`]) for a client to ask the question the
+//! `bddcf-analyze` budget-poll pass needs: *is there a path through the
+//! loop body that completes an iteration without passing through a node
+//! satisfying some predicate?* ([`Cfg::body_path_avoiding`]).
+//!
+//! The graph is an over-approximation in the usual lint direction:
+//! statements nested inside expressions (closure bodies, struct-literal
+//! innards) are lowered as if they executed inline, and a `let … else`
+//! diverging block falls through to the join as well as routing its
+//! `return`/`break` terminators. Extra edges can only make a "no path
+//! avoids the predicate" claim harder to establish, never unsound in the
+//! direction that hides a finding… for the *avoiding*-path query the
+//! extra edges create false paths, which errs toward reporting — the
+//! safe direction for a lint.
+
+use crate::body::{Block, ExprStmt, LoopKind, Stmt};
+use crate::{Token, TokenStream};
+
+/// Role of a [`CfgNode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CfgNodeKind {
+    /// Function entry.
+    Entry,
+    /// Function exit (every `return`, `?`, and fall-off edge ends here).
+    Exit,
+    /// A flat statement/expression fragment.
+    Stmt,
+    /// A branch condition / match scrutinee / loop header fragment.
+    Cond,
+    /// A synthetic merge point (no tokens).
+    Join,
+    /// An unreachable continuation after a terminator (no incoming edges).
+    Dead,
+}
+
+/// One CFG node.
+#[derive(Clone, Debug)]
+pub struct CfgNode {
+    /// Node role.
+    pub kind: CfgNodeKind,
+    /// Flat tokens evaluated at this node (empty for synthetic nodes).
+    pub tokens: TokenStream,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One loop of the function, with the node indices a client needs to
+/// reason about its iterations.
+#[derive(Clone, Debug)]
+pub struct LoopCfg {
+    /// Loop flavor.
+    pub kind: LoopKind,
+    /// 1-based line of the loop keyword.
+    pub line: usize,
+    /// The node evaluated at each iteration boundary: the `while`
+    /// condition / `for` iterator for those kinds, a synthetic join for
+    /// `loop`.
+    pub header: usize,
+    /// First node of the body.
+    pub body_entry: usize,
+    /// Reaching this node from [`LoopCfg::body_entry`] completes one
+    /// iteration (it is the back-edge target — the header).
+    pub back_target: usize,
+    /// All nodes lowered from the loop body (inclusive index range).
+    pub body_nodes: std::ops::Range<usize>,
+}
+
+/// A function body's control-flow graph.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// The nodes; index 0 is always [`Cfg::entry`].
+    pub nodes: Vec<CfgNode>,
+    /// Successor adjacency, parallel to `nodes`.
+    pub succ: Vec<Vec<usize>>,
+    /// Entry node index.
+    pub entry: usize,
+    /// Exit node index.
+    pub exit: usize,
+    /// Every loop, outermost first in source order.
+    pub loops: Vec<LoopCfg>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a parsed function body.
+    pub fn build(block: &Block) -> Cfg {
+        let mut b = Builder {
+            nodes: Vec::new(),
+            succ: Vec::new(),
+            loops: Vec::new(),
+        };
+        let entry = b.node(CfgNodeKind::Entry, TokenStream::default(), block.line);
+        let exit = b.node(CfgNodeKind::Exit, TokenStream::default(), block.line);
+        let ctx = Ctx {
+            exit,
+            break_target: None,
+            continue_target: None,
+        };
+        let tail = b.lower_block(block, entry, &ctx);
+        b.edge(tail, exit);
+        Cfg {
+            nodes: b.nodes,
+            succ: b.succ,
+            entry,
+            exit,
+            loops: b.loops,
+        }
+    }
+
+    /// True when some path `from → … → to` exists that visits only nodes
+    /// where `avoid` is false (the endpoints: `from` must itself satisfy
+    /// `!avoid`; reaching `to` counts regardless of `avoid(to)`).
+    pub fn body_path_avoiding(
+        &self,
+        from: usize,
+        to: usize,
+        avoid: &dyn Fn(&CfgNode) -> bool,
+    ) -> bool {
+        if from == to {
+            return !avoid(&self.nodes[from]);
+        }
+        if avoid(&self.nodes[from]) {
+            return false;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(n) = stack.pop() {
+            for &s in &self.succ[n] {
+                if s == to {
+                    return true;
+                }
+                if !seen[s] && !avoid(&self.nodes[s]) {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+}
+
+struct Ctx {
+    exit: usize,
+    break_target: Option<usize>,
+    continue_target: Option<usize>,
+}
+
+struct Builder {
+    nodes: Vec<CfgNode>,
+    succ: Vec<Vec<usize>>,
+    loops: Vec<LoopCfg>,
+}
+
+impl Builder {
+    fn node(&mut self, kind: CfgNodeKind, tokens: TokenStream, line: usize) -> usize {
+        self.nodes.push(CfgNode { kind, tokens, line });
+        self.succ.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, a: usize, b: usize) {
+        if !self.succ[a].contains(&b) {
+            self.succ[a].push(b);
+        }
+    }
+
+    /// Lowers a block starting from node `cur`; returns the tail node the
+    /// next statement flows from.
+    fn lower_block(&mut self, block: &Block, mut cur: usize, ctx: &Ctx) -> usize {
+        for stmt in &block.stmts {
+            cur = self.lower_stmt(stmt, cur, ctx);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, cur: usize, ctx: &Ctx) -> usize {
+        match stmt {
+            Stmt::Item(_) => cur, // nested items do not execute here
+            Stmt::Expr(e) => self.lower_expr(e, cur, ctx, CfgNodeKind::Stmt),
+            Stmt::Let(l) => {
+                let mut cur = cur;
+                if let Some(init) = &l.init {
+                    cur = self.lower_expr(init, cur, ctx, CfgNodeKind::Stmt);
+                }
+                if let Some(else_block) = &l.else_block {
+                    // Divergence required by the language; lenient
+                    // fall-through edge kept (see module docs).
+                    let else_tail = self.lower_block(else_block, cur, ctx);
+                    let join = self.node(CfgNodeKind::Join, TokenStream::default(), l.line);
+                    self.edge(cur, join);
+                    self.edge(else_tail, join);
+                    cur = join;
+                }
+                cur
+            }
+            Stmt::If(i) => {
+                let cond = self.lower_expr(&i.cond, cur, ctx, CfgNodeKind::Cond);
+                let join = self.node(CfgNodeKind::Join, TokenStream::default(), i.line);
+                let then_tail = self.lower_block(&i.then_branch, cond, ctx);
+                self.edge(then_tail, join);
+                match &i.else_branch {
+                    Some(else_block) => {
+                        let else_tail = self.lower_block(else_block, cond, ctx);
+                        self.edge(else_tail, join);
+                    }
+                    None => self.edge(cond, join),
+                }
+                join
+            }
+            Stmt::Match(m) => {
+                let scrut = self.lower_expr(&m.scrutinee, cur, ctx, CfgNodeKind::Cond);
+                let join = self.node(CfgNodeKind::Join, TokenStream::default(), m.line);
+                if m.arms.is_empty() {
+                    self.edge(scrut, join);
+                }
+                for arm in &m.arms {
+                    // The pattern/guard gets its own node so a polling
+                    // guard is credited to paths through this arm.
+                    let pat = self.node(CfgNodeKind::Cond, arm.pat.tokens.clone(), arm.line);
+                    self.edge(scrut, pat);
+                    let tail = self.lower_block(&arm.body, pat, ctx);
+                    self.edge(tail, join);
+                }
+                join
+            }
+            Stmt::Loop(l) => {
+                // Header: evaluated at every iteration boundary.
+                let (header_kind, header_tokens) = match l.kind {
+                    LoopKind::Loop => (CfgNodeKind::Join, TokenStream::default()),
+                    _ => (CfgNodeKind::Cond, l.header.tokens.clone()),
+                };
+                let mut header_pred = cur;
+                for nested in &l.header.nested {
+                    header_pred = self.lower_stmt(nested, header_pred, ctx);
+                }
+                let header = self.node(header_kind, header_tokens, l.line);
+                self.edge(header_pred, header);
+                let after = self.node(CfgNodeKind::Join, TokenStream::default(), l.line);
+                if l.kind != LoopKind::Loop {
+                    self.edge(header, after); // condition false / iterator done
+                }
+                let body_ctx = Ctx {
+                    exit: ctx.exit,
+                    break_target: Some(after),
+                    continue_target: Some(header),
+                };
+                let body_start = self.nodes.len();
+                let body_entry = self.node(CfgNodeKind::Join, TokenStream::default(), l.body.line);
+                self.edge(header, body_entry);
+                let body_tail = self.lower_block(&l.body, body_entry, &body_ctx);
+                self.edge(body_tail, header); // back edge
+                let body_end = self.nodes.len();
+                self.loops.push(LoopCfg {
+                    kind: l.kind,
+                    line: l.line,
+                    header,
+                    body_entry,
+                    back_target: header,
+                    body_nodes: body_start..body_end,
+                });
+                after
+            }
+        }
+    }
+
+    /// Lowers an expression fragment: its nested structured statements
+    /// first (as if inline), then the flat node; `return`/`break`/
+    /// `continue` heads and `?` operators route edges to the relevant
+    /// targets.
+    fn lower_expr(&mut self, e: &ExprStmt, mut cur: usize, ctx: &Ctx, kind: CfgNodeKind) -> usize {
+        for nested in &e.nested {
+            cur = self.lower_stmt(nested, cur, ctx);
+        }
+        let node = self.node(kind, e.tokens.clone(), e.line);
+        self.edge(cur, node);
+        let head = e.tokens.tokens.first();
+        let terminator = match head {
+            Some(t) if t.is_ident("return") => Some(ctx.exit),
+            Some(t) if t.is_ident("break") => ctx.break_target,
+            Some(t) if t.is_ident("continue") => ctx.continue_target,
+            _ => None,
+        };
+        if let Some(target) = terminator {
+            self.edge(node, target);
+            return self.node(CfgNodeKind::Dead, TokenStream::default(), e.line);
+        }
+        // A `?` makes early exit possible; the node still falls through.
+        if e.tokens.tokens.iter().any(|t: &Token| t.is_punct('?')) {
+            self.edge(node, ctx.exit);
+        }
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::parse_block;
+    use crate::tokenize;
+
+    fn cfg_of(body: &str) -> Cfg {
+        let ts = tokenize(body).expect("lexes");
+        Cfg::build(&parse_block(&ts))
+    }
+
+    fn mentions(node: &CfgNode, name: &str) -> bool {
+        node.tokens.contains_ident(name)
+    }
+
+    #[test]
+    fn straight_line_reaches_exit() {
+        let cfg = cfg_of("a();\nb();\n");
+        assert!(cfg.body_path_avoiding(cfg.entry, cfg.exit, &|_| false));
+        // Avoiding `b` blocks the only path.
+        assert!(!cfg.body_path_avoiding(cfg.entry, cfg.exit, &|n| mentions(n, "b")));
+    }
+
+    #[test]
+    fn if_without_else_has_a_skipping_path() {
+        let cfg = cfg_of("if c { poll(); }\nwork();\n");
+        assert!(
+            cfg.body_path_avoiding(cfg.entry, cfg.exit, &|n| mentions(n, "poll")),
+            "the false branch skips poll()"
+        );
+        let cfg = cfg_of("if c { poll(); } else { poll(); }\nwork();\n");
+        assert!(!cfg.body_path_avoiding(cfg.entry, cfg.exit, &|n| mentions(n, "poll")));
+    }
+
+    #[test]
+    fn while_loop_iteration_query() {
+        // Poll on only one branch: an iteration can avoid it.
+        let cfg = cfg_of("while c {\n  if x { poll(); }\n  work();\n}\n");
+        let l = &cfg.loops[0];
+        assert_eq!(l.kind, LoopKind::While);
+        assert!(cfg.body_path_avoiding(l.body_entry, l.back_target, &|n| mentions(n, "poll")));
+        // Poll on every path: no avoiding iteration.
+        let cfg = cfg_of("while c {\n  poll();\n  work();\n}\n");
+        let l = &cfg.loops[0];
+        assert!(!cfg.body_path_avoiding(l.body_entry, l.back_target, &|n| mentions(n, "poll")));
+    }
+
+    #[test]
+    fn continue_paths_count_as_iterations() {
+        let cfg = cfg_of("while c {\n  if skip { continue; }\n  poll();\n}\n");
+        let l = &cfg.loops[0];
+        assert!(
+            cfg.body_path_avoiding(l.body_entry, l.back_target, &|n| mentions(n, "poll")),
+            "the continue path completes an iteration without polling"
+        );
+    }
+
+    #[test]
+    fn break_and_return_paths_do_not_complete_iterations() {
+        let cfg = cfg_of("loop {\n  poll();\n  if done { break; }\n}\n");
+        let l = &cfg.loops[0];
+        assert_eq!(l.kind, LoopKind::Loop);
+        assert!(!cfg.body_path_avoiding(l.body_entry, l.back_target, &|n| mentions(n, "poll")));
+        // A body that always returns never re-iterates.
+        let cfg = cfg_of("loop {\n  return x;\n}\n");
+        let l = &cfg.loops[0];
+        assert!(!cfg.body_path_avoiding(l.body_entry, l.back_target, &|n| {
+            mentions(n, "never_called")
+        }));
+    }
+
+    #[test]
+    fn match_scrutinee_polls_cover_all_arms() {
+        let cfg = cfg_of("while c {\n  match m.try_step() {\n    Ok(x) => keep(x),\n    Err(e) => record(e),\n  }\n}\n");
+        let l = &cfg.loops[0];
+        assert!(!cfg.body_path_avoiding(l.body_entry, l.back_target, &|n| {
+            mentions(n, "try_step")
+        }));
+    }
+
+    #[test]
+    fn nested_loops_are_both_recorded() {
+        let cfg = cfg_of("for i in xs {\n  while c {\n    inner();\n  }\n  outer();\n}\n");
+        assert_eq!(cfg.loops.len(), 2);
+        let kinds: Vec<LoopKind> = cfg.loops.iter().map(|l| l.kind).collect();
+        assert!(kinds.contains(&LoopKind::For));
+        assert!(kinds.contains(&LoopKind::While));
+    }
+
+    #[test]
+    fn question_mark_adds_an_exit_edge_but_still_falls_through() {
+        let cfg = cfg_of("let x = fallible()?;\nafter(x);\n");
+        assert!(cfg.body_path_avoiding(cfg.entry, cfg.exit, &|n| mentions(n, "after")));
+        assert!(!cfg.body_path_avoiding(cfg.entry, cfg.exit, &|n| mentions(n, "fallible")));
+    }
+}

@@ -5,14 +5,26 @@
 //! `proc-macro2`-style stream.
 //!
 //! The build environment has no access to crates.io, so the workspace
-//! vendors this mini-parser instead. Scope: item-level structure only —
-//! function bodies stay flat [`TokenStream`]s and analyses (the
-//! `bddcf-xlint` passes) work on the token level via helpers like
-//! [`TokenStream::method_calls`]. Trait declarations, macros, and unusual
-//! items are preserved verbatim, not modeled; `const` generic braces in
-//! signatures outside `[]`/`()` groups are the one known parse blind spot.
+//! vendors this mini-parser instead. Scope: item-level structure plus the
+//! statement-level body model in [`body`] — function bodies are stored as
+//! flat [`TokenStream`]s and can be structured on demand with
+//! [`parse_block`] for the `bddcf-analyze` dataflow passes; token-level
+//! analyses keep using helpers like [`TokenStream::method_calls`]. Trait
+//! declarations, macros, and unusual items are preserved verbatim, not
+//! modeled; `const` generic braces in signatures outside `[]`/`()` groups
+//! are the one known parse blind spot.
 
 #![forbid(unsafe_code)]
+
+pub mod body;
+pub mod cfg;
+
+pub use cfg::{Cfg, CfgNode, CfgNodeKind, LoopCfg};
+
+pub use body::{
+    call_events, parse_block, ArgShape, Arm, Block, CallEvent, ExprStmt, IfStmt, Local, LoopKind,
+    LoopStmt, MatchStmt, Stmt,
+};
 
 use std::fmt;
 
@@ -69,11 +81,13 @@ pub struct Token {
 }
 
 impl Token {
-    fn is_punct(&self, c: char) -> bool {
+    /// True for a single-character punctuation token equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
     }
 
-    fn is_ident(&self, name: &str) -> bool {
+    /// True for an identifier token whose text equals `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
         self.kind == TokenKind::Ident && self.text == name
     }
 }
