@@ -16,6 +16,7 @@
 //! well-formed (if unreferenced) ROBDD node, reclaimable by
 //! [`gc`](crate::BddManager::gc).
 
+use crate::clock::Clock;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -131,6 +132,12 @@ pub struct Budget {
     /// seeded fault-injection harness; reproducible, unlike wall-clock or
     /// thread-based cancellation.
     pub cancel_at_step: Option<u64>,
+    /// The time source deadline checks consult. `None` means the monotonic
+    /// system clock ([`MonotonicClock`](crate::clock::MonotonicClock));
+    /// tests and the serving layer install a shared
+    /// [`FakeClock`](crate::clock::FakeClock) here so deadline expiry is
+    /// deterministic instead of a race against the scheduler.
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 impl Budget {
@@ -170,6 +177,22 @@ impl Budget {
         self
     }
 
+    /// Installs the time source consulted by deadline checks (the
+    /// monotonic system clock when unset).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// The current time according to this budget's clock (the monotonic
+    /// system clock when none was installed).
+    pub fn now(&self) -> Instant {
+        match &self.clock {
+            Some(clock) => clock.now(),
+            None => Instant::now(),
+        }
+    }
+
     /// Does this budget impose no limit at all?
     pub fn is_unlimited(&self) -> bool {
         self.node_limit.is_none()
@@ -206,6 +229,40 @@ mod tests {
         assert_eq!(b.step_limit, Some(7));
         assert!(!b.is_unlimited());
         assert!(Budget::default().is_unlimited());
+    }
+
+    #[test]
+    fn fake_clock_deadline_is_deterministic() {
+        use crate::clock::FakeClock;
+        use crate::{BddManager, Var};
+
+        let clock = FakeClock::new();
+        let mut mgr = BddManager::new(10);
+        mgr.set_budget(
+            Budget::default()
+                .with_time_budget(Duration::from_millis(100))
+                .with_clock(Arc::new(clock.clone())),
+        );
+        let a = mgr.var(Var(0));
+        let b = mgr.var(Var(1));
+        let ab = mgr.try_and(a, b).expect("deadline not reached");
+        // Expire the deadline without sleeping: the next charging
+        // operation must fail on its first cache-missing step.
+        clock.advance(Duration::from_millis(101));
+        let c = mgr.var(Var(2));
+        assert_eq!(mgr.try_and(ab, c), Err(Error::TimeBudget));
+    }
+
+    #[test]
+    fn real_clock_deadline_still_enforced() {
+        use crate::{BddManager, Var};
+
+        let mut mgr = BddManager::new(10);
+        // A deadline that has already passed when the budget is installed.
+        mgr.set_budget(Budget::default().with_time_budget(Duration::from_nanos(0)));
+        let a = mgr.var(Var(0));
+        let b = mgr.var(Var(1));
+        assert_eq!(mgr.try_and(a, b), Err(Error::TimeBudget));
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Injectable monotonic time sources for budget deadlines.
+//!
+//! [`Budget`](crate::Budget) time quotas used to read the wall clock
+//! directly, which made every deadline test a race against the scheduler.
+//! A [`Clock`] abstracts "what time is it" behind a trait: production code
+//! uses [`MonotonicClock`] (a thin wrapper over [`Instant::now`]), while
+//! tests and the serving layer's deterministic chaos harness install a
+//! [`FakeClock`] they advance by hand — a deadline then expires exactly
+//! when the test says it does, never earlier, never later.
+//!
+//! Clocks are shared (`Arc<dyn Clock>`), cheap to clone, and `Send + Sync`
+//! so one clock can govern every worker of a thread pool.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source consulted by budget deadline checks.
+///
+/// Implementations must be monotonic: successive `now()` calls never go
+/// backwards. [`Instant`] (rather than `SystemTime`) is the currency so a
+/// wall-clock adjustment mid-run can never fire or extend a deadline.
+pub trait Clock: fmt::Debug + Send + Sync {
+    /// The current monotonic time.
+    fn now(&self) -> Instant;
+}
+
+/// The production clock: [`Instant::now`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MonotonicClock;
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A deterministic, manually advanced clock for tests.
+///
+/// Clones share the same offset: advancing any handle advances every
+/// observer, which is how a test expires a deadline inside a running
+/// worker thread without sleeping.
+#[derive(Clone, Debug)]
+pub struct FakeClock {
+    base: Instant,
+    offset_nanos: Arc<AtomicU64>,
+}
+
+impl FakeClock {
+    /// A fresh clock frozen at an arbitrary base instant.
+    pub fn new() -> Self {
+        FakeClock {
+            base: Instant::now(),
+            offset_nanos: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Moves the clock forward by `d`. Saturates at `u64::MAX` nanoseconds
+    /// (~584 years), far beyond any meaningful deadline.
+    pub fn advance(&self, d: Duration) {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.offset_nanos
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_add(nanos))
+            })
+            .expect("invariant: fetch_update closure always returns Some");
+    }
+
+    /// Total time this clock has been advanced since construction.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.offset_nanos.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for FakeClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for FakeClock {
+    fn now(&self) -> Instant {
+        self.base + self.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_moves_forward() {
+        let c = MonotonicClock;
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_is_shared_and_deterministic() {
+        let c = FakeClock::new();
+        let d = c.clone();
+        let t0 = c.now();
+        assert_eq!(t0, d.now(), "clones agree while frozen");
+        c.advance(Duration::from_millis(250));
+        assert_eq!(d.now() - t0, Duration::from_millis(250));
+        d.advance(Duration::from_secs(1));
+        assert_eq!(c.elapsed(), Duration::from_millis(1250));
+    }
+}

@@ -48,6 +48,7 @@
 
 pub mod budget;
 pub mod bv;
+pub mod clock;
 pub mod dot;
 pub mod exact;
 pub mod hasher;
@@ -58,6 +59,7 @@ pub mod snapshot;
 pub mod width;
 
 pub use budget::{Budget, CancelToken, Error};
+pub use clock::{Clock, FakeClock, MonotonicClock};
 pub use exact::ExactWidth;
 pub use manager::{BddManager, BinOp, IntegrityViolation, NodeId, OrderError, Var, FALSE, TRUE};
 pub use reorder::{ReorderCost, SiftConstraints};

@@ -183,6 +183,13 @@ pub struct BddManager {
     level_of_var: Vec<u32>,
     budget: Budget,
     steps: u64,
+    /// Forces [`poll_interrupts`](Self::poll_interrupts) on the next charged
+    /// step, regardless of the 1024-step cadence. Armed whenever a budget is
+    /// (re)installed, so an already-expired deadline or fired cancel token
+    /// surfaces on the *first* cache-missing step of the next operation —
+    /// deterministic for deadline tests, fail-fast for queue-expired
+    /// service requests.
+    poll_armed: bool,
     poisoned: bool,
     /// Long-lived roots registered via [`register_root`](Self::register_root):
     /// [`gc`](Self::gc) keeps them alive and remaps them in place, so ids
@@ -228,6 +235,7 @@ impl BddManager {
             level_of_var: (0..num_vars as u32).collect(),
             budget: Budget::default(),
             steps: 0,
+            poll_armed: false,
             poisoned: false,
             registered_roots: Vec::new(),
             #[cfg(feature = "check")]
@@ -363,15 +371,18 @@ impl BddManager {
     /// The budget only constrains the fallible `try_*` operations; the
     /// infallible operations suspend it for their duration and keep their
     /// historical never-fails behavior. A `time_budget` allowance is
-    /// converted to an absolute deadline at install time.
+    /// converted to an absolute deadline at install time, read from the
+    /// budget's [`Clock`](crate::clock::Clock) (the monotonic system clock
+    /// unless a test or the serving layer injected one).
     pub fn set_budget(&mut self, mut budget: Budget) {
         if budget.deadline.is_none() {
             if let Some(allowance) = budget.time_budget {
-                budget.deadline = Some(std::time::Instant::now() + allowance);
+                budget.deadline = Some(budget.now() + allowance);
             }
         }
         self.budget = budget;
         self.steps = 0;
+        self.poll_armed = true;
     }
 
     /// The currently installed budget (unlimited by default).
@@ -393,6 +404,7 @@ impl BddManager {
     /// [`set_budget`](Self::set_budget) to install a *fresh* budget instead.
     pub fn resume_budget(&mut self, budget: Budget) {
         self.budget = budget;
+        self.poll_armed = true;
     }
 
     /// Operation steps charged since the budget was last installed (or since
@@ -423,8 +435,12 @@ impl BddManager {
     /// Charges one operation step against the budget. Called on every
     /// recursion of the `try_*` operations (after their terminal
     /// short-cuts). Cheap checks (step limit, deterministic cancel hook) run
-    /// every step; the wall clock and the cancellation flag are polled every
-    /// 1024 steps to keep the hot path tight.
+    /// every step; the clock and the cancellation flag are polled every 1024
+    /// steps to keep the hot path tight, plus once on the first charged step
+    /// after any budget (re)install — so an operation starting past its
+    /// deadline fails on its first cache-missing step, which makes
+    /// queue-expired service requests fail fast and deadline tests
+    /// deterministic.
     #[inline]
     fn charge(&mut self) -> Result<(), Error> {
         if self.poisoned {
@@ -444,14 +460,16 @@ impl BddManager {
                 return Err(Error::Cancelled);
             }
         }
-        if self.steps & 0x3FF == 0 {
+        if self.poll_armed || self.steps & 0x3FF == 0 {
+            self.poll_armed = false;
             self.poll_interrupts()?;
         }
         Ok(())
     }
 
     /// The slow-path half of [`charge`](Self::charge): cancellation flag and
-    /// wall-clock deadline.
+    /// monotonic-clock deadline (via the budget's injectable
+    /// [`Clock`](crate::clock::Clock)).
     #[cold]
     fn poll_interrupts(&self) -> Result<(), Error> {
         if let Some(token) = &self.budget.cancel {
@@ -460,7 +478,7 @@ impl BddManager {
             }
         }
         if let Some(deadline) = self.budget.deadline {
-            if std::time::Instant::now() >= deadline {
+            if self.budget.now() >= deadline {
                 return Err(Error::TimeBudget);
             }
         }
@@ -480,6 +498,11 @@ impl BddManager {
         let saved = std::mem::take(&mut self.budget);
         let result = op(self);
         self.budget = saved;
+        // Re-arm the interrupt poll: the next charged step of a budgeted
+        // operation re-checks deadline and cancellation, so an expiry that
+        // happened while the budget was suspended is not missed for up to
+        // 1024 steps.
+        self.poll_armed = true;
         match result {
             Ok(value) => value,
             Err(e) => panic!("invariant: unbudgeted BDD operations cannot fail (got: {e})"),

@@ -36,6 +36,7 @@
 
 use std::fmt;
 
+pub mod audit;
 pub mod cascade;
 pub mod cf;
 pub mod crashtest;
@@ -47,6 +48,7 @@ pub mod pipeline;
 pub mod quarantine;
 pub mod refine;
 
+pub use audit::audit_artifact_text;
 pub use cascade::{
     check_cascade, check_cascade_against_oracle, check_multi_cascade_against_oracle,
 };

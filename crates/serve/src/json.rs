@@ -1,0 +1,439 @@
+//! A minimal, deterministic JSON layer for the serving protocol.
+//!
+//! The workspace builds offline with no serialization dependencies, and the
+//! daemon's crash-recovery guarantee ("a resumed response is byte-identical
+//! to an uninterrupted one") needs *deterministic* rendering anyway, so the
+//! protocol uses its own tiny JSON subset:
+//!
+//! * values are `null`, booleans, **integers** (no floats, no exponents —
+//!   the protocol never needs them and rejecting them keeps round trips
+//!   exact), strings, arrays, and objects;
+//! * objects preserve insertion order and render exactly as constructed,
+//!   so the same [`Json`] value always renders to the same bytes;
+//! * the parser bounds nesting depth, making malformed-input handling a
+//!   typed error instead of a stack overflow.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts. The protocol uses at most
+/// three levels; 32 leaves generous headroom while keeping hostile input
+/// from recursing unboundedly.
+const MAX_DEPTH: usize = 32;
+
+/// A JSON value of the protocol subset (integers only, ordered objects).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (the subset has no floats).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; fields keep insertion order and may not repeat.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Why a byte sequence failed to parse as protocol JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Object field lookup (first match; parsed objects have no repeats).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as an unsigned value, if non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|n| u64::try_from(n).ok())
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders to the canonical byte representation: no whitespace, fields
+    /// in construction order, minimal escapes. The same value always
+    /// renders to the same bytes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(n) => {
+                out.push_str(&n.to_string());
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses protocol JSON from bytes. Rejects floats, duplicate object keys,
+/// trailing garbage, and nesting deeper than [`MAX_DEPTH`].
+pub fn parse(bytes: &[u8]) -> Result<Json, JsonError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| JsonError {
+        offset: e.valid_up_to(),
+        message: "request is not valid UTF-8".into(),
+    })?;
+    let mut p = Parser {
+        text: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.text.len() {
+        return Err(p.err("trailing bytes after the JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.text.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.text[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.integer(),
+            Some(other) => Err(self.err(format!("unexpected byte {:?}", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn integer(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("floating-point numbers are not part of the protocol"));
+        }
+        let digits = std::str::from_utf8(&self.text[start..self.pos])
+            .expect("invariant: digit span is ASCII");
+        digits
+            .parse::<i64>()
+            .map(Json::Int)
+            .map_err(|_| self.err(format!("integer {digits:?} out of i64 range")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .text
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates are rejected rather than paired:
+                            // the emitter never produces them.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(_) => {
+                    // Consume one full UTF-8 scalar (input was validated).
+                    let rest = std::str::from_utf8(&self.text[self.pos..])
+                        .expect("invariant: input validated as UTF-8");
+                    let c = rest
+                        .chars()
+                        .next()
+                        .expect("invariant: peek saw at least one byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key {key:?}")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_are_byte_identical() {
+        let value = Json::Obj(vec![
+            ("id".into(), Json::Str("req-1".into())),
+            ("n".into(), Json::Int(-42)),
+            (
+                "arr".into(),
+                Json::Arr(vec![
+                    Json::Null,
+                    Json::Bool(true),
+                    Json::Str("a\"b\n".into()),
+                ]),
+            ),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let text = value.render();
+        let reparsed = parse(text.as_bytes()).expect("round trip");
+        assert_eq!(reparsed, value);
+        assert_eq!(reparsed.render(), text, "render is canonical");
+    }
+
+    #[test]
+    fn rejects_floats_duplicates_and_trailing_garbage() {
+        assert!(parse(b"1.5").is_err());
+        assert!(parse(b"1e3").is_err());
+        assert!(parse(b"{\"a\":1,\"a\":2}").is_err());
+        assert!(parse(b"{} x").is_err());
+        assert!(parse(b"").is_err());
+        assert!(parse(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn bounds_nesting_depth() {
+        let mut hostile = String::new();
+        for _ in 0..200 {
+            hostile.push('[');
+        }
+        let err = parse(hostile.as_bytes()).expect_err("deep nesting rejected");
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn accessors_see_fields() {
+        let v = parse(b"{\"s\":\"x\",\"i\":7,\"b\":false,\"a\":[1]}").expect("parse");
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("i").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn control_chars_escape_and_reparse() {
+        let value = Json::Str("\u{1}\u{1f}".into());
+        let text = value.render();
+        assert_eq!(text, "\"\\u0001\\u001f\"");
+        assert_eq!(parse(text.as_bytes()).expect("reparse"), value);
+    }
+}

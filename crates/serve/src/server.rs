@@ -1,0 +1,614 @@
+//! The TCP daemon: accept loop, durable request spool, crash recovery,
+//! and the two graceful-shutdown modes.
+//!
+//! # Durability model
+//!
+//! When a spool directory is configured, each admitted spec owns one entry
+//! `req-<hash16>/` inside it:
+//!
+//! * `request.json` — the request's wire payload, written atomically
+//!   (tmp + fsync + rename) right after admission. Its existence is the
+//!   daemon's *acceptance record*.
+//! * `ckpt/` — `BDDCFCKP` checkpoints, written by the reduction when the
+//!   request asked for checkpointing (and always for recovered jobs).
+//! * `response.json` — the response's wire payload, written atomically on
+//!   completion. Its existence marks the entry *done*.
+//!
+//! A restarted daemon rescans the spool before accepting connections:
+//! every entry with an acceptance record but no completion record is
+//! resubmitted (resuming from its latest checkpoint when one exists), so a
+//! `SIGKILL` loses no accepted request — the chaos harness asserts exactly
+//! this. A later request for an already-completed spec replays the spooled
+//! response, but only after it passes the same artifact audit a cache hit
+//! must pass.
+//!
+//! # Shutdown
+//!
+//! `unsafe` is forbidden workspace-wide, so the daemon does not hook
+//! signals; shutdown is a protocol operation. `drain` finishes all
+//! admitted work, `checkpoint` cancels in-flight jobs at their next
+//! resumable boundary and leaves the rest spooled for the next start.
+
+use crate::cache::{CacheStats, ResponseCache};
+use crate::job::build_cf;
+use crate::pool::{DoneHook, Job, PoolConfig, PoolCounters, WorkerPool};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, RequestBody, Response, ShutdownMode,
+    Status, SynthSpec, DEFAULT_MAX_FRAME,
+};
+use crate::{json, json::Json};
+use bddcf_bdd::{Clock, MonotonicClock};
+use bddcf_check::audit_artifact_text;
+use std::collections::HashSet;
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded queue depth.
+    pub queue_capacity: usize,
+    /// Global in-flight node budget.
+    pub max_inflight_nodes: usize,
+    /// Default per-job node shard.
+    pub default_node_limit: usize,
+    /// Frame payload cap.
+    pub max_frame_len: usize,
+    /// Validated response cache capacity (0 disables).
+    pub cache_capacity: usize,
+    /// Durable spool directory (None disables spooling, checkpointing, and
+    /// crash recovery).
+    pub spool_dir: Option<PathBuf>,
+    /// Circuit-breaker consecutive-failure threshold.
+    pub breaker_threshold: u32,
+    /// Circuit-breaker open-state cooldown (rejections before a trial).
+    pub breaker_cooldown: u32,
+    /// Time source (injectable for deterministic deadline tests).
+    pub clock: Arc<dyn Clock>,
+    /// Test hook: hold picked-up jobs while true (see [`PoolConfig::hold`]).
+    pub hold: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 16,
+            max_inflight_nodes: 1 << 22,
+            default_node_limit: 1 << 20,
+            max_frame_len: DEFAULT_MAX_FRAME,
+            cache_capacity: 64,
+            spool_dir: None,
+            breaker_threshold: 3,
+            breaker_cooldown: 2,
+            clock: Arc::new(MonotonicClock),
+            hold: None,
+        }
+    }
+}
+
+/// Final numbers reported by [`Server::wait`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Pool counters at exit.
+    pub pool: PoolCounters,
+    /// Cache counters at exit.
+    pub cache: CacheStats,
+    /// Spool entries resubmitted at startup (crash recovery).
+    pub recovered: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+/// State shared by connection threads and the pool's completion hook.
+struct Store {
+    cache: Mutex<ResponseCache>,
+    /// Spec hashes whose spool entry is owned by an in-flight job; a
+    /// second concurrent request for the same spec runs spool-less (the
+    /// artifacts are deterministic, so both replies are byte-identical).
+    pending: Mutex<HashSet<u64>>,
+    spool: Option<PathBuf>,
+}
+
+struct Inner {
+    store: Arc<Store>,
+    pool: WorkerPool,
+    max_frame_len: usize,
+    clock: Arc<dyn Clock>,
+    stop: AtomicBool,
+    shutdown_mode: Mutex<Option<ShutdownMode>>,
+    connections: AtomicU64,
+}
+
+/// A running daemon. Dropping it without [`Server::wait`] leaves the
+/// accept thread running; long-lived embedders should always `wait`.
+pub struct Server {
+    inner: Arc<Inner>,
+    accept_handle: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+    recovered: u64,
+}
+
+impl Server {
+    /// Binds, replays the spool, and starts accepting.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        if let Some(dir) = &config.spool_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let store = Arc::new(Store {
+            cache: Mutex::new(ResponseCache::new(config.cache_capacity)),
+            pending: Mutex::new(HashSet::new()),
+            spool: config.spool_dir.clone(),
+        });
+        let done: DoneHook = {
+            let store = Arc::clone(&store);
+            Arc::new(move |job: &Job, response: &Response| {
+                if response.status == Status::Ok && !response.cached {
+                    if let Some(result) = &response.result {
+                        lock(&store.cache).insert(&job.spec, result, false);
+                    }
+                }
+                if let Some(entry) = &job.spool_entry {
+                    // Any terminal outcome is a completion record; failed
+                    // specs are re-executed for fresh requests but are not
+                    // "lost" for recovery accounting.
+                    let _ = write_atomic(entry, "response.json", &response.to_bytes());
+                    lock(&store.pending).remove(&job.spec.hash());
+                }
+            })
+        };
+        let pool = WorkerPool::start(
+            PoolConfig {
+                workers: config.workers,
+                queue_capacity: config.queue_capacity,
+                max_inflight_nodes: config.max_inflight_nodes,
+                default_node_limit: config.default_node_limit,
+                breaker_threshold: config.breaker_threshold,
+                breaker_cooldown: config.breaker_cooldown,
+                clock: Arc::clone(&config.clock),
+                hold: config.hold.clone(),
+            },
+            done,
+        );
+        let inner = Arc::new(Inner {
+            store,
+            pool,
+            max_frame_len: config.max_frame_len,
+            clock: Arc::clone(&config.clock),
+            stop: AtomicBool::new(false),
+            shutdown_mode: Mutex::new(None),
+            connections: AtomicU64::new(0),
+        });
+
+        let recovered = match &config.spool_dir {
+            Some(dir) => recover_spool(&inner, dir),
+            None => 0,
+        };
+
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let accept_inner = Arc::clone(&inner);
+        let accept_handle = std::thread::Builder::new()
+            .name("bddcf-accept".into())
+            .spawn(move || accept_loop(&accept_inner, &listener))?;
+        Ok(Server {
+            inner,
+            accept_handle: Some(accept_handle),
+            local_addr,
+            recovered,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until a protocol shutdown completes, then returns the final
+    /// stats. (With no shutdown request this serves forever.)
+    pub fn wait(mut self) -> ServerStats {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // The shutdown connection already ran begin_drain/begin_halt; a
+        // stop without a recorded mode (not reachable via protocol) drains.
+        if lock(&self.inner.shutdown_mode).is_none() {
+            self.inner.pool.begin_drain();
+        }
+        let pool = self.inner.pool.join();
+        ServerStats {
+            pool,
+            cache: lock(&self.inner.store.cache).stats(),
+            recovered: self.recovered,
+            connections: self.inner.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Atomically writes `dir/name` via tmp + fsync + rename, so a `SIGKILL`
+/// leaves either the old record or the new one, never a torn file.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(".tmp-{name}"));
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(name))
+}
+
+/// Resubmits every accepted-but-incomplete spool entry. Returns the count.
+fn recover_spool(inner: &Arc<Inner>, dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut recovered = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        if !name.to_string_lossy().starts_with("req-") || !path.is_dir() {
+            continue;
+        }
+        if path.join("response.json").exists() {
+            continue; // completed before the crash
+        }
+        let Ok(bytes) = std::fs::read(path.join("request.json")) else {
+            continue; // killed before the acceptance record landed
+        };
+        let Ok(request) = Request::from_bytes(&bytes) else {
+            continue;
+        };
+        let RequestBody::Synth { spec, .. } = request.body else {
+            continue;
+        };
+        let hash = spec.hash();
+        lock(&inner.store.pending).insert(hash);
+        let mut attempt = 0u32;
+        loop {
+            let job = Job {
+                id: format!("recovered-{:016x}", hash),
+                spec: spec.clone(),
+                // The original relative deadline is meaningless after a
+                // restart; recovered jobs run to completion.
+                deadline: None,
+                ckpt_dir: Some(path.join("ckpt")),
+                spool_entry: Some(path.clone()),
+                resume: true,
+                reply: None,
+            };
+            match inner.pool.submit(job) {
+                Ok(()) => {
+                    recovered += 1;
+                    break;
+                }
+                Err(e) if e.code().is_retryable() && attempt < 10_000 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => {
+                    // Breaker open (a spec that keeps killing workers):
+                    // leave the entry for the next restart.
+                    lock(&inner.store.pending).remove(&hash);
+                    break;
+                }
+            }
+        }
+    }
+    recovered
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    loop {
+        if inner.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_inner = Arc::clone(inner);
+                // Connection threads are detached: they exit at client EOF
+                // and hold only an Arc, so a post-shutdown straggler cannot
+                // keep the pool alive.
+                let _ = std::thread::Builder::new()
+                    .name("bddcf-conn".into())
+                    .spawn(move || conn_loop(&conn_inner, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn conn_loop(inner: &Arc<Inner>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader, inner.max_frame_len) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF at a frame boundary
+            Err(FrameError::Oversized { len, max }) => {
+                // The unread payload desyncs the stream: reply, then close.
+                let response = Response::failure(
+                    "",
+                    ErrorCode::Oversized,
+                    format!("frame of {len} bytes exceeds the {max}-byte cap"),
+                );
+                let _ = write_frame(&mut writer, &response.to_bytes());
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let reply = handle_frame(inner, &payload);
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+    }
+}
+
+/// Dispatches one frame and returns the reply payload.
+fn handle_frame(inner: &Arc<Inner>, payload: &[u8]) -> Vec<u8> {
+    let request = match Request::from_bytes(payload) {
+        Ok(request) => request,
+        Err(e) => {
+            return Response::failure(e.id.unwrap_or_default(), ErrorCode::Malformed, e.message)
+                .to_bytes()
+        }
+    };
+    match request.body {
+        RequestBody::Synth {
+            spec,
+            deadline_ms,
+            checkpoint,
+        } => handle_synth(inner, request.id, spec, deadline_ms, checkpoint).to_bytes(),
+        RequestBody::Stats => stats_payload(inner, &request.id),
+        RequestBody::Shutdown(mode) => handle_shutdown(inner, &request.id, mode),
+    }
+}
+
+fn handle_synth(
+    inner: &Arc<Inner>,
+    id: String,
+    spec: SynthSpec,
+    deadline_ms: Option<u64>,
+    checkpoint: bool,
+) -> Response {
+    let hash = spec.hash();
+    let hash_hex = spec.hash_hex();
+
+    // 1. Validated cache.
+    if let Some(result) = lock(&inner.store.cache).lookup(&spec) {
+        return Response {
+            id,
+            status: Status::Ok,
+            spec_hash: Some(hash_hex),
+            error: None,
+            result: Some(result),
+            cached: true,
+            resumed: false,
+        };
+    }
+
+    // 2. Spool replay (a prior daemon life already answered this spec).
+    let entry = inner
+        .store
+        .spool
+        .as_ref()
+        .map(|dir| dir.join(format!("req-{hash_hex}")));
+    if let Some(entry_dir) = &entry {
+        if let Some(mut replay) = replay_spooled(&spec, entry_dir) {
+            replay.id = id;
+            return replay;
+        }
+    }
+
+    // 3. Claim spool ownership (losers run spool-less; same bytes).
+    let owner = match &entry {
+        Some(_) => lock(&inner.store.pending).insert(hash),
+        None => false,
+    };
+    let entry_existed = owner
+        && entry
+            .as_deref()
+            .is_some_and(|dir| dir.join("request.json").exists());
+    let (spool_entry, ckpt_dir) = if owner {
+        let dir = entry.clone();
+        let ckpt = if checkpoint || entry_existed {
+            dir.as_ref().map(|d| d.join("ckpt"))
+        } else {
+            None
+        };
+        (dir, ckpt)
+    } else {
+        (None, None)
+    };
+
+    let deadline = deadline_ms.map(|ms| inner.clock.now() + Duration::from_millis(ms));
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        id: id.clone(),
+        spec: spec.clone(),
+        deadline,
+        ckpt_dir,
+        spool_entry: spool_entry.clone(),
+        resume: entry_existed,
+        reply: Some(reply_tx),
+    };
+    match inner.pool.submit(job) {
+        Err(e) => {
+            if owner {
+                lock(&inner.store.pending).remove(&hash);
+            }
+            let mut response = Response::failure(id, e.code(), e.message());
+            response.spec_hash = Some(hash_hex);
+            response
+        }
+        Ok(()) => {
+            if let Some(entry_dir) = &spool_entry {
+                let record = Request {
+                    id: id.clone(),
+                    body: RequestBody::Synth {
+                        spec: spec.clone(),
+                        deadline_ms: None,
+                        checkpoint,
+                    },
+                };
+                let _ = write_atomic(entry_dir, "request.json", &record.to_bytes());
+            }
+            match reply_rx.recv() {
+                Ok(response) => response,
+                // The sender was dropped without a reply: the job parked
+                // during a checkpoint-mode shutdown. Its spool entry
+                // survives; the next daemon finishes it.
+                Err(_) => {
+                    let mut response = Response::failure(
+                        id,
+                        ErrorCode::Draining,
+                        "job parked at a checkpoint during shutdown; retry after restart",
+                    );
+                    response.spec_hash = Some(hash_hex);
+                    response
+                }
+            }
+        }
+    }
+}
+
+/// Replays a spooled completed response for `spec`, but only if it passes
+/// the same artifact audit a cache hit must pass. A rotten record is
+/// deleted so the spec re-executes.
+fn replay_spooled(spec: &SynthSpec, entry_dir: &Path) -> Option<Response> {
+    let path = entry_dir.join("response.json");
+    let bytes = std::fs::read(&path).ok()?;
+    let Ok(mut response) = Response::from_bytes(&bytes) else {
+        let _ = std::fs::remove_file(&path);
+        return None;
+    };
+    if response.status != Status::Ok {
+        return None; // errors and degradations are not replayable verdicts
+    }
+    let ok = response.result.as_ref().is_some_and(|result| {
+        build_cf(spec).is_ok_and(|mut spec_cf| {
+            audit_artifact_text(
+                &result.cascade,
+                &result.verilog,
+                &format!("spec_{}", spec.hash_hex()),
+                &mut spec_cf,
+                &format!("spool:{}", spec.hash_hex()),
+            )
+            .is_clean()
+        })
+    });
+    if !ok {
+        let _ = std::fs::remove_file(&path);
+        return None;
+    }
+    response.resumed = true;
+    response.cached = false;
+    Some(response)
+}
+
+fn stats_payload(inner: &Arc<Inner>, id: &str) -> Vec<u8> {
+    let counters = inner.pool.counters();
+    let cache = lock(&inner.store.cache).stats();
+    let n = |v: u64| Json::Int(v.min(i64::MAX as u64) as i64);
+    Json::Obj(vec![
+        ("id".into(), Json::Str(id.to_owned())),
+        ("status".into(), Json::Str("ok".into())),
+        (
+            "stats".into(),
+            Json::Obj(vec![
+                ("queue".into(), Json::Int(inner.pool.queue_len() as i64)),
+                ("inflight".into(), Json::Int(inner.pool.inflight() as i64)),
+                (
+                    "committed_nodes".into(),
+                    Json::Int(inner.pool.committed_nodes() as i64),
+                ),
+                ("submitted".into(), n(counters.submitted)),
+                ("completed".into(), n(counters.completed)),
+                ("degraded".into(), n(counters.degraded)),
+                ("failed".into(), n(counters.failed)),
+                ("panicked".into(), n(counters.panicked)),
+                ("shed_deadline".into(), n(counters.shed_deadline)),
+                ("parked".into(), n(counters.parked)),
+                (
+                    "rejected_queue_full".into(),
+                    n(counters.rejected_queue_full),
+                ),
+                (
+                    "rejected_overloaded".into(),
+                    n(counters.rejected_overloaded),
+                ),
+                ("rejected_draining".into(), n(counters.rejected_draining)),
+                ("rejected_breaker".into(), n(counters.rejected_breaker)),
+                ("cache_hits".into(), n(cache.hits)),
+                ("cache_misses".into(), n(cache.misses)),
+                ("cache_invalidated".into(), n(cache.invalidated)),
+            ]),
+        ),
+    ])
+    .render()
+    .into_bytes()
+}
+
+fn handle_shutdown(inner: &Arc<Inner>, id: &str, mode: ShutdownMode) -> Vec<u8> {
+    let first = {
+        let mut guard = lock(&inner.shutdown_mode);
+        if guard.is_none() {
+            *guard = Some(mode);
+            true
+        } else {
+            false
+        }
+    };
+    if first {
+        match mode {
+            // begin_drain blocks until the pool is idle, so the ack below
+            // certifies that every admitted job has a durable outcome.
+            ShutdownMode::Drain => inner.pool.begin_drain(),
+            ShutdownMode::Checkpoint => inner.pool.begin_halt(),
+        }
+        inner.stop.store(true, Ordering::Relaxed);
+    }
+    let mode_str = match mode {
+        ShutdownMode::Drain => "drain",
+        ShutdownMode::Checkpoint => "checkpoint",
+    };
+    Json::Obj(vec![
+        ("id".into(), Json::Str(id.to_owned())),
+        ("status".into(), Json::Str("ok".into())),
+        ("shutdown".into(), Json::Str(mode_str.into())),
+    ])
+    .render()
+    .into_bytes()
+}
+
+// Re-exported for the loadtest client, which parses ad-hoc stats frames.
+pub(crate) fn parse_control_status(payload: &[u8]) -> Option<String> {
+    let value = json::parse(payload).ok()?;
+    value
+        .get("status")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+}

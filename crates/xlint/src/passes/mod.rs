@@ -16,11 +16,15 @@ use crate::{is_governed_fn_name, is_test_only, GOVERNED_FILES};
 
 /// Modules the ROADMAP names for sharding/parallelisation (the XL105
 /// concurrency-readiness scope): the manager's hot paths, the per-level
-/// parallel reduction candidate, and the benchmark batch executor.
+/// parallel reduction candidate, the benchmark batch executor, and the
+/// serve daemon's worker pool and connection layer (already threaded —
+/// these must stay on `Sync` primitives only).
 pub(crate) const SHARDING_FILES: &[&str] = &[
     "crates/bdd/src/manager.rs",
     "crates/core/src/alg33.rs",
     "crates/bench/src/pipeline.rs",
+    "crates/serve/src/pool.rs",
+    "crates/serve/src/server.rs",
 ];
 
 /// True when `func` in file `rel` is on a governed path (the XL103/XL104

@@ -45,6 +45,21 @@
 //!     resume from the latest checkpoint, and require the recovered cascade
 //!     to be byte-identical to an uninterrupted run; exits nonzero on any
 //!     divergence, refinement violation, or quarantined benchmark.
+//!
+//! bddcf serve [--addr A] [--workers N] [--queue-cap N]
+//!             [--max-inflight-nodes N] [--spool D] [--cache-cap N]
+//!     Run the fault-tolerant synthesis daemon (length-prefixed JSON over
+//!     TCP; see bddcf_serve::protocol). Prints `listening on ADDR` once
+//!     bound and serves until a protocol drain/checkpoint shutdown.
+//!
+//! bddcf loadtest [--requests N] [--clients N] [--seed N] [--dir D]
+//!                [--no-kill] [--in-process]
+//!     Chaos/load harness: drives a spawned `bddcf serve` child with a
+//!     seeded mix of valid, duplicate, malformed, oversized, deadline-zero,
+//!     and deliberately panicking requests, SIGKILLs it mid-batch, restarts
+//!     it on the same spool, and exits nonzero unless no accepted request
+//!     was lost and every artifact is byte-identical and passes the audit
+//!     stack.
 //! ```
 //!
 //! `check`, `inject`, and `crashtest` run each benchmark inside a panic
@@ -83,22 +98,46 @@ enum Outcome {
     Findings,
 }
 
+/// Why a subcommand failed. The distinction drives the exit code: a run
+/// that its resource budget (or deadline) cut short is a *governed*
+/// failure (exit 3) a caller can respond to by raising the budget, unlike
+/// usage or internal errors (exit 2).
+enum CliError {
+    /// Bad invocation or an internal failure (exit 2).
+    Usage(String),
+    /// The run's budget or deadline was exhausted before completion, or
+    /// `--require-complete` rejected a degraded result (exit 3).
+    Budget(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Usage(message)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(Outcome::Clean) => ExitCode::SUCCESS,
         Ok(Outcome::Findings) => ExitCode::FAILURE,
-        Err(message) => {
+        Err(CliError::Usage(message)) => {
             eprintln!("error: {message}");
             eprintln!("run `bddcf help` for usage");
             ExitCode::from(2)
         }
+        Err(CliError::Budget(message)) => {
+            eprintln!("budget exhausted: {message}");
+            ExitCode::from(3)
+        }
     }
 }
 
-fn run(args: &[String]) -> Result<Outcome, String> {
+fn run(args: &[String]) -> Result<Outcome, CliError> {
     let Some(command) = args.first() else {
-        return Err("missing subcommand (stats | reduce | cascade | help)".into());
+        return Err("missing subcommand (stats | reduce | cascade | help)"
+            .to_string()
+            .into());
     };
     let clean = |()| Outcome::Clean;
     match command.as_str() {
@@ -106,16 +145,18 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             print!("{}", USAGE);
             Ok(Outcome::Clean)
         }
-        "stats" => stats(&args[1..]).map(clean),
+        "stats" => stats(&args[1..]).map(clean).map_err(Into::into),
         "reduce" => reduce(&args[1..]).map(clean),
         "cascade" => cascade(&args[1..]).map(clean),
-        "sim" => sim(&args[1..]).map(clean),
-        "check" => check(&args[1..]),
-        "lint" => lint(&args[1..]),
-        "inject" => inject(&args[1..]),
+        "sim" => sim(&args[1..]).map(clean).map_err(Into::into),
+        "check" => check(&args[1..]).map_err(Into::into),
+        "lint" => lint(&args[1..]).map_err(Into::into),
+        "inject" => inject(&args[1..]).map_err(Into::into),
         "resume" => resume(&args[1..]).map(clean),
-        "crashtest" => crashtest(&args[1..]),
-        other => Err(format!("unknown subcommand {other:?}")),
+        "crashtest" => crashtest(&args[1..]).map_err(Into::into),
+        "serve" => serve(&args[1..]).map(clean).map_err(Into::into),
+        "loadtest" => loadtest(&args[1..]).map_err(Into::into),
+        other => Err(format!("unknown subcommand {other:?}").into()),
     }
 }
 
@@ -137,13 +178,28 @@ USAGE:
                [--save out.cas] [--verilog out.v]
   bddcf crashtest [label-substring...] [--suite small|table4] [--seed N]
                   [--kill-points N] [--max-iter N] [--dir D] [--panic-probe]
+  bddcf serve [--addr A] [--workers N] [--queue-cap N]
+              [--max-inflight-nodes N] [--spool D] [--cache-cap N]
+  bddcf loadtest [--requests N] [--clients N] [--seed N] [--dir D]
+                 [--no-kill] [--in-process]
 
 RESOURCE GOVERNOR (stats | reduce | cascade):
   --node-limit N       cap the BDD arena at N nodes
   --step-limit N       cap charged operation steps at N
   --time-budget SECS   wall-clock allowance (fractional seconds ok)
+  --require-complete   (reduce | cascade) treat any budget downgrade as a
+                       failure: exit 3 instead of printing a degraded result
   Reductions degrade gracefully under a budget (downgrades reported on
-  stderr, result stays valid); hard exhaustion exits nonzero, no panic.
+  stderr, result stays valid); hard exhaustion exits 3, no panic.
+
+SERVING (serve | loadtest):
+  serve binds a TCP daemon speaking u32-length-prefixed JSON frames and
+  prints `listening on ADDR`; shut it down over the protocol with a
+  `shutdown` request (`drain` finishes the queue, `checkpoint` parks
+  in-flight jobs for a byte-identical resume on restart). loadtest spawns
+  `bddcf serve` as a child on a shared spool, fires a seeded request mix,
+  SIGKILLs and restarts the daemon mid-batch, and audits that no accepted
+  request was lost.
 
 CRASH SAFETY:
   reduce --method fixpoint --checkpoint-dir D
@@ -156,7 +212,8 @@ CRASH SAFETY:
       findings exit path (exit 1)
 
 EXIT CODES:
-  0  clean   1  findings reported   2  usage or internal error
+  0  clean                1  findings reported
+  2  usage or internal    3  budget/deadline exhausted before completion
 ";
 
 struct Flags {
@@ -181,6 +238,17 @@ struct Flags {
     dir: Option<String>,
     panic_probe: bool,
     finding_probe: bool,
+    require_complete: bool,
+    addr: String,
+    workers: usize,
+    queue_cap: usize,
+    max_inflight_nodes: Option<usize>,
+    spool: Option<String>,
+    cache_cap: usize,
+    requests: usize,
+    clients: usize,
+    no_kill: bool,
+    in_process: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -206,6 +274,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         dir: None,
         panic_probe: false,
         finding_probe: false,
+        require_complete: false,
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 16,
+        max_inflight_nodes: None,
+        spool: None,
+        cache_cap: 64,
+        requests: 200,
+        clients: 4,
+        no_kill: false,
+        in_process: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -287,6 +366,43 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--dir" => flags.dir = Some(grab("--dir")?),
             "--panic-probe" => flags.panic_probe = true,
             "--finding-probe" => flags.finding_probe = true,
+            "--require-complete" => flags.require_complete = true,
+            "--addr" => flags.addr = grab("--addr")?,
+            "--workers" => {
+                flags.workers = grab("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue-cap" => {
+                flags.queue_cap = grab("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--max-inflight-nodes" => {
+                flags.max_inflight_nodes = Some(
+                    grab("--max-inflight-nodes")?
+                        .parse()
+                        .map_err(|e| format!("--max-inflight-nodes: {e}"))?,
+                )
+            }
+            "--spool" => flags.spool = Some(grab("--spool")?),
+            "--cache-cap" => {
+                flags.cache_cap = grab("--cache-cap")?
+                    .parse()
+                    .map_err(|e| format!("--cache-cap: {e}"))?
+            }
+            "--requests" => {
+                flags.requests = grab("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--clients" => {
+                flags.clients = grab("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--no-kill" => flags.no_kill = true,
+            "--in-process" => flags.in_process = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => flags.positional.push(other.to_string()),
         }
@@ -427,13 +543,15 @@ fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn reduce(args: &[String]) -> Result<(), String> {
+fn reduce(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
     let [path] = flags.positional.as_slice() else {
-        return Err("reduce takes exactly one PLA file".into());
+        return Err("reduce takes exactly one PLA file".to_string().into());
     };
     if flags.checkpoint_dir.is_some() && flags.method != "fixpoint" {
-        return Err("--checkpoint-dir requires --method fixpoint".into());
+        return Err("--checkpoint-dir requires --method fixpoint"
+            .to_string()
+            .into());
     }
     let mut cf = load_cf(path, flags.sift)?;
     let before = (cf.max_width(), cf.node_count());
@@ -469,10 +587,17 @@ fn reduce(args: &[String]) -> Result<(), String> {
                 cf.reduce_to_fixpoint_governed(&Alg33Options::default(), 4, &mut degradations);
             }
         }
-        other => return Err(format!("unknown --method {other}")),
+        other => return Err(format!("unknown --method {other}").into()),
     }
     let _ = cf.manager_mut().take_budget();
     report_degradations(&degradations);
+    if flags.require_complete && !degradations.is_clean() {
+        return Err(CliError::Budget(format!(
+            "reduction downgraded {} step(s) under the budget and \
+             --require-complete was set",
+            degradations.len()
+        )));
+    }
     println!(
         "width {} -> {}, nodes {} -> {}",
         before.0,
@@ -483,7 +608,9 @@ fn reduce(args: &[String]) -> Result<(), String> {
     if let Some(out_path) = flags.output {
         let n = cf.layout().num_inputs();
         if n > 16 {
-            return Err("-o only supported for functions with <= 16 inputs".into());
+            return Err("-o only supported for functions with <= 16 inputs"
+                .to_string()
+                .into());
         }
         let m = cf.layout().num_outputs();
         let mut table = TruthTable::new(n, m);
@@ -501,10 +628,10 @@ fn reduce(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cascade(args: &[String]) -> Result<(), String> {
+fn cascade(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
     let [path] = flags.positional.as_slice() else {
-        return Err("cascade takes exactly one PLA file".into());
+        return Err("cascade takes exactly one PLA file".to_string().into());
     };
     let mut cf = load_cf(path, flags.sift)?;
     let mut degradations = DegradationReport::new();
@@ -521,16 +648,21 @@ fn cascade(args: &[String]) -> Result<(), String> {
         synthesize_governed(&mut cf, &options, &mut degradations).map_err(|e| match e {
             SynthesisError::Budget(cause) => {
                 report_degradations(&degradations);
-                format!("budget exhausted during cascade synthesis: {cause}")
+                CliError::Budget(format!("cascade synthesis could not complete: {cause}"))
             }
-            other => {
-                format!(
-                    "{other} — try larger cells or split the outputs (see bddcf_cascade::multi)"
-                )
-            }
+            other => CliError::Usage(format!(
+                "{other} — try larger cells or split the outputs (see bddcf_cascade::multi)"
+            )),
         })?;
     let _ = cf.manager_mut().take_budget();
     report_degradations(&degradations);
+    if flags.require_complete && !degradations.is_clean() {
+        return Err(CliError::Budget(format!(
+            "synthesis downgraded {} step(s) under the budget and \
+             --require-complete was set",
+            degradations.len()
+        )));
+    }
     println!(
         "cascade: {} cells, {} LUT outputs, {} memory bits, max {} rails",
         result.num_cells(),
@@ -813,10 +945,12 @@ fn inject(args: &[String]) -> Result<Outcome, String> {
     Ok(Outcome::Clean)
 }
 
-fn resume(args: &[String]) -> Result<(), String> {
+fn resume(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
     let [path] = flags.positional.as_slice() else {
-        return Err("resume takes exactly one checkpoint file".into());
+        return Err("resume takes exactly one checkpoint file"
+            .to_string()
+            .into());
     };
     let ckpt_path = std::path::Path::new(path);
     let loaded = bddcf::core::load_checkpoint(ckpt_path).map_err(|e| format!("{path}: {e}"))?;
@@ -859,8 +993,12 @@ fn resume(args: &[String]) -> Result<(), String> {
             max_cell_outputs: flags.max_out,
             ..CascadeOptions::default()
         };
-        let result = synthesize_governed(&mut cf, &options, &mut report)
-            .map_err(|e| format!("cascade synthesis after resume failed: {e}"))?;
+        let result = synthesize_governed(&mut cf, &options, &mut report).map_err(|e| match e {
+            SynthesisError::Budget(cause) => CliError::Budget(format!(
+                "cascade synthesis after resume could not complete: {cause}"
+            )),
+            other => CliError::Usage(format!("cascade synthesis after resume failed: {other}")),
+        })?;
         println!(
             "cascade: {} cells, {} LUT outputs, {} memory bits",
             result.num_cells(),
@@ -878,6 +1016,97 @@ fn resume(args: &[String]) -> Result<(), String> {
     }
     report_degradations(&report);
     Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if !flags.positional.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    let defaults = bddcf::serve::ServerConfig::default();
+    let config = bddcf::serve::ServerConfig {
+        addr: flags.addr.clone(),
+        workers: flags.workers.max(1),
+        queue_capacity: flags.queue_cap.max(1),
+        max_inflight_nodes: flags
+            .max_inflight_nodes
+            .unwrap_or(defaults.max_inflight_nodes),
+        cache_capacity: flags.cache_cap,
+        spool_dir: flags.spool.as_ref().map(std::path::PathBuf::from),
+        ..defaults
+    };
+    // Probe jobs panic *by design* (quarantined per worker); the default
+    // hook would spray backtraces over the daemon's log stream.
+    bddcf::check::with_quiet_panics(|| -> Result<(), String> {
+        let server = bddcf::serve::Server::start(config).map_err(|e| format!("serve: {e}"))?;
+        // The chaos harness spawns this subcommand and parses exactly this
+        // line off stdout; keep the prefix stable and flush past the pipe.
+        println!("listening on {}", server.local_addr());
+        use std::io::Write as _;
+        std::io::stdout()
+            .flush()
+            .map_err(|e| format!("stdout: {e}"))?;
+        let stats = server.wait();
+        println!(
+            "served {} connection(s): {} completed, {} degraded, {} failed, \
+             {} panicked, {} deadline-shed, {} parked",
+            stats.connections,
+            stats.pool.completed,
+            stats.pool.degraded,
+            stats.pool.failed,
+            stats.pool.panicked,
+            stats.pool.shed_deadline,
+            stats.pool.parked
+        );
+        println!(
+            "rejections: {} queue-full, {} overloaded, {} draining, {} breaker; \
+             cache: {} hit(s), {} invalidated; {} spool entr(ies) recovered",
+            stats.pool.rejected_queue_full,
+            stats.pool.rejected_overloaded,
+            stats.pool.rejected_draining,
+            stats.pool.rejected_breaker,
+            stats.cache.hits,
+            stats.cache.invalidated,
+            stats.recovered
+        );
+        Ok(())
+    })
+}
+
+fn loadtest(args: &[String]) -> Result<Outcome, String> {
+    let flags = parse_flags(args)?;
+    if !flags.positional.is_empty() {
+        return Err("loadtest takes no positional arguments".into());
+    }
+    let spool_dir = flags
+        .dir
+        .as_ref()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("bddcf-loadtest-{}", std::process::id()))
+        });
+    let server_bin = if flags.in_process {
+        None
+    } else {
+        Some(std::env::current_exe().map_err(|e| format!("locating own binary: {e}"))?)
+    };
+    let config = bddcf::serve::LoadTestConfig {
+        requests: flags.requests,
+        clients: flags.clients.max(1),
+        seed: flags.seed,
+        kill: !flags.no_kill,
+        spool_dir,
+        server_bin,
+        workers: flags.workers.max(1),
+        queue_capacity: flags.queue_cap.max(1),
+    };
+    let report = bddcf::serve::run_loadtest(&config)?;
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(Outcome::Clean)
+    } else {
+        Ok(Outcome::Findings)
+    }
 }
 
 fn crashtest(args: &[String]) -> Result<Outcome, String> {

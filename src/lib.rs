@@ -18,6 +18,9 @@
 //! * [`check`] — layered structural/semantic invariant analysis
 //!   (`bddcf check`, and phase-boundary assertions behind the `check`
 //!   cargo feature).
+//! * [`serve`] — the fault-tolerant synthesis daemon (`bddcf serve`) and
+//!   its chaos harness (`bddcf loadtest`): admission control, deadlines,
+//!   worker quarantine, crash recovery over a durable spool.
 
 #![forbid(unsafe_code)]
 
@@ -29,3 +32,4 @@ pub use bddcf_decomp as decomp;
 pub use bddcf_funcs as funcs;
 pub use bddcf_io as io;
 pub use bddcf_logic as logic;
+pub use bddcf_serve as serve;

@@ -210,6 +210,93 @@ fn lint_rejects_unknown_selections() {
     assert!(!out.status.success());
 }
 
+/// Budgeted runs degrade gracefully by default (exit 0) but exit with the
+/// dedicated budget code 3 when `--require-complete` rejects a degraded
+/// result — distinct from findings (1) and usage errors (2), so schedulers
+/// can retry with a larger budget instead of flagging a bug.
+#[test]
+fn budget_exhaustion_exits_3_only_under_require_complete() {
+    let pla = sample_pla();
+    // Graceful default: a starved fixpoint reduction still exits 0.
+    let out = bddcf()
+        .arg("reduce")
+        .arg(&pla.path)
+        .args(["--method", "fixpoint", "--step-limit", "5"])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "degraded reduce must stay exit 0; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Opting into completeness turns the same degradation into exit 3.
+    let out = bddcf()
+        .arg("reduce")
+        .arg(&pla.path)
+        .args([
+            "--method",
+            "fixpoint",
+            "--step-limit",
+            "5",
+            "--require-complete",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(3), "budget exhaustion must exit 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("budget exhausted"), "stderr: {err}");
+
+    // Same convention on the synthesis path.
+    let out = bddcf()
+        .arg("cascade")
+        .arg(&pla.path)
+        .args(["--step-limit", "5"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "degraded cascade stays exit 0");
+    let out = bddcf()
+        .arg("cascade")
+        .arg(&pla.path)
+        .args(["--step-limit", "5", "--require-complete"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(3), "cascade budget must exit 3");
+}
+
+/// End-to-end chaos smoke through the real binary: `bddcf loadtest` spawns
+/// `bddcf serve` as a child process, SIGKILLs it mid-batch, restarts it on
+/// the same spool, and must certify that no accepted request was lost.
+#[test]
+fn loadtest_survives_a_sigkill_of_the_child_daemon() {
+    let dir = std::env::temp_dir().join(format!("bddcf-cli-loadtest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = bddcf()
+        .args([
+            "loadtest",
+            "--requests",
+            "24",
+            "--clients",
+            "2",
+            "--seed",
+            "11",
+            "--dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("spawn");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {text}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("PASS"), "{text}");
+    assert!(text.contains("1 kill(s)"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The verification subcommands follow one exit-code convention:
 /// 0 = clean, 1 = the run completed and reported findings,
 /// 2 = usage or internal error.
