@@ -56,6 +56,7 @@ pub mod manager;
 pub mod mtbdd;
 pub mod reorder;
 pub mod snapshot;
+pub mod table;
 pub mod width;
 
 pub use budget::{Budget, CancelToken, Error};
@@ -64,4 +65,5 @@ pub use exact::ExactWidth;
 pub use manager::{BddManager, BinOp, IntegrityViolation, NodeId, OrderError, Var, FALSE, TRUE};
 pub use reorder::{ReorderCost, SiftConstraints};
 pub use snapshot::SnapshotError;
+pub use table::{CacheStats, EngineStats};
 pub use width::WidthProfile;

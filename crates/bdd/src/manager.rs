@@ -16,12 +16,18 @@
 //!   remapped ids. This is much simpler than per-node reference counts and
 //!   entirely adequate for the workloads in this workspace (tens of
 //!   thousands of live nodes).
-//! * Operation results are cached (`ite`, quantification, composition). The
-//!   caches are invalidated on garbage collection and on level swaps — after
-//!   a swap a cached result may no longer be in canonical variable order.
+//! * The unique table chains through the nodes themselves (each node
+//!   carries a `next`-in-bucket arena index; see [`crate::table`]), so
+//!   canonicity lookups touch the same cache lines `mk` is about to read.
+//! * Operation results are cached (`ite`, quantification, composition) in
+//!   direct-mapped tables with generation-tag invalidation. The caches are
+//!   invalidated on garbage collection and on level swaps — after a swap a
+//!   cached result may no longer be in canonical variable order — but an
+//!   invalidation is a single generation bump, not a sweep.
 
 use crate::budget::{Budget, Error};
 use crate::hasher::FastMap;
+use crate::table::{ComputedTable, EngineStats, Node, ScratchMap, UniqueTable, NIL};
 use std::fmt;
 
 /// A Boolean variable, identified by a stable index.
@@ -110,6 +116,12 @@ impl NodeId {
         #[cfg(not(feature = "check"))]
         NodeId(raw)
     }
+
+    /// Test-only unbranded constructor for table unit tests.
+    #[cfg(test)]
+    pub(crate) fn test_raw(raw: u32) -> NodeId {
+        Self::unbranded(raw)
+    }
 }
 
 impl fmt::Debug for NodeId {
@@ -154,13 +166,6 @@ const TERMINAL_VAR: u32 = u32::MAX;
 /// Level reported for terminal nodes: below every variable.
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
-#[derive(Clone, Copy)]
-struct Node {
-    var: u32,
-    lo: NodeId,
-    hi: NodeId,
-}
-
 /// A shared ROBDD store.
 ///
 /// All functions built by one manager share structure and may be combined
@@ -174,11 +179,37 @@ struct Node {
 #[derive(Clone)]
 pub struct BddManager {
     nodes: Vec<Node>,
-    unique: FastMap<(u32, NodeId, NodeId), NodeId>,
-    ite_cache: FastMap<(NodeId, NodeId, NodeId), NodeId>,
-    exists_cache: FastMap<(NodeId, NodeId), NodeId>,
-    and_exists_cache: FastMap<(NodeId, NodeId, NodeId), NodeId>,
-    compose_cache: FastMap<(NodeId, u32, NodeId), NodeId>,
+    unique: UniqueTable,
+    ite_cache: ComputedTable,
+    exists_cache: ComputedTable,
+    and_exists_cache: ComputedTable,
+    compose_cache: ComputedTable,
+    /// Largest `nodes.len()` this manager generation ever reached.
+    peak_nodes: usize,
+    /// Completed [`gc`](Self::gc) passes.
+    gc_runs: u64,
+    /// Wall-clock nanoseconds spent inside those passes.
+    gc_pause_ns: u64,
+    /// Reusable stamped memo for [`swap_adjacent`](Self::swap_adjacent)'s
+    /// rebuild (reorder.rs): taken out for the duration of a swap, put
+    /// back after, so repeated swaps never reallocate.
+    swap_scratch: ScratchMap,
+    /// Reusable stamped visit-set for width/cost traversals (width.rs).
+    width_scratch: ScratchMap,
+    /// Head of the per-variable node list: `var_heads[v]` is the arena
+    /// index of one node labelled `v` (or `NIL`), and `var_next[i]` chains
+    /// to the next node with the same label. The in-place adjacent swap
+    /// (reorder.rs) enumerates the upper level of a swapped pair through
+    /// these lists instead of scanning the arena. Maintained by every node
+    /// append and rebuilt wholesale on [`gc`](Self::gc) and snapshot
+    /// restore; entries for garbage nodes are allowed (readers skip them).
+    var_heads: Vec<u32>,
+    /// Per-node successor in the [`var_heads`](Self::var_heads) chains,
+    /// parallel to `nodes` (terminal entries unused).
+    var_next: Vec<u32>,
+    /// Reusable buffer for the in-place swap's snapshot of the upper
+    /// level's chain (reorder.rs), kept to avoid a per-swap allocation.
+    swap_chain: Vec<u32>,
     var_at_level: Vec<Var>,
     level_of_var: Vec<u32>,
     budget: Budget,
@@ -226,11 +257,19 @@ impl BddManager {
     pub fn new(num_vars: usize) -> Self {
         let mut mgr = BddManager {
             nodes: Vec::with_capacity(1024),
-            unique: FastMap::default(),
-            ite_cache: FastMap::default(),
-            exists_cache: FastMap::default(),
-            and_exists_cache: FastMap::default(),
-            compose_cache: FastMap::default(),
+            unique: UniqueTable::with_capacity_log2(UniqueTable::capacity_log2_for(0)),
+            ite_cache: ComputedTable::default(),
+            exists_cache: ComputedTable::default(),
+            and_exists_cache: ComputedTable::default(),
+            compose_cache: ComputedTable::default(),
+            peak_nodes: 2,
+            gc_runs: 0,
+            gc_pause_ns: 0,
+            swap_scratch: ScratchMap::default(),
+            width_scratch: ScratchMap::default(),
+            var_heads: vec![NIL; num_vars],
+            var_next: vec![NIL; 2],
+            swap_chain: Vec::new(),
             var_at_level: (0..num_vars as u32).map(Var).collect(),
             level_of_var: (0..num_vars as u32).collect(),
             budget: Budget::default(),
@@ -247,11 +286,13 @@ impl BddManager {
             var: TERMINAL_VAR,
             lo: FALSE,
             hi: FALSE,
+            next: NIL,
         });
         mgr.nodes.push(Node {
             var: TERMINAL_VAR,
             lo: TRUE,
             hi: TRUE,
+            next: NIL,
         });
         mgr
     }
@@ -261,6 +302,7 @@ impl BddManager {
         let v = Var(self.level_of_var.len() as u32);
         self.level_of_var.push(self.var_at_level.len() as u32);
         self.var_at_level.push(v);
+        self.var_heads.push(NIL);
         v
     }
 
@@ -273,6 +315,161 @@ impl BddManager {
     /// included). Useful for deciding when to [`gc`](Self::gc).
     pub fn arena_len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Takes the swap-rebuild scratch out of the manager, begun over the
+    /// current arena. The caller must give it back via
+    /// [`put_swap_scratch`](Self::put_swap_scratch) so the next swap
+    /// reuses the allocation.
+    pub(crate) fn take_swap_scratch(&mut self) -> ScratchMap {
+        let mut scratch = std::mem::take(&mut self.swap_scratch);
+        scratch.begin(self.nodes.len());
+        scratch
+    }
+
+    /// Returns the swap-rebuild scratch taken by
+    /// [`take_swap_scratch`](Self::take_swap_scratch).
+    pub(crate) fn put_swap_scratch(&mut self, scratch: ScratchMap) {
+        self.swap_scratch = scratch;
+    }
+
+    /// Takes the width-traversal scratch out of the manager, begun over
+    /// the current arena. Counterpart of
+    /// [`put_width_scratch`](Self::put_width_scratch).
+    pub(crate) fn take_width_scratch(&mut self) -> ScratchMap {
+        let mut scratch = std::mem::take(&mut self.width_scratch);
+        scratch.begin(self.nodes.len());
+        scratch
+    }
+
+    /// Returns the width-traversal scratch taken by
+    /// [`take_width_scratch`](Self::take_width_scratch).
+    pub(crate) fn put_width_scratch(&mut self, scratch: ScratchMap) {
+        self.width_scratch = scratch;
+    }
+
+    // ---------------------------------------------------------------------
+    // Per-variable node lists (in-place swap support, reorder.rs)
+    // ---------------------------------------------------------------------
+
+    /// Recomputes every per-variable chain from the arena in one ascending
+    /// pass (push-front, so chains run in descending arena order —
+    /// deterministic). Called after any wholesale arena rebuild.
+    fn rebuild_var_lists(&mut self) {
+        self.var_heads.clear();
+        self.var_heads.resize(self.num_vars(), NIL);
+        self.var_next.clear();
+        self.var_next.resize(self.nodes.len(), NIL);
+        for i in 2..self.nodes.len() {
+            let var = self.nodes[i].var as usize;
+            self.var_next[i] = self.var_heads[var];
+            self.var_heads[var] = i as u32;
+        }
+    }
+
+    /// First arena index of the chain of nodes labelled `var` (`NIL` when
+    /// empty). The chain may contain garbage nodes; callers filter by
+    /// tabled-ness.
+    pub(crate) fn var_list_head(&self, var: Var) -> u32 {
+        self.var_heads[var.0 as usize]
+    }
+
+    /// Successor of arena index `raw` in its per-variable chain.
+    pub(crate) fn var_list_next(&self, raw: u32) -> u32 {
+        self.var_next[raw as usize]
+    }
+
+    /// Empties the chain for `var` (the in-place swap re-threads it).
+    pub(crate) fn var_list_reset(&mut self, var: Var) {
+        self.var_heads[var.0 as usize] = NIL;
+    }
+
+    /// Pushes arena index `raw` onto the front of `var`'s chain. The
+    /// caller guarantees `raw` is not already threaded anywhere.
+    pub(crate) fn var_list_push(&mut self, var: Var, raw: u32) {
+        self.var_next[raw as usize] = self.var_heads[var.0 as usize];
+        self.var_heads[var.0 as usize] = raw;
+    }
+
+    /// Rewrites the node at `raw` to `(var, lo, hi)` without moving it.
+    /// Unique-table linkage is the caller's job: the node must be unlinked
+    /// before the rewrite and re-inserted (or deliberately left untabled)
+    /// after.
+    pub(crate) fn set_node_in_place(&mut self, raw: u32, var: Var, lo: NodeId, hi: NodeId) {
+        self.check_brand(lo);
+        self.check_brand(hi);
+        self.nodes[raw as usize] = Node {
+            var: var.0,
+            lo,
+            hi,
+            next: NIL,
+        };
+    }
+
+    /// Unlinks the node at `raw` from the unique table, reporting whether
+    /// it was linked (see [`UniqueTable::unlink_checked`]).
+    pub(crate) fn unique_unlink_checked(&mut self, raw: u32) -> bool {
+        self.unique.unlink_checked(&mut self.nodes, raw)
+    }
+
+    /// Counter-free unique-table probe by raw key (in-place swap collision
+    /// check).
+    pub(crate) fn unique_find_raw(&self, var: Var, lo: u32, hi: u32) -> Option<u32> {
+        self.unique.find_quiet(&self.nodes, var.0, lo, hi)
+    }
+
+    /// Links the (already rewritten) node at `raw` into the unique table.
+    /// The caller guarantees its key is absent. Growth is not checked: the
+    /// in-place swap only re-inserts nodes it just unlinked, so the load
+    /// factor never rises across the call.
+    pub(crate) fn unique_insert_raw(&mut self, raw: u32) {
+        self.unique.insert(&mut self.nodes, raw);
+    }
+
+    /// Takes the reusable chain buffer for the in-place swap (cleared).
+    pub(crate) fn take_swap_chain(&mut self) -> Vec<u32> {
+        let mut chain = std::mem::take(&mut self.swap_chain);
+        chain.clear();
+        chain
+    }
+
+    /// Returns the chain buffer taken by
+    /// [`take_swap_chain`](Self::take_swap_chain).
+    pub(crate) fn put_swap_chain(&mut self, chain: Vec<u32>) {
+        self.swap_chain = chain;
+    }
+
+    /// Whether the node at arena index `target` is reachable from `roots`.
+    /// Used by the in-place swap's rare key-collision tie-break, where
+    /// liveness decides which of two same-function nodes stays tabled.
+    pub(crate) fn reaches(&mut self, roots: &[NodeId], target: u32) -> bool {
+        let mut seen = self.take_width_scratch();
+        let mut stack: Vec<u32> = Vec::new();
+        for &r in roots {
+            if seen.get(r.0).is_none() {
+                seen.set(r.0, 0);
+                stack.push(r.0);
+            }
+        }
+        let mut found = false;
+        while let Some(n) = stack.pop() {
+            if n == target {
+                found = true;
+                break;
+            }
+            let node = self.nodes[n as usize];
+            if node.var == TERMINAL_VAR {
+                continue;
+            }
+            for child in [node.lo.0, node.hi.0] {
+                if seen.get(child).is_none() {
+                    seen.set(child, 0);
+                    stack.push(child);
+                }
+            }
+        }
+        self.put_width_scratch(seen);
+        found
     }
 
     /// Current level (position in the order, `0` = top) of `var`.
@@ -635,18 +832,28 @@ impl BddManager {
         self.nodes[2..].iter().map(|n| (n.var, n.lo.0, n.hi.0))
     }
 
+    /// log2 of the unique table's bucket count — the geometry word of
+    /// snapshot wire format v2.
+    pub(crate) fn unique_capacity_log2(&self) -> u32 {
+        self.unique.capacity_log2()
+    }
+
     /// Rebuilds a manager from snapshot parts: a variable order and the
     /// interior-node triples in arena order. The unique table is
-    /// reconstructed (it is not serialized), and every triple is validated —
-    /// variable in range, no redundant node, children strictly before their
-    /// parent in the arena and strictly below in the level order, no
-    /// duplicate `(var, lo, hi)` key. On failure, returns the index of the
-    /// offending triple (`0` for a bad order) and a description, so the
-    /// caller can translate it into a byte offset.
+    /// reconstructed — chains are not serialized, only (in wire format v2)
+    /// the bucket-array geometry, passed as `unique_capacity_log2`; `None`
+    /// (v1 snapshots) falls back to the deterministic
+    /// [`UniqueTable::capacity_log2_for`] geometry. Every triple is
+    /// validated — variable in range, no redundant node, children strictly
+    /// before their parent in the arena and strictly below in the level
+    /// order, no duplicate `(var, lo, hi)` key. On failure, returns the
+    /// index of the offending triple (`0` for a bad order) and a
+    /// description, so the caller can translate it into a byte offset.
     pub(crate) fn from_snapshot_parts(
         order: &[Var],
         triples: &[(u32, u32, u32)],
         poisoned: bool,
+        unique_capacity_log2: Option<u32>,
     ) -> Result<Self, (usize, String)> {
         let num_vars = order.len();
         let mut mgr = BddManager::new(num_vars);
@@ -689,11 +896,29 @@ impl BddManager {
                     ),
                 ));
             }
-            if mgr.unique.insert((var, lo, hi), id).is_some() {
+            if mgr.unique.find_quiet(&mgr.nodes, var, lo.0, hi.0).is_some() {
                 return Err((i, format!("node n{}: duplicate of an earlier node", id.0)));
             }
-            mgr.nodes.push(Node { var, lo, hi });
+            if mgr.unique.should_grow() {
+                mgr.unique.grow(&mut mgr.nodes);
+            }
+            mgr.nodes.push(Node {
+                var,
+                lo,
+                hi,
+                next: NIL,
+            });
+            mgr.unique.insert(&mut mgr.nodes, id.0);
         }
+        // Wire format v2 records the bucket geometry; honoring it keeps a
+        // restored manager byte-identical to the one that wrote the bytes.
+        let cap = unique_capacity_log2
+            .unwrap_or_else(|| UniqueTable::capacity_log2_for(mgr.unique.len()));
+        if cap != mgr.unique.capacity_log2() {
+            mgr.unique.rebuild(&mut mgr.nodes, cap);
+        }
+        mgr.rebuild_var_lists();
+        mgr.peak_nodes = mgr.nodes.len();
         Ok(mgr)
     }
 
@@ -729,20 +954,34 @@ impl BddManager {
             self.level_of_node(lo),
             self.level_of_node(hi),
         );
-        let key = (var.0, lo, hi);
-        if let Some(&id) = self.unique.get(&key) {
-            return Ok(id);
+        if let Some(raw) = self.unique.find(&self.nodes, var.0, lo.0, hi.0) {
+            return Ok(self.brand(raw));
         }
         if let Some(limit) = self.budget.node_limit {
             if self.nodes.len() >= limit {
                 return Err(Error::NodeLimit { limit });
             }
         }
-        let id = self.brand(self.nodes.len() as u32);
         assert!(self.nodes.len() < u32::MAX as usize, "node arena overflow");
-        self.nodes.push(Node { var: var.0, lo, hi });
-        self.unique.insert(key, id);
-        Ok(id)
+        if self.unique.should_grow() {
+            self.unique.grow(&mut self.nodes);
+        }
+        let raw = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            var: var.0,
+            lo,
+            hi,
+            next: NIL,
+        });
+        // xlint: allow(XL104): `var_heads` spans `num_vars` and `var` indexes the order permutation in `level_of` above — in range by the manager representation invariant
+        self.var_next.push(self.var_heads[var.0 as usize]);
+        // xlint: allow(XL104): same in-range `var` as the push above
+        self.var_heads[var.0 as usize] = raw;
+        self.unique.insert(&mut self.nodes, raw);
+        if self.nodes.len() > self.peak_nodes {
+            self.peak_nodes = self.nodes.len();
+        }
+        Ok(self.brand(raw))
     }
 
     /// The function `var` (a positive literal).
@@ -917,9 +1156,8 @@ impl BddManager {
         if g == TRUE && h == FALSE {
             return Ok(f);
         }
-        let key = (f, g, h);
-        if let Some(&r) = self.ite_cache.get(&key) {
-            return Ok(r);
+        if let Some(r) = self.ite_cache.get(f.0, g.0, h.0) {
+            return Ok(self.brand(r));
         }
         self.charge()?;
         let top = self
@@ -933,7 +1171,7 @@ impl BddManager {
         let lo = self.try_ite(f0, g0, h0)?;
         let hi = self.try_ite(f1, g1, h1)?;
         let r = self.try_mk(var, lo, hi)?;
-        self.ite_cache.insert(key, r);
+        self.ite_cache.put(f.0, g.0, h.0, r.0);
         Ok(r)
     }
 
@@ -1093,16 +1331,15 @@ impl BddManager {
             return Ok(if value { n.hi } else { n.lo });
         }
         // Reuse the compose cache: restrict(f, v, c) = compose(f, v, const c).
-        let key = (f, var.0, lit);
-        if let Some(&r) = self.compose_cache.get(&key) {
-            return Ok(r);
+        if let Some(r) = self.compose_cache.get(f.0, var.0, lit.0) {
+            return Ok(self.brand(r));
         }
         self.charge()?;
         let n = self.nodes[f.0 as usize];
         let lo = self.restrict_rec(n.lo, var, value, var_level, lit)?;
         let hi = self.restrict_rec(n.hi, var, value, var_level, lit)?;
         let r = self.try_mk(Var(n.var), lo, hi)?;
-        self.compose_cache.insert(key, r);
+        self.compose_cache.put(f.0, var.0, lit.0, r.0);
         Ok(r)
     }
 
@@ -1150,9 +1387,8 @@ impl BddManager {
             let n = self.nodes[f.0 as usize];
             return self.try_ite(g, n.hi, n.lo);
         }
-        let key = (f, var.0, g);
-        if let Some(&r) = self.compose_cache.get(&key) {
-            return Ok(r);
+        if let Some(r) = self.compose_cache.get(f.0, var.0, g.0) {
+            return Ok(self.brand(r));
         }
         self.charge()?;
         let n = self.nodes[f.0 as usize];
@@ -1161,7 +1397,7 @@ impl BddManager {
         // lo/hi may now depend on variables above n.var, so rebuild with ite.
         let v = self.try_mk(Var(n.var), FALSE, TRUE)?;
         let r = self.try_ite(v, hi, lo)?;
-        self.compose_cache.insert(key, r);
+        self.compose_cache.put(f.0, var.0, g.0, r.0);
         Ok(r)
     }
 
@@ -1190,9 +1426,8 @@ impl BddManager {
             return Ok(f);
         }
         debug_assert!(cube != FALSE, "quantification cube must be a positive cube");
-        let key = (f, cube);
-        if let Some(&r) = self.exists_cache.get(&key) {
-            return Ok(r);
+        if let Some(r) = self.exists_cache.get(f.0, cube.0, NIL) {
+            return Ok(self.brand(r));
         }
         self.charge()?;
         let fl = self.level_of_node(f);
@@ -1213,7 +1448,7 @@ impl BddManager {
             let hi = self.try_exists_cube(n.hi, cube)?;
             self.try_mk(Var(n.var), lo, hi)?
         };
-        self.exists_cache.insert(key, r);
+        self.exists_cache.put(f.0, cube.0, NIL, r.0);
         Ok(r)
     }
 
@@ -1249,9 +1484,9 @@ impl BddManager {
         if cube == TRUE {
             return self.try_and(f, g);
         }
-        let key = (f.min(g), f.max(g), cube);
-        if let Some(&r) = self.and_exists_cache.get(&key) {
-            return Ok(r);
+        let (ka, kb) = (f.min(g).0, f.max(g).0);
+        if let Some(r) = self.and_exists_cache.get(ka, kb, cube.0) {
+            return Ok(self.brand(r));
         }
         self.charge()?;
         let lf = self.level_of_node(f);
@@ -1283,7 +1518,7 @@ impl BddManager {
                 self.try_mk(var, lo, hi)?
             }
         };
-        self.and_exists_cache.insert(key, r);
+        self.and_exists_cache.put(ka, kb, cube.0, r.0);
         Ok(r)
     }
 
@@ -1469,14 +1704,14 @@ impl BddManager {
 
     /// Drops all cached operation results. Required after level swaps (done
     /// automatically by the reordering module).
+    ///
+    /// This is a generation-tag bump per cache — O(1), no slot is touched
+    /// — which is what makes per-swap invalidation during sifting free.
     pub fn clear_caches(&mut self) {
-        // Replace rather than `clear()`: clearing is O(capacity), and the
-        // caches can hold millions of buckets after a big construction —
-        // reordering calls this on every level swap.
-        self.ite_cache = FastMap::default();
-        self.exists_cache = FastMap::default();
-        self.and_exists_cache = FastMap::default();
-        self.compose_cache = FastMap::default();
+        self.ite_cache.invalidate();
+        self.exists_cache.invalidate();
+        self.and_exists_cache.invalidate();
+        self.compose_cache.invalidate();
     }
 
     /// Total number of entries across all four operation caches. Mostly
@@ -1484,10 +1719,31 @@ impl BddManager {
     /// [`clear_caches`](Self::clear_caches) or [`gc`](Self::gc) this is
     /// zero, so no stale pre-compaction result can ever be served.
     pub fn cache_entry_count(&self) -> usize {
-        self.ite_cache.len()
-            + self.exists_cache.len()
-            + self.and_exists_cache.len()
-            + self.compose_cache.len()
+        self.ite_cache.live()
+            + self.exists_cache.live()
+            + self.and_exists_cache.live()
+            + self.compose_cache.live()
+    }
+
+    /// Engine-health snapshot: arena peaks, unique-table probe counters,
+    /// per-operation cache hit/miss/eviction counters, and GC figures.
+    /// Counters are monotone over this manager generation; cloning a
+    /// manager clones its counters.
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            peak_nodes: self.peak_nodes as u64,
+            peak_arena_bytes: (self.peak_nodes * std::mem::size_of::<Node>()) as u64,
+            unique_len: self.unique.len() as u64,
+            unique_capacity: self.unique.capacity() as u64,
+            unique_lookups: self.unique.lookups(),
+            unique_probes: self.unique.probes(),
+            ite: self.ite_cache.stats(),
+            exists: self.exists_cache.stats(),
+            and_exists: self.and_exists_cache.stats(),
+            compose: self.compose_cache.stats(),
+            gc_runs: self.gc_runs,
+            gc_pause_ns: self.gc_pause_ns,
+        }
     }
 
     /// Mark-and-rebuild garbage collection.
@@ -1501,6 +1757,7 @@ impl BddManager {
     /// manager moves to a fresh brand epoch, so dereferencing a stale
     /// pre-gc id panics instead of denoting the wrong function.
     pub fn gc(&mut self, roots: &[NodeId]) -> Vec<NodeId> {
+        let pause = std::time::Instant::now();
         for &r in roots {
             self.check_brand(r);
         }
@@ -1523,50 +1780,70 @@ impl BddManager {
                 NodeId
             }
         };
+        // Old-arena index → new-arena index; dense, so the remap is one
+        // flat array instead of a hash map on the collection hot path.
+        const UNMAPPED: u32 = u32::MAX;
+        let mut remap: Vec<u32> = vec![UNMAPPED; self.nodes.len()];
+        remap[FALSE.0 as usize] = FALSE.0;
+        remap[TRUE.0 as usize] = TRUE.0;
         let mut new_nodes: Vec<Node> = Vec::with_capacity(2 + roots.len());
         new_nodes.push(self.nodes[0]);
         new_nodes.push(self.nodes[1]);
-        let mut new_unique: FastMap<(u32, NodeId, NodeId), NodeId> = FastMap::default();
-        let mut remap: FastMap<NodeId, NodeId> = FastMap::default();
-        remap.insert(FALSE, FALSE);
-        remap.insert(TRUE, TRUE);
+        let mut new_unique = UniqueTable::with_capacity_log2(UniqueTable::capacity_log2_for(0));
 
         // Iterative post-order copy, registered roots after the explicit
         // ones so they can be split back off the shared result vector.
         let mut result = Vec::with_capacity(roots.len() + registered.len());
         for &root in roots.iter().chain(registered.iter()) {
-            let mut stack = vec![(root, false)];
+            let mut stack = vec![(root.0, false)];
             while let Some((n, expanded)) = stack.pop() {
-                if remap.contains_key(&n) {
+                if remap[n as usize] != UNMAPPED {
                     continue;
                 }
-                let node = self.nodes[n.0 as usize];
+                let node = self.nodes[n as usize];
                 if expanded {
-                    let lo = remap[&node.lo];
-                    let hi = remap[&node.hi];
-                    let key = (node.var, lo, hi);
-                    let id = *new_unique.entry(key).or_insert_with(|| {
-                        let id = brand_new(new_nodes.len() as u32);
-                        new_nodes.push(Node {
-                            var: node.var,
-                            lo,
-                            hi,
-                        });
-                        id
-                    });
-                    remap.insert(n, id);
+                    let lo = brand_new(remap[node.lo.0 as usize]);
+                    let hi = brand_new(remap[node.hi.0 as usize]);
+                    let id = match new_unique.find_quiet(&new_nodes, node.var, lo.0, hi.0) {
+                        Some(id) => id,
+                        None => {
+                            if new_unique.should_grow() {
+                                new_unique.grow(&mut new_nodes);
+                            }
+                            let id = new_nodes.len() as u32;
+                            new_nodes.push(Node {
+                                var: node.var,
+                                lo,
+                                hi,
+                                next: NIL,
+                            });
+                            new_unique.insert(&mut new_nodes, id);
+                            id
+                        }
+                    };
+                    remap[n as usize] = id;
                 } else {
                     stack.push((n, true));
-                    stack.push((node.lo, false));
-                    stack.push((node.hi, false));
+                    stack.push((node.lo.0, false));
+                    stack.push((node.hi.0, false));
                 }
             }
-            result.push(remap[&root]);
+            result.push(brand_new(remap[root.0 as usize]));
+        }
+        // Post-compaction geometry is the deterministic function of the
+        // live count, so an uninterrupted run and a snapshot-restored one
+        // end up with bit-identical tables.
+        let cap = UniqueTable::capacity_log2_for(new_unique.len());
+        if cap != new_unique.capacity_log2() {
+            new_unique.rebuild(&mut new_nodes, cap);
         }
         self.nodes = new_nodes;
         self.unique = new_unique;
+        self.rebuild_var_lists();
         self.clear_caches();
         self.registered_roots = result.split_off(roots.len());
+        self.gc_runs += 1;
+        self.gc_pause_ns += pause.elapsed().as_nanos() as u64;
         result
     }
 
@@ -1681,51 +1958,80 @@ impl BddManager {
         }
 
         // 4. Unique table ↔ arena bijection.
+        //
+        // Forward: every well-formed interior node must be found under its
+        // own `(var, lo, hi)` key (`find_quiet` tolerates corrupted chains
+        // — a defect there reads as "not found" and is reported by the
+        // reverse walk below).
         for (i, node) in self.nodes.iter().enumerate().skip(2) {
             let id = self.brand(i as u32);
             if node.var == TERMINAL_VAR || node.lo.0 as usize >= len || node.hi.0 as usize >= len {
                 continue; // already reported above
             }
-            match self.unique.get(&(node.var, node.lo, node.hi)) {
-                Some(&mapped) if mapped == id => {}
-                Some(&mapped) => out.push(V::DuplicateNode {
+            match self
+                .unique
+                .find_quiet(&self.nodes, node.var, node.lo.0, node.hi.0)
+            {
+                Some(mapped) if mapped as usize == i => {}
+                Some(mapped) => out.push(V::DuplicateNode {
                     id,
-                    canonical: mapped,
+                    canonical: self.brand(mapped),
                 }),
                 None => out.push(V::UnregisteredNode { id }),
             }
         }
-        for (&(var, lo, hi), &id) in &self.unique {
-            let stale = (id.0 as usize) >= len
-                || id.0 < 2
-                || self.nodes[id.0 as usize].var != var
-                || self.nodes[id.0 as usize].lo != lo
-                || self.nodes[id.0 as usize].hi != hi;
-            if stale {
-                out.push(V::StaleUniqueEntry { id });
+        // Reverse: walk every bucket chain. Each link must be a distinct
+        // in-arena interior node sitting in its key's home bucket, and
+        // chains must terminate — an out-of-range link, a terminal, a
+        // revisit, or a cycle is a stale entry.
+        let mut chained = vec![false; len];
+        for (bucket, head) in self.unique.bucket_heads() {
+            let mut cur = head;
+            let mut steps = 0usize;
+            while cur != NIL {
+                if (cur as usize) >= len || cur < 2 || steps > len {
+                    out.push(V::StaleUniqueEntry {
+                        id: NodeId::unbranded(cur),
+                    });
+                    break;
+                }
+                let node = &self.nodes[cur as usize];
+                if chained[cur as usize]
+                    || self.unique.home_bucket(node.var, node.lo.0, node.hi.0) != bucket
+                {
+                    out.push(V::StaleUniqueEntry {
+                        id: self.brand(cur),
+                    });
+                    break;
+                }
+                chained[cur as usize] = true;
+                cur = node.next;
+                steps += 1;
             }
         }
 
-        // 5. Operation caches reference only live nodes.
-        let live = |id: NodeId| (id.0 as usize) < len;
-        for (&(f, g, h), &r) in &self.ite_cache {
+        // 5. Operation caches reference only live nodes (only entries of
+        // the current generation are observable; anything older is dead by
+        // construction).
+        let live = |raw: u32| (raw as usize) < len;
+        for (f, g, h, r) in self.ite_cache.live_entries() {
             if ![f, g, h, r].into_iter().all(live) {
                 out.push(V::StaleCacheEntry { cache: "ite" });
             }
         }
-        for (&(f, c), &r) in &self.exists_cache {
+        for (f, c, _nil, r) in self.exists_cache.live_entries() {
             if ![f, c, r].into_iter().all(live) {
                 out.push(V::StaleCacheEntry { cache: "exists" });
             }
         }
-        for (&(f, g, c), &r) in &self.and_exists_cache {
+        for (f, g, c, r) in self.and_exists_cache.live_entries() {
             if ![f, g, c, r].into_iter().all(live) {
                 out.push(V::StaleCacheEntry {
                     cache: "and_exists",
                 });
             }
         }
-        for (&(f, var, g), &r) in &self.compose_cache {
+        for (f, var, g, r) in self.compose_cache.live_entries() {
             if ![f, g, r].into_iter().all(live) || var >= num_vars {
                 out.push(V::StaleCacheEntry { cache: "compose" });
             }
@@ -1751,28 +2057,30 @@ impl BddManager {
                 self.nodes[i].hi = self.nodes[i].lo;
             }
             TestCorruption::UnregisterNode => {
-                let node = *self.nodes.last().expect("nonempty arena");
-                self.unique.remove(&(node.var, node.lo, node.hi));
+                assert!(self.nodes.len() > 2, "corrupting needs an interior node");
+                let last = (self.nodes.len() - 1) as u32;
+                self.unique.unlink(&mut self.nodes, last);
             }
             TestCorruption::DanglingCacheEntry => {
-                let dangling = self.brand(self.nodes.len() as u32);
-                self.ite_cache.insert((FALSE, TRUE, FALSE), dangling);
+                let dangling = self.nodes.len() as u32;
+                self.ite_cache.put(FALSE.0, TRUE.0, FALSE.0, dangling);
             }
             TestCorruption::DanglingExistsEntry => {
-                let dangling = self.brand(self.nodes.len() as u32);
-                self.exists_cache.insert((FALSE, TRUE), dangling);
+                let dangling = self.nodes.len() as u32;
+                self.exists_cache.put(FALSE.0, TRUE.0, NIL, dangling);
             }
             TestCorruption::DanglingAndExistsEntry => {
-                let dangling = self.brand(self.nodes.len() as u32);
-                self.and_exists_cache.insert((FALSE, TRUE, TRUE), dangling);
+                let dangling = self.nodes.len() as u32;
+                self.and_exists_cache.put(FALSE.0, TRUE.0, TRUE.0, dangling);
             }
             TestCorruption::DanglingComposeEntry => {
-                let dangling = self.brand(self.nodes.len() as u32);
-                self.compose_cache.insert((FALSE, 0, TRUE), dangling);
+                let dangling = self.nodes.len() as u32;
+                self.compose_cache.put(FALSE.0, 0, TRUE.0, dangling);
             }
             TestCorruption::StaleUniqueEntry => {
-                let dangling = self.brand(self.nodes.len() as u32);
-                self.unique.insert((0, FALSE, TRUE), dangling);
+                let dangling = self.nodes.len() as u32;
+                self.unique
+                    .corrupt_chain_for_testing(&mut self.nodes, dangling);
             }
             TestCorruption::PermutationClash => {
                 assert!(self.num_vars() >= 2, "corrupting needs two variables");

@@ -10,18 +10,34 @@
 //!
 //! # Implementation
 //!
-//! Swaps are *functional*: instead of mutating nodes in place (which needs
-//! reference counts), [`BddManager::swap_adjacent`] rebuilds the affected
-//! nodes bottom-up and returns remapped roots. Nodes whose shape does not
-//! change keep their identity, so the rebuild touches only the nodes at the
-//! swapped level plus their ancestors. Old nodes become garbage that a later
-//! [`BddManager::gc`] reclaims; the sifter collects after each variable.
+//! Two swap strategies coexist:
 //!
-//! All operation caches are cleared on a swap: a cached result node may no
-//! longer be in canonical order once levels move.
+//! * The public [`BddManager::swap_adjacent`] is *functional*: it rebuilds
+//!   the affected nodes bottom-up and returns remapped roots. Nodes whose
+//!   shape does not change keep their identity, but the rebuild still walks
+//!   every ancestor of the swapped level, so a swap costs O(above-cut
+//!   region). The arena stays in children-precede-parents order throughout,
+//!   which keeps every public invariant (snapshots included) intact at any
+//!   point.
+//!
+//! * The sifter uses an *in-place* swap (`swap_adjacent_in_place`,
+//!   crate-private): nodes at the upper level are rewritten where they sit,
+//!   threaded through the manager's per-variable chains, so ancestors and
+//!   roots keep their ids and a swap costs O(nodes at the swapped level).
+//!   The arena is temporarily *staged* — rewritten nodes point at
+//!   higher-indexed children and displaced garbage lingers — until the next
+//!   [`BddManager::gc`] recompacts it; the sifter always collects before
+//!   returning, so public callers never observe a staged arena.
+//!
+//! Old nodes become garbage that a later [`BddManager::gc`] reclaims; the
+//! sifter collects after each variable.
+//!
+//! All operation caches are cleared on a swap: the entries stay
+//! function-correct, but clearing is an O(1) generation bump and keeps
+//! every cached id accountable to the live arena.
 
-use crate::hasher::FastMap;
 use crate::manager::{BddManager, NodeId, Var};
+use crate::table::{ScratchMap, NIL};
 
 /// Cost function minimised by [`BddManager::sift`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -99,13 +115,148 @@ impl BddManager {
         // Install the new order first so mk() builds valid nodes.
         self.swap_order_entries(u, v);
         self.clear_caches();
-        let mut memo: FastMap<NodeId, NodeId> = FastMap::default();
+        // The memo is a stamped arena-indexed map owned by the manager:
+        // keys are pre-swap node ids (all below the arena length at take
+        // time), so repeated swaps reuse one allocation and never hash.
+        let mut memo = self.take_swap_scratch();
         let result = roots
             .iter()
             .map(|&r| self.swap_rebuild(r, u, v, level, &mut memo))
             .collect();
+        self.put_swap_scratch(memo);
         self.clear_caches();
         result
+    }
+
+    /// Swaps the variables at `level` and `level + 1` **in place**: nodes
+    /// labelled with the upper variable that interact with the lower one
+    /// are rewritten where they sit, so every ancestor — including every
+    /// entry of `roots` — keeps both its id and its function, and the swap
+    /// costs O(nodes at the swapped level) instead of O(everything above
+    /// it). This is what makes sifting affordable: a sift walk is almost
+    /// entirely swaps, and the functional [`swap_adjacent`]
+    /// (Self::swap_adjacent) rebuilds the whole above-cut region per swap.
+    ///
+    /// The price is a *staged* arena: rewritten nodes point at children
+    /// with larger indices, and displaced nodes linger as garbage (some
+    /// untabled, some with stale shapes), until the next [`gc`]
+    /// (Self::gc) restores the children-precede-parents layout. Callers
+    /// must therefore collect before handing the manager back to code that
+    /// relies on arena order (snapshots) or full-arena integrity; the
+    /// sifter does so before returning. `roots` is consulted only by the
+    /// rare key-collision tie-break (see below) — the ids themselves are
+    /// never remapped.
+    ///
+    /// Per upper-level node `X = (u, f0, f1)` threaded on `u`'s chain:
+    ///
+    /// 1. No `v`-labelled child → `X` merely slides down one level;
+    ///    untouched.
+    /// 2. Cofactor frontier not strictly below the pair → `X` is stale
+    ///    garbage from an earlier in-place swap (a live node's two-level
+    ///    frontier always clears the pair); it is untabled so `mk` can
+    ///    never resurrect it, and skipped.
+    /// 3. `X` absent from the unique table → garbage displaced by an
+    ///    earlier collision; skipped.
+    /// 4. Otherwise `X` is unlinked *first* (so the `mk`s cannot find it
+    ///    under its old key), its swapped cofactors `G0 = mk(u, f00, f10)`
+    ///    and `G1 = mk(u, f01, f11)` are built, and `X` is rewritten to
+    ///    `(v, G0, G1)`. If that key is already tabled by some `H`, the two
+    ///    denote the same function, so at most one is live: reachability
+    ///    from `roots` decides which stays tabled (the loser becomes
+    ///    untabled garbage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level + 1` is not a valid level.
+    pub(crate) fn swap_adjacent_in_place(&mut self, level: u32, roots: &[NodeId]) {
+        let t = self.num_vars() as u32;
+        assert!(
+            level + 1 < t,
+            "swap_adjacent_in_place: level {level} out of range"
+        );
+        let u = self.var_at(level);
+        let v = self.var_at(level + 1);
+        // Install the new order first so mk() builds valid nodes: u now
+        // sits at `level + 1`, v at `level`.
+        self.swap_order_entries(u, v);
+        self.clear_caches();
+        let cut = level + 1;
+        // Snapshot u's chain and re-thread it from scratch: rewritten
+        // nodes move to v's chain, everything else stays on u's. Fresh
+        // nodes the mk()s mint below are u-labelled and thread themselves
+        // onto the (already reset) chain as they are created.
+        let mut chain = self.take_swap_chain();
+        let mut cur = self.var_list_head(u);
+        while cur != NIL {
+            chain.push(cur);
+            cur = self.var_list_next(cur);
+        }
+        self.var_list_reset(u);
+        for &raw in &chain {
+            let x = self.brand(raw);
+            debug_assert_eq!(self.var_of(x), u);
+            let lo = self.lo(x);
+            let hi = self.hi(x);
+            let lo_is_v = !self.is_const(lo) && self.var_of(lo) == v;
+            let hi_is_v = !self.is_const(hi) && self.var_of(hi) == v;
+            if !lo_is_v && !hi_is_v {
+                // Case 1: no interaction; the node slides down one level.
+                self.var_list_push(u, raw);
+                continue;
+            }
+            let (f00, f01) = if lo_is_v {
+                (self.lo(lo), self.hi(lo))
+            } else {
+                (lo, lo)
+            };
+            let (f10, f11) = if hi_is_v {
+                (self.lo(hi), self.hi(hi))
+            } else {
+                (hi, hi)
+            };
+            if self.level_of_node(f00) <= cut
+                || self.level_of_node(f01) <= cut
+                || self.level_of_node(f10) <= cut
+                || self.level_of_node(f11) <= cut
+            {
+                // Case 2: stale garbage; untable it for good.
+                let _ = self.unique_unlink_checked(raw);
+                self.var_list_push(u, raw);
+                continue;
+            }
+            if !self.unique_unlink_checked(raw) {
+                // Case 3: displaced garbage.
+                self.var_list_push(u, raw);
+                continue;
+            }
+            let g0 = self.mk(u, f00, f10);
+            let g1 = self.mk(u, f01, f11);
+            // X depends on v (a child is v-labelled), so its v-cofactors
+            // differ: the rewritten node is never redundant.
+            debug_assert_ne!(g0, g1);
+            if let Some(h) = self.unique_find_raw(v, g0.0, g1.0) {
+                debug_assert_ne!(h, raw);
+                if self.reaches(roots, raw) {
+                    // X is live, so the incumbent twin cannot be (one
+                    // tabled representative per live function).
+                    debug_assert!(!self.reaches(roots, h));
+                    let unlinked = self.unique_unlink_checked(h);
+                    debug_assert!(unlinked);
+                    self.set_node_in_place(raw, v, g0, g1);
+                    self.unique_insert_raw(raw);
+                    self.var_list_push(v, raw);
+                } else {
+                    // X is garbage; leave it untabled with its old shape.
+                    self.var_list_push(u, raw);
+                }
+            } else {
+                self.set_node_in_place(raw, v, g0, g1);
+                self.unique_insert_raw(raw);
+                self.var_list_push(v, raw);
+            }
+        }
+        self.put_swap_chain(chain);
+        self.clear_caches();
     }
 
     fn swap_order_entries(&mut self, u: Var, v: Var) {
@@ -120,13 +271,13 @@ impl BddManager {
         u: Var,
         v: Var,
         level: u32,
-        memo: &mut FastMap<NodeId, NodeId>,
+        memo: &mut ScratchMap,
     ) -> NodeId {
         if self.is_const(n) {
             return n;
         }
-        if let Some(&r) = memo.get(&n) {
-            return r;
+        if let Some(r) = memo.get(n.0) {
+            return self.brand(r);
         }
         let w = self.var_of(n);
         let r = if w == v {
@@ -155,6 +306,9 @@ impl BddManager {
                 };
                 let new_lo = self.mk(u, f00, f10);
                 let new_hi = self.mk(u, f01, f11);
+                // The function depends on v (some child is v-rooted), so
+                // the v-cofactors differ and the node never collapses.
+                debug_assert_ne!(new_lo, new_hi);
                 self.mk(v, new_lo, new_hi)
             }
         } else if self.level_of(w) > level + 1 {
@@ -173,7 +327,7 @@ impl BddManager {
                 self.mk(w, new_lo, new_hi)
             }
         };
-        memo.insert(n, r);
+        memo.set(n.0, r.0);
         r
     }
 
@@ -197,10 +351,10 @@ impl BddManager {
         roots
     }
 
-    fn reorder_cost(&self, roots: &[NodeId], cost: ReorderCost) -> usize {
+    fn reorder_cost(&mut self, roots: &[NodeId], cost: ReorderCost) -> usize {
         match cost {
             ReorderCost::NodeCount => self.node_count_multi(roots),
-            ReorderCost::SumOfWidths => self.width_profile(roots).sum(),
+            ReorderCost::SumOfWidths => self.width_sum(roots),
         }
     }
 
@@ -329,11 +483,14 @@ impl BddManager {
             return roots.to_vec();
         }
         let mut roots = roots.to_vec();
-        let mut best_cost = self.reorder_cost(&roots, cost);
+        let (mut tracker, mut best_cost) = SiftCostTracker::init(self, &roots, cost);
         let mut best_level = start;
         // Swap garbage accumulates during the walk and inflates every
-        // traversal; collect whenever the arena outgrows its starting size.
-        let gc_threshold = self.arena_len() * 2 + 16_384;
+        // traversal; collect whenever the arena heavily outgrows its
+        // starting size. The factor trades arena bytes for pause time:
+        // traversals skip garbage (they follow edges), so a larger factor
+        // only costs memory and per-collection scan length.
+        let gc_threshold = self.arena_len() * 4 + 65_536;
 
         // Visit the nearer end first to keep the walk short.
         let (first, second) = if start - min_level <= max_level - start {
@@ -345,9 +502,11 @@ impl BddManager {
             let mut level = self.level_of(var);
             while level != target {
                 let next = if target > level { level + 1 } else { level - 1 };
-                roots = self.move_var_to_level(var, next, &roots);
+                let swapped = level.min(next);
+                self.swap_adjacent_in_place(swapped, &roots);
                 level = next;
-                let c = self.reorder_cost(&roots, cost);
+                let c = tracker.after_swap(self, &roots, swapped);
+                debug_assert_eq!(c, self.reorder_cost(&roots, cost));
                 // Strictly-better keeps the first (closest) optimum.
                 if c < best_cost {
                     best_cost = c;
@@ -358,8 +517,73 @@ impl BddManager {
                 }
             }
         }
-        self.move_var_to_level(var, best_level, &roots)
+        // Park at the best position, in place like the walk itself. The
+        // arena stays staged until the caller (sift_pass) collects.
+        let mut level = self.level_of(var);
+        while level != best_level {
+            let next = if best_level > level {
+                level + 1
+            } else {
+                level - 1
+            };
+            self.swap_adjacent_in_place(level.min(next), &roots);
+            level = next;
+        }
+        roots
     }
+}
+
+/// Incremental sifting cost: an adjacent swap at level `l` can only change
+/// the width at cut `l + 1` — the width at any cut is the number of
+/// distinct non-zero cofactors with respect to the *set* of variables
+/// above it, and a swap leaves every above-cut set except `l + 1`'s
+/// untouched. The tracker therefore recounts just that cut (a traversal
+/// pruned at the cut) instead of rebuilding the whole profile after every
+/// swap. Cut widths are function-of-order values, so a `gc` between swaps
+/// does not invalidate them.
+///
+/// `NodeCount` has no such locality under this representation (node
+/// identities change on rebuild), so it stays a full recount.
+enum SiftCostTracker {
+    NodeCount,
+    Widths { cuts: Vec<i64> },
+}
+
+impl SiftCostTracker {
+    /// Full cost evaluation; returns the tracker and the current cost.
+    fn init(mgr: &mut BddManager, roots: &[NodeId], cost: ReorderCost) -> (Self, usize) {
+        match cost {
+            ReorderCost::NodeCount => {
+                let count = mgr.node_count_multi(roots);
+                (SiftCostTracker::NodeCount, count)
+            }
+            ReorderCost::SumOfWidths => {
+                let cuts = mgr.width_cuts_raw(roots);
+                let sum = clamped_sum(&cuts);
+                (SiftCostTracker::Widths { cuts }, sum)
+            }
+        }
+    }
+
+    /// Cost after one adjacent swap at `swapped_level`: recounts the one
+    /// cut the swap can change (a traversal pruned at the cut) and reuses
+    /// the cached widths everywhere else.
+    fn after_swap(&mut self, mgr: &mut BddManager, roots: &[NodeId], swapped_level: u32) -> usize {
+        match self {
+            SiftCostTracker::NodeCount => mgr.node_count_multi(roots),
+            SiftCostTracker::Widths { cuts } => {
+                let c = swapped_level + 1;
+                cuts[c as usize] = mgr.width_at_cut(roots, c);
+                clamped_sum(cuts)
+            }
+        }
+    }
+}
+
+/// The paper's cost clamps every cut width to ≥ 1 (the width at height 0
+/// is 1 by definition, and all-zero cuts count as 1).
+fn clamped_sum(cuts: &[i64]) -> usize {
+    cuts.iter().map(|&c| c.max(1) as usize).sum()
 }
 
 #[cfg(test)]
@@ -496,6 +720,106 @@ mod tests {
         let roots = mgr.sift(&[f, g], &SiftConstraints::none(), ReorderCost::NodeCount, 3);
         assert_eq!(truth_vector(&mgr, roots[0]), tf);
         assert_eq!(truth_vector(&mgr, roots[1]), tg);
+    }
+
+    #[test]
+    fn sifting_invalidates_caches_by_generation_only() {
+        // Every adjacent swap clears all four op caches; the contract is
+        // that this is a generation bump, never a physical sweep of the
+        // slot arrays (a sweep would make sifting O(cache size) per swap).
+        let mut mgr = BddManager::new(4);
+        let f = interleaved_function(&mut mgr);
+        let _ = mgr.sift(&[f], &SiftConstraints::none(), ReorderCost::SumOfWidths, 2);
+        let total = mgr.engine_stats().cache_total();
+        assert!(total.invalidations > 0, "sifting must clear the op caches");
+        assert_eq!(
+            total.slots_swept, 0,
+            "cache invalidation during sifting must never sweep slots"
+        );
+    }
+
+    #[test]
+    fn in_place_swap_preserves_ids_and_functions() {
+        let mut mgr = BddManager::new(4);
+        let f = interleaved_function(&mut mgr);
+        let g = {
+            let b = mgr.var(Var(1));
+            let c = mgr.var(Var(2));
+            mgr.xor(b, c)
+        };
+        let tf = truth_vector(&mgr, f);
+        let tg = truth_vector(&mgr, g);
+        mgr.swap_adjacent_in_place(1, &[f, g]);
+        assert_eq!(mgr.var_at(1), Var(2));
+        assert_eq!(mgr.var_at(2), Var(1));
+        // Roots keep their ids *and* their functions — the whole point.
+        assert_eq!(truth_vector(&mgr, f), tf);
+        assert_eq!(truth_vector(&mgr, g), tg);
+        // The staged arena collects back into a fully consistent one.
+        let roots = mgr.gc(&[f, g]);
+        mgr.check_integrity()
+            .expect("collected staged arena is sound");
+        assert_eq!(truth_vector(&mgr, roots[0]), tf);
+        assert_eq!(truth_vector(&mgr, roots[1]), tg);
+    }
+
+    #[test]
+    fn in_place_swap_twice_restores_canonical_shape() {
+        let mut mgr = BddManager::new(4);
+        let f = interleaved_function(&mut mgr);
+        let before_count = mgr.node_count(f);
+        let order_before: Vec<Var> = mgr.order().to_vec();
+        mgr.swap_adjacent_in_place(0, &[f]);
+        mgr.swap_adjacent_in_place(0, &[f]);
+        assert_eq!(mgr.order(), &order_before[..]);
+        // Same function, same order: canonicity forces the same shape.
+        assert_eq!(mgr.node_count(f), before_count);
+        let roots = mgr.gc(&[f]);
+        mgr.check_integrity()
+            .expect("collected staged arena is sound");
+        assert_eq!(mgr.node_count(roots[0]), before_count);
+    }
+
+    #[test]
+    fn in_place_swap_handles_nodes_skipping_levels() {
+        let mut mgr = BddManager::new(3);
+        // f = v0 XOR v2 — no v1 node anywhere.
+        let a = mgr.var(Var(0));
+        let c = mgr.var(Var(2));
+        let f = mgr.xor(a, c);
+        let before = truth_vector(&mgr, f);
+        mgr.swap_adjacent_in_place(1, &[f]); // swap v1 (absent) and v2
+        assert_eq!(truth_vector(&mgr, f), before);
+        mgr.swap_adjacent_in_place(0, &[f]); // now swap v2 above v0
+        assert_eq!(truth_vector(&mgr, f), before);
+        let roots = mgr.gc(&[f]);
+        mgr.check_integrity()
+            .expect("collected staged arena is sound");
+        assert_eq!(truth_vector(&mgr, roots[0]), before);
+    }
+
+    #[test]
+    fn in_place_swap_widths_match_full_recount() {
+        let mut mgr = BddManager::new(5);
+        let f = {
+            let a = mgr.var(Var(0));
+            let c = mgr.var(Var(2));
+            let e = mgr.var(Var(4));
+            let ac = mgr.and(a, c);
+            mgr.or(ac, e)
+        };
+        let g = interleaved_function(&mut mgr);
+        for level in [0u32, 1, 2, 3, 1, 0] {
+            mgr.swap_adjacent_in_place(level, &[f, g]);
+            let cuts = mgr.width_cuts_raw(&[f, g]);
+            for c in 0..=5u32 {
+                assert_eq!(
+                    mgr.width_at_cut(&[f, g], c),
+                    cuts[c as usize],
+                    "cut {c} after swapping level {level}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -3,34 +3,46 @@
 //!
 //! A snapshot captures everything needed to reconstruct an equivalent
 //! manager: the variable permutation, the interior-node arena, and the
-//! poisoned flag. The unique table is deliberately *not* serialized — it is
-//! a derived index and is rebuilt (with full validation) on load. Operation
-//! caches, the installed [`Budget`](crate::Budget), and the step counter are
-//! transient and are likewise not part of the wire format.
+//! poisoned flag. The unique table's *chains* are deliberately not
+//! serialized — they are a derived index, rebuilt (with full validation)
+//! on load — but format v2 records the table's bucket *geometry*, so a
+//! restored manager is bit-identical to the one that wrote the bytes
+//! (which is what keeps checkpoint resume byte-stable across the
+//! arena-table engine core). Operation caches, the installed
+//! [`Budget`](crate::Budget), and the step counter are transient and are
+//! not part of the wire format.
 //!
-//! # Wire format (version 1)
+//! # Wire format (version 2)
 //!
 //! All integers are little-endian.
 //!
 //! | offset | size | field |
 //! |--------|------|-------|
 //! | 0      | 8    | magic `b"BDDCFSNP"` |
-//! | 8      | 4    | format version (`u32`, currently 1) |
+//! | 8      | 4    | format version (`u32`, currently 2) |
 //! | 12     | 4    | flags (`u32`; bit 0 = poisoned) |
 //! | 16     | 4    | `num_vars` (`u32`) |
 //! | 20     | 4    | `interior_count` (`u32`, arena length minus terminals) |
-//! | 24     | 4·`num_vars` | variable order, top to bottom (`u32` var ids) |
+//! | 24     | 4    | `unique_capacity_log2` (`u32`, log2 of the unique-table bucket count) |
+//! | 28     | 4·`num_vars` | variable order, top to bottom (`u32` var ids) |
 //! | …      | 12·`interior_count` | interior nodes in arena order: `(var, lo, hi)` as three `u32`s |
 //! | end−8  | 8    | FNV-1a 64 checksum of every preceding byte (`u64`) |
+//!
+//! Version 1 — identical except the `unique_capacity_log2` word is absent
+//! — is still read (the geometry then defaults to the deterministic
+//! post-GC shape); [`BddManager::snapshot_bytes_v1`] keeps the legacy
+//! writer available for migration tests.
 //!
 //! Arena order guarantees every child precedes its parent, so the reader
 //! validates structure (variable ranges, redundancy, level order,
 //! duplicates) in one pass while rebuilding the unique table. Any defect
 //! yields a typed [`SnapshotError`] carrying the byte offset of the
 //! offending field — snapshots from untrusted storage can never panic the
-//! loader.
+//! loader, and the geometry word is plausibility-checked before it sizes
+//! an allocation.
 
 use crate::manager::{BddManager, Var};
+use crate::table::UniqueTable;
 use std::fmt;
 use std::io;
 
@@ -38,7 +50,11 @@ use std::io;
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"BDDCFSNP";
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// The legacy (pre-geometry) snapshot version, still accepted by the
+/// reader.
+pub const SNAPSHOT_VERSION_V1: u32 = 1;
 
 /// Why a snapshot (or a container embedding one, such as a pipeline
 /// checkpoint) failed to decode. Every variant that concerns file contents
@@ -194,13 +210,27 @@ impl BddManager {
     /// Serializes this manager into the versioned snapshot format described
     /// in the [module docs](self).
     pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.snapshot_bytes_versioned(SNAPSHOT_VERSION)
+    }
+
+    /// Serializes this manager as a **version 1** snapshot (no geometry
+    /// word). Kept so migration tests can fabricate genuine legacy bytes;
+    /// new code should use [`snapshot_bytes`](Self::snapshot_bytes).
+    pub fn snapshot_bytes_v1(&self) -> Vec<u8> {
+        self.snapshot_bytes_versioned(SNAPSHOT_VERSION_V1)
+    }
+
+    fn snapshot_bytes_versioned(&self, version: u32) -> Vec<u8> {
         let interior: Vec<(u32, u32, u32)> = self.raw_nodes().collect();
-        let mut buf = Vec::with_capacity(32 + 4 * self.num_vars() + 12 * interior.len());
+        let mut buf = Vec::with_capacity(36 + 4 * self.num_vars() + 12 * interior.len());
         buf.extend_from_slice(&SNAPSHOT_MAGIC);
-        put_u32(&mut buf, SNAPSHOT_VERSION);
+        put_u32(&mut buf, version);
         put_u32(&mut buf, u32::from(self.is_poisoned()));
         put_u32(&mut buf, self.num_vars() as u32);
         put_u32(&mut buf, interior.len() as u32);
+        if version >= 2 {
+            put_u32(&mut buf, self.unique_capacity_log2());
+        }
         for &v in self.order() {
             put_u32(&mut buf, v.0);
         }
@@ -233,7 +263,7 @@ impl BddManager {
             return Err(SnapshotError::BadMagic);
         }
         let version = header.u32()?;
-        if version != SNAPSHOT_VERSION {
+        if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_V1 {
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
                 supported: SNAPSHOT_VERSION,
@@ -257,6 +287,25 @@ impl BddManager {
         let flags = r.u32()?;
         let num_vars = r.u32()? as usize;
         let interior_count = r.u32()? as usize;
+        let unique_capacity_log2 = if version >= 2 {
+            let geometry_offset = r.pos();
+            let cap = r.u32()?;
+            // Plausibility bound before the word sizes an allocation: the
+            // writer never leaves the table below the floor geometry or
+            // more than 4× the deterministic post-GC shape.
+            let ceiling = UniqueTable::capacity_log2_for(interior_count) + 2;
+            if cap < UniqueTable::capacity_log2_for(0) || cap > ceiling {
+                return Err(SnapshotError::Malformed {
+                    offset: geometry_offset,
+                    message: format!(
+                        "implausible unique-table geometry 2^{cap} for {interior_count} node(s)"
+                    ),
+                });
+            }
+            Some(cap)
+        } else {
+            None
+        };
         let order_offset = r.pos();
         let mut order = Vec::with_capacity(num_vars);
         for _ in 0..num_vars {
@@ -276,16 +325,15 @@ impl BddManager {
                 message: format!("{} trailing byte(s) after the node section", r.remaining()),
             });
         }
-        BddManager::from_snapshot_parts(&order, &triples, flags & 1 != 0).map_err(
-            |(index, message)| SnapshotError::Malformed {
+        BddManager::from_snapshot_parts(&order, &triples, flags & 1 != 0, unique_capacity_log2)
+            .map_err(|(index, message)| SnapshotError::Malformed {
                 offset: if message.starts_with("variable order") {
                     order_offset
                 } else {
                     triples_offset + 12 * index
                 },
                 message,
-            },
-        )
+            })
     }
 }
 
@@ -374,6 +422,38 @@ mod tests {
             BddManager::from_snapshot_bytes(&bytes),
             Err(SnapshotError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_and_reserialize_as_v2() {
+        let mgr = sample_manager();
+        let v1 = mgr.snapshot_bytes_v1();
+        assert_eq!(u32::from_le_bytes([v1[8], v1[9], v1[10], v1[11]]), 1);
+        let back = BddManager::from_snapshot_bytes(&v1).expect("v1 load");
+        assert_eq!(back.arena_len(), mgr.arena_len());
+        assert_eq!(back.order(), mgr.order());
+        assert!(back.check_integrity().is_ok());
+        let v2 = back.snapshot_bytes();
+        assert_eq!(u32::from_le_bytes([v2[8], v2[9], v2[10], v2[11]]), 2);
+        assert_eq!(v2.len(), v1.len() + 4, "v2 adds exactly the geometry word");
+        let again = BddManager::from_snapshot_bytes(&v2).expect("v2 reload");
+        assert_eq!(again.snapshot_bytes(), v2, "byte-stable after migration");
+    }
+
+    #[test]
+    fn implausible_geometry_word_is_rejected_before_allocating() {
+        let mut bytes = sample_manager().snapshot_bytes();
+        bytes[24] = 31; // unique_capacity_log2: 2^31 buckets for a tiny arena
+        let payload = bytes.len() - 8;
+        let fixed = fnv1a64(&bytes[..payload]);
+        bytes[payload..].copy_from_slice(&fixed.to_le_bytes());
+        match BddManager::from_snapshot_bytes(&bytes) {
+            Err(SnapshotError::Malformed { offset, message }) => {
+                assert_eq!(offset, 24);
+                assert!(message.contains("implausible"), "got: {message}");
+            }
+            other => panic!("expected malformed geometry, got {other:?}"),
+        }
     }
 
     #[test]

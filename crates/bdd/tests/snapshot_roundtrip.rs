@@ -124,6 +124,36 @@ proptest! {
         }
     }
 
+    /// A legacy v1 snapshot (no unique-table geometry word) of any random
+    /// manager still loads, is structurally sound, preserves every root's
+    /// function, and migrates to a stable v2 form: reserializing writes
+    /// version 2 bytes that round-trip byte-identically thereafter.
+    #[test]
+    fn v1_snapshots_migrate_losslessly(
+        exprs in prop::collection::vec(arb_expr(), 1..4),
+        order_seed in 0u64..u64::MAX,
+        collect in 0u32..2,
+    ) {
+        let order = permutation_from_seed(order_seed);
+        let (mgr, roots) = build_manager(&exprs, &order, collect == 1);
+        let v1 = mgr.snapshot_bytes_v1();
+        let restored = BddManager::from_snapshot_bytes(&v1).expect("v1 load");
+        prop_assert!(restored.check_integrity().is_ok());
+        prop_assert_eq!(restored.arena_len(), mgr.arena_len());
+        prop_assert_eq!(restored.order(), mgr.order());
+        for bits in 0..1u32 << NVARS {
+            let a: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+            for &root in &roots {
+                prop_assert_eq!(restored.eval(root, &a), mgr.eval(root, &a));
+            }
+        }
+        // Migration: the reserialized form is v2 and self-stable.
+        let v2 = restored.snapshot_bytes();
+        prop_assert_eq!(&v2[8..12], &2u32.to_le_bytes());
+        let migrated = BddManager::from_snapshot_bytes(&v2).expect("migrated load");
+        prop_assert_eq!(migrated.snapshot_bytes(), v2);
+    }
+
     /// Truncating a valid snapshot anywhere yields a typed error (and
     /// never a panic): `Truncated` with the cut offset when the header or
     /// checksum is cut short, `ChecksumMismatch` or `Malformed` when only
@@ -173,6 +203,122 @@ proptest! {
                 prop_assert!(expected != found);
             }
             SnapshotError::Truncated { .. } | SnapshotError::Malformed { .. } => {}
+        }
+    }
+}
+
+/// One step of the interleaved engine-ops test.
+#[derive(Clone, Copy, Debug)]
+enum EngineOp {
+    /// Combine pooled functions (drives `mk`, `ite`, and unique-table
+    /// growth/rehash).
+    Combine {
+        a: usize,
+        b: usize,
+        c: usize,
+        kind: u8,
+    },
+    /// Mark-and-rebuild collection (compaction + deterministic rehash).
+    Gc,
+    /// Adjacent level swap followed by a collection — the sifter's
+    /// swap-then-collect cadence (rebuild + O(1) cache invalidation +
+    /// compaction rehash). The collection is part of the op because a bare
+    /// swap intentionally leaves order-inconsistent *garbage* behind,
+    /// which the full-arena integrity walk would flag; the reachable
+    /// structure is only auditable at collected boundaries.
+    Swap { level: u32 },
+    /// Serialize and continue on the restored manager (the snapshot
+    /// contract keeps pooled ids valid across the round trip).
+    Roundtrip,
+}
+
+fn arb_engine_op() -> impl Strategy<Value = EngineOp> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>(), any::<usize>(), any::<u8>())
+            .prop_map(|(a, b, c, kind)| EngineOp::Combine { a, b, c, kind }),
+        (any::<usize>(), any::<usize>(), any::<usize>(), any::<u8>())
+            .prop_map(|(a, b, c, kind)| EngineOp::Combine { a, b, c, kind }),
+        Just(EngineOp::Gc),
+        (0u32..NVARS - 1).prop_map(|level| EngineOp::Swap { level }),
+        Just(EngineOp::Roundtrip),
+    ]
+}
+
+proptest! {
+    /// Random interleavings of `mk`/`ite`, garbage collection, adjacent
+    /// swaps, and snapshot round trips: after *every* step the arena must
+    /// pass the full integrity walk (which includes unique-table
+    /// canonicity — no duplicate or unregistered interior nodes) and every
+    /// pooled function must still evaluate to its tracked truth vector.
+    #[test]
+    fn interleaved_ops_keep_the_arena_canonical(
+        ops in prop::collection::vec(arb_engine_op(), 1..20),
+        order_seed in 0u64..u64::MAX,
+    ) {
+        let order = permutation_from_seed(order_seed);
+        let mut mgr = BddManager::new(NVARS as usize);
+        mgr.set_order(&order);
+        // Pool of (root, truth vector over all 2^NVARS assignments).
+        let mut pool: Vec<(NodeId, u64)> = (0..NVARS)
+            .map(|i| {
+                let f = mgr.var(Var(i));
+                let mut mask = 0u64;
+                for bits in 0..1u64 << NVARS {
+                    if bits >> i & 1 == 1 {
+                        mask |= 1 << bits;
+                    }
+                }
+                (f, mask)
+            })
+            .collect();
+        for op in ops {
+            match op {
+                EngineOp::Combine { a, b, c, kind } => {
+                    let n = pool.len();
+                    let (fa, ma) = pool[a % n];
+                    let (fb, mb) = pool[b % n];
+                    let (fc, mc) = pool[c % n];
+                    let entry = match kind % 4 {
+                        0 => (mgr.and(fa, fb), ma & mb),
+                        1 => (mgr.or(fa, fb), ma | mb),
+                        2 => (mgr.xor(fa, fb), ma ^ mb),
+                        _ => (mgr.ite(fa, fb, fc), (ma & mb) | (!ma & mc)),
+                    };
+                    pool.push(entry);
+                    if pool.len() > 10 {
+                        pool.remove(0); // dropped roots become gc fodder
+                    }
+                }
+                EngineOp::Gc => {
+                    let roots: Vec<NodeId> = pool.iter().map(|e| e.0).collect();
+                    let remapped = mgr.gc(&roots);
+                    for (entry, id) in pool.iter_mut().zip(remapped) {
+                        entry.0 = id;
+                    }
+                }
+                EngineOp::Swap { level } => {
+                    let roots: Vec<NodeId> = pool.iter().map(|e| e.0).collect();
+                    let swapped = mgr.swap_adjacent(level, &roots);
+                    let remapped = mgr.gc(&swapped);
+                    for (entry, id) in pool.iter_mut().zip(remapped) {
+                        entry.0 = id;
+                    }
+                }
+                EngineOp::Roundtrip => {
+                    let bytes = mgr.snapshot_bytes();
+                    mgr = BddManager::from_snapshot_bytes(&bytes).expect("roundtrip");
+                }
+            }
+            prop_assert!(mgr.check_integrity().is_ok(), "integrity after {op:?}");
+            for (root, mask) in &pool {
+                for bits in 0..1u64 << NVARS {
+                    let a: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+                    prop_assert!(
+                        mgr.eval(*root, &a) == (mask >> bits & 1 == 1),
+                        "function drift after {op:?}"
+                    );
+                }
+            }
         }
     }
 }

@@ -15,8 +15,10 @@
 
 pub mod pipeline;
 pub mod report;
+pub mod suite;
 
 pub use pipeline::{
     measure_benchmark, measure_benchmark_quarantined, HalfMeasurement, Measurement, PipelineOptions,
 };
 pub use report::TableWriter;
+pub use suite::{run_bench, run_suite, BenchReport, EngineFigures, BENCH_FORMAT};

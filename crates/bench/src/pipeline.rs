@@ -72,6 +72,9 @@ pub struct HalfMeasurement {
     pub time_alg33: Duration,
     /// Support variables removed before the algorithms (when enabled).
     pub removed_inputs: usize,
+    /// Engine-health counters accumulated over the half's managers (the
+    /// sifted ISF's plus the Algorithm 3.1 and 3.3 forks').
+    pub engine: crate::suite::EngineFigures,
 }
 
 /// Table-4 measurements of one benchmark.
@@ -110,6 +113,44 @@ fn shape_of(cf: &Cf) -> Shape {
     Shape {
         max_width: cf.max_width(),
         nodes: cf.node_count(),
+    }
+}
+
+pub(crate) fn engine_figures(cf: &Cf) -> crate::suite::EngineFigures {
+    let stats = cf.manager().engine_stats();
+    let cache = stats.cache_total();
+    crate::suite::EngineFigures {
+        peak_nodes: stats.peak_nodes,
+        peak_arena_bytes: stats.peak_arena_bytes,
+        unique_lookups: stats.unique_lookups,
+        unique_probes: stats.unique_probes,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
+        gc_runs: stats.gc_runs,
+        gc_pause_ns: stats.gc_pause_ns,
+    }
+}
+
+/// Counters accrued in `after` beyond `base` (a forked manager inherits
+/// the shared prefix's monotone counters; subtracting the fork point keeps
+/// the prefix from being counted once per fork). Peaks pass through —
+/// [`EngineFigures::absorb`](crate::suite::EngineFigures::absorb) takes
+/// the max.
+fn engine_delta(
+    after: &crate::suite::EngineFigures,
+    base: &crate::suite::EngineFigures,
+) -> crate::suite::EngineFigures {
+    crate::suite::EngineFigures {
+        peak_nodes: after.peak_nodes,
+        peak_arena_bytes: after.peak_arena_bytes,
+        unique_lookups: after.unique_lookups.saturating_sub(base.unique_lookups),
+        unique_probes: after.unique_probes.saturating_sub(base.unique_probes),
+        cache_hits: after.cache_hits.saturating_sub(base.cache_hits),
+        cache_misses: after.cache_misses.saturating_sub(base.cache_misses),
+        cache_evictions: after.cache_evictions.saturating_sub(base.cache_evictions),
+        gc_runs: after.gc_runs.saturating_sub(base.gc_runs),
+        gc_pause_ns: after.gc_pause_ns.saturating_sub(base.gc_pause_ns),
     }
 }
 
@@ -156,6 +197,9 @@ pub fn measure_benchmark(benchmark: &dyn Benchmark, options: &PipelineOptions) -
         let dc0 = completion_shape(&cf, false);
         let dc1 = completion_shape(&cf, true);
 
+        // Fork point: both algorithm forks inherit these counters.
+        let engine_base = engine_figures(&cf);
+
         let mut cf31 = cf.clone();
         let t31 = Instant::now();
         cf31.reduce_alg31();
@@ -168,6 +212,10 @@ pub fn measure_benchmark(benchmark: &dyn Benchmark, options: &PipelineOptions) -
         let time_alg33 = t33.elapsed();
         audit(&mut cf33, "after Algorithm 3.3");
 
+        let mut engine = engine_base;
+        engine.absorb(&engine_delta(&engine_figures(&cf31), &engine_base));
+        engine.absorb(&engine_delta(&engine_figures(&cf33), &engine_base));
+
         halves.push(HalfMeasurement {
             range,
             dc0,
@@ -178,6 +226,7 @@ pub fn measure_benchmark(benchmark: &dyn Benchmark, options: &PipelineOptions) -
             time_alg31,
             time_alg33,
             removed_inputs,
+            engine,
         });
     }
 

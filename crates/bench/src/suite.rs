@@ -1,0 +1,446 @@
+//! The `bddcf bench` measurement suite: machine-readable wall-clock and
+//! engine-health figures for the registry benchmarks, in a stable JSON
+//! format (`bddcf-bench-v1`) that the committed `BENCH_baseline.json` and
+//! the CI `bench-diff` job both speak.
+//!
+//! Three suites are available:
+//!
+//! * `small` — the five `small_benchmarks()` through the Table-4 pipeline
+//!   (cheap; used by tests and smoke runs);
+//! * `table4` — the full Table-4 batch (§5.1 pipeline per benchmark);
+//! * `table5` — the §5.2 cascade synthesis pair (DC=0 baseline +
+//!   don't-care-optimized) over the arithmetic benchmarks.
+//!
+//! Every report carries a **calibration figure**: the wall time of a fixed
+//! engine-independent integer workload, measured on the same machine in
+//! the same process. Comparing two reports normalizes each wall-clock
+//! total by its own calibration, so a baseline recorded on a faster (or
+//! slower) machine still diffs meaningfully. The workload is deliberately
+//! *not* BDD work — if it were, engine speedups would cancel out of the
+//! normalized ratio and regressions would hide.
+//!
+//! All figures are integers (nanoseconds / counts); the emitter writes
+//! keys in a fixed order so a byte-identical rerun produces byte-identical
+//! JSON (modulo the timings themselves).
+
+use crate::pipeline::{measure_benchmark_quarantined, Measurement, PipelineOptions};
+use bddcf_bdd::ReorderCost;
+use bddcf_cascade::{synthesize_partitioned, CascadeOptions, MultiCascade};
+use bddcf_funcs::{build_isf_pieces, small_benchmarks, table4_benchmarks, Benchmark};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Format tag written into every report; bump on breaking schema changes.
+pub const BENCH_FORMAT: &str = "bddcf-bench-v1";
+
+/// Engine-health figures of one entry (arena/table/cache counters
+/// accumulated over every manager the entry ran through).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineFigures {
+    /// Highest live interior node count observed.
+    pub peak_nodes: u64,
+    /// Highest arena footprint in bytes (capacity × node size).
+    pub peak_arena_bytes: u64,
+    /// Unique-table lookups.
+    pub unique_lookups: u64,
+    /// Chain links followed across all unique-table lookups (probe length
+    /// = `unique_probes / unique_lookups`).
+    pub unique_probes: u64,
+    /// Computed-table hits, summed over the four op caches.
+    pub cache_hits: u64,
+    /// Computed-table misses, summed over the four op caches.
+    pub cache_misses: u64,
+    /// Live computed-table entries overwritten by a colliding insert.
+    pub cache_evictions: u64,
+    /// Garbage collections run.
+    pub gc_runs: u64,
+    /// Total wall time spent inside GC.
+    pub gc_pause_ns: u64,
+}
+
+impl EngineFigures {
+    /// Accumulates another set of figures into this one (peaks max,
+    /// counters add).
+    pub fn absorb(&mut self, other: &EngineFigures) {
+        self.peak_nodes = self.peak_nodes.max(other.peak_nodes);
+        self.peak_arena_bytes = self.peak_arena_bytes.max(other.peak_arena_bytes);
+        self.unique_lookups += other.unique_lookups;
+        self.unique_probes += other.unique_probes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.gc_runs += other.gc_runs;
+        self.gc_pause_ns += other.gc_pause_ns;
+    }
+}
+
+/// One benchmark's figures within a suite.
+#[derive(Clone, Debug)]
+pub struct EntryReport {
+    /// Registry label.
+    pub label: String,
+    /// Wall time of the whole entry.
+    pub wall_ns: u64,
+    /// Suite-specific figures, in emission order.
+    pub detail: Vec<(&'static str, u64)>,
+    /// Engine-health counters.
+    pub engine: EngineFigures,
+}
+
+/// One suite's figures.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// Suite name (`small` | `table4` | `table5`).
+    pub name: String,
+    /// Sum of entry wall times (the figure the diff compares).
+    pub total_wall_ns: u64,
+    /// Benchmarks that panicked inside the quarantine, with payloads.
+    pub quarantined: Vec<(String, String)>,
+    /// Per-benchmark figures.
+    pub entries: Vec<EntryReport>,
+}
+
+/// A full `bddcf bench` report.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Calibration workload wall time (see module docs).
+    pub calibration_ns: u64,
+    /// One per requested suite, in request order.
+    pub suites: Vec<SuiteReport>,
+}
+
+/// Runs the fixed engine-independent calibration workload and returns its
+/// wall time in nanoseconds (best of three, to shed scheduler noise).
+pub fn calibrate() -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut acc = 0u64;
+        for _ in 0..20_000_000u64 {
+            // splitmix64: fixed integer work with a serial dependency, so
+            // the optimizer cannot collapse the loop.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            acc = acc.wrapping_add(z ^ (z >> 31));
+        }
+        std::hint::black_box(acc);
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+fn pipeline_detail(m: &Measurement) -> (Vec<(&'static str, u64)>, EngineFigures) {
+    let mut alg31_ns = 0u64;
+    let mut alg33_ns = 0u64;
+    let mut nodes_isf = 0u64;
+    let mut nodes_alg31 = 0u64;
+    let mut nodes_alg33 = 0u64;
+    let mut width_alg33 = 0u64;
+    let mut engine = EngineFigures::default();
+    for half in &m.halves {
+        alg31_ns += half.time_alg31.as_nanos() as u64;
+        alg33_ns += half.time_alg33.as_nanos() as u64;
+        nodes_isf += half.isf.nodes as u64;
+        nodes_alg31 += half.alg31.nodes as u64;
+        nodes_alg33 += half.alg33.nodes as u64;
+        width_alg33 = width_alg33.max(half.alg33.max_width as u64);
+        engine.absorb(&half.engine);
+    }
+    (
+        vec![
+            ("inputs", m.inputs as u64),
+            ("outputs", m.outputs as u64),
+            ("sift_ns", m.time_sift.as_nanos() as u64),
+            ("alg31_ns", alg31_ns),
+            ("alg33_ns", alg33_ns),
+            ("nodes_isf", nodes_isf),
+            ("nodes_alg31", nodes_alg31),
+            ("nodes_alg33", nodes_alg33),
+            ("width_alg33", width_alg33),
+        ],
+        engine,
+    )
+}
+
+/// Runs the §5.1 pipeline over a benchmark list and collects a suite
+/// report. Panicking benchmarks are quarantined and listed, not fatal.
+fn pipeline_suite(
+    name: &str,
+    entries: Vec<bddcf_funcs::BenchmarkEntry>,
+    options: &PipelineOptions,
+    progress: bool,
+) -> SuiteReport {
+    let mut report = SuiteReport {
+        name: name.to_string(),
+        total_wall_ns: 0,
+        quarantined: Vec::new(),
+        entries: Vec::new(),
+    };
+    for entry in entries {
+        if progress {
+            eprintln!("bench[{name}]: {} …", entry.label);
+        }
+        let t0 = Instant::now();
+        match measure_benchmark_quarantined(entry.benchmark.as_ref(), options) {
+            Ok(m) => {
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                let (detail, engine) = pipeline_detail(&m);
+                report.total_wall_ns += wall_ns;
+                report.entries.push(EntryReport {
+                    label: entry.label.to_string(),
+                    wall_ns,
+                    detail,
+                    engine,
+                });
+            }
+            Err(payload) => report.quarantined.push((entry.label.to_string(), payload)),
+        }
+    }
+    report
+}
+
+/// §5.2 cascade synthesis of one benchmark (the Table-5 experiment's
+/// inner loop, minus oracle verification — `bddcf bench` measures the
+/// synthesis wall time; semantic verification stays the `table5` binary's
+/// and the check layers' job).
+fn realize_cascades(
+    benchmark: &dyn Benchmark,
+    optimized: bool,
+    cells: &CascadeOptions,
+) -> (MultiCascade, EngineFigures) {
+    let (mut mgr, layout, isf) = build_isf_pieces(benchmark);
+    let isf = if optimized {
+        isf
+    } else {
+        isf.completed(&mut mgr, false)
+    };
+    let m = layout.num_outputs();
+    let half = m.div_ceil(2);
+    let mut engine = EngineFigures::default();
+    #[allow(clippy::single_range_in_vec_init)] // the partition API takes lists of ranges
+    let cascade = synthesize_partitioned(&mgr, &layout, &isf, &[0..half, half..m], cells, |cf| {
+        cf.optimize_order(ReorderCost::SumOfWidths, 1);
+        if optimized {
+            cf.reduce_alg33_default();
+        }
+        engine.absorb(&crate::pipeline::engine_figures(cf));
+    });
+    (cascade, engine)
+}
+
+fn table5_suite(progress: bool) -> SuiteReport {
+    let cells = CascadeOptions::default(); // 12-in / 10-out, as in the paper
+    let suite = table4_benchmarks();
+    let arithmetic = &suite[..13]; // everything except the word lists
+    let mut report = SuiteReport {
+        name: "table5".to_string(),
+        total_wall_ns: 0,
+        quarantined: Vec::new(),
+        entries: Vec::new(),
+    };
+    for entry in arithmetic {
+        if progress {
+            eprintln!("bench[table5]: {} …", entry.label);
+        }
+        let t0 = Instant::now();
+        let (baseline, engine_dc0) = realize_cascades(entry.benchmark.as_ref(), false, &cells);
+        let (optimized, engine_opt) = realize_cascades(entry.benchmark.as_ref(), true, &cells);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        report.total_wall_ns += wall_ns;
+        let mut engine = engine_dc0;
+        engine.absorb(&engine_opt);
+        report.entries.push(EntryReport {
+            label: entry.label.to_string(),
+            wall_ns,
+            detail: vec![
+                ("cells_dc0", baseline.num_cells() as u64),
+                ("cells_opt", optimized.num_cells() as u64),
+                ("lut_outputs_opt", optimized.lut_outputs() as u64),
+                ("memory_bits_opt", optimized.memory_bits() as u64),
+            ],
+            engine,
+        });
+    }
+    report
+}
+
+/// Runs one suite by name. `progress` prints per-benchmark lines on
+/// stderr (the JSON report goes to stdout / a file untouched).
+///
+/// # Errors
+///
+/// Returns the offending name when it is not a known suite.
+pub fn run_suite(name: &str, progress: bool) -> Result<SuiteReport, String> {
+    let options = PipelineOptions::default();
+    match name {
+        "small" => Ok(pipeline_suite(
+            "small",
+            small_benchmarks(),
+            &options,
+            progress,
+        )),
+        "table4" => Ok(pipeline_suite(
+            "table4",
+            table4_benchmarks(),
+            &options,
+            progress,
+        )),
+        "table5" => Ok(table5_suite(progress)),
+        other => Err(format!(
+            "unknown bench suite {other:?} (expected small | table4 | table5)"
+        )),
+    }
+}
+
+/// Runs the requested suites plus the calibration workload.
+///
+/// # Errors
+///
+/// Returns the first unknown suite name.
+pub fn run_bench(suites: &[String], progress: bool) -> Result<BenchReport, String> {
+    let calibration_ns = calibrate();
+    let mut report = BenchReport {
+        calibration_ns,
+        suites: Vec::new(),
+    };
+    for name in suites {
+        report.suites.push(run_suite(name, progress)?);
+    }
+    Ok(report)
+}
+
+fn push_engine(out: &mut String, engine: &EngineFigures) {
+    let _ = write!(
+        out,
+        "\"engine\":{{\"peak_nodes\":{},\"peak_arena_bytes\":{},\
+         \"unique_lookups\":{},\"unique_probes\":{},\"cache_hits\":{},\
+         \"cache_misses\":{},\"cache_evictions\":{},\"gc_runs\":{},\
+         \"gc_pause_ns\":{}}}",
+        engine.peak_nodes,
+        engine.peak_arena_bytes,
+        engine.unique_lookups,
+        engine.unique_probes,
+        engine.cache_hits,
+        engine.cache_misses,
+        engine.cache_evictions,
+        engine.gc_runs,
+        engine.gc_pause_ns,
+    );
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl BenchReport {
+    /// Renders the report as deterministic, insertion-ordered JSON (keys
+    /// always in the same order; integers only).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"format\": \"{}\",\n  \"calibration_ns\": {},\n  \"suites\": [",
+            BENCH_FORMAT, self.calibration_ns
+        );
+        for (si, suite) in self.suites.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"total_wall_ns\": {}, \"entries\": [",
+                suite.name, suite.total_wall_ns
+            );
+            for (ei, entry) in suite.entries.iter().enumerate() {
+                if ei > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      {\"label\":");
+                push_json_string(&mut out, &entry.label);
+                let _ = write!(out, ",\"wall_ns\":{}", entry.wall_ns);
+                for (key, value) in &entry.detail {
+                    let _ = write!(out, ",\"{key}\":{value}");
+                }
+                out.push(',');
+                push_engine(&mut out, &entry.engine);
+                out.push('}');
+            }
+            out.push_str("\n    ]");
+            if !suite.quarantined.is_empty() {
+                out.push_str(", \"quarantined\": [");
+                for (qi, (label, payload)) in suite.quarantined.iter().enumerate() {
+                    if qi > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("\n      {\"label\":");
+                    push_json_string(&mut out, label);
+                    out.push_str(",\"panic\":");
+                    push_json_string(&mut out, payload);
+                    out.push('}');
+                }
+                out.push_str("\n    ]");
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_produces_figures_and_stable_json() {
+        let report = run_bench(&["small".to_string()], false).expect("small suite");
+        assert_eq!(report.suites.len(), 1);
+        let suite = &report.suites[0];
+        assert_eq!(suite.name, "small");
+        assert_eq!(suite.entries.len(), 5);
+        assert!(suite.quarantined.is_empty());
+        assert!(suite.total_wall_ns > 0);
+        let sum: u64 = suite.entries.iter().map(|e| e.wall_ns).sum();
+        assert_eq!(sum, suite.total_wall_ns, "total is the sum of entries");
+        for entry in &suite.entries {
+            assert!(entry.detail.iter().any(|(k, _)| *k == "nodes_alg33"));
+        }
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"format\": \"bddcf-bench-v1\""));
+        assert!(json.contains("\"name\": \"small\""));
+        assert!(json.contains("\"engine\":{\"peak_nodes\":"));
+        // Same figures → byte-identical emission.
+        assert_eq!(json, report.to_json());
+    }
+
+    #[test]
+    fn unknown_suites_are_typed_errors() {
+        let err = run_suite("table9", false).expect_err("unknown suite");
+        assert!(err.contains("table9"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

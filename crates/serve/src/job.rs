@@ -88,6 +88,10 @@ pub struct ExecOutcome {
     pub result: SynthResult,
     /// True when the degradation report is non-empty.
     pub degraded: bool,
+    /// Engine-health counters of the job's manager at completion. Not part
+    /// of the wire result — the pool folds them into its own counters for
+    /// the `stats` op.
+    pub engine: bddcf_bdd::EngineStats,
 }
 
 /// Runs one job to completion (or a typed failure).
@@ -169,6 +173,7 @@ pub fn execute(
         .map_err(|e| ExecError::internal(format!("verilog emission: {e}")))?;
     let degradations: Vec<String> = report.render().lines().map(str::to_owned).collect();
     Ok(ExecOutcome {
+        engine: cf.manager().engine_stats(),
         degraded: !report.is_clean(),
         result: SynthResult {
             stats: SynthStats {

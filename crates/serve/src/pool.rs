@@ -150,6 +150,22 @@ pub struct PoolCounters {
     pub rejected_draining: u64,
     /// Rejections: circuit breaker open.
     pub rejected_breaker: u64,
+    /// Peak live node count over any single completed job's manager.
+    pub engine_peak_nodes: u64,
+    /// Peak arena footprint in bytes over any single completed job.
+    pub engine_peak_arena_bytes: u64,
+    /// Unique-table lookups, summed over completed jobs' managers.
+    pub engine_unique_lookups: u64,
+    /// Unique-table chain links followed, summed over completed jobs.
+    pub engine_unique_probes: u64,
+    /// Op-cache hits (all four caches), summed over completed jobs.
+    pub engine_cache_hits: u64,
+    /// Op-cache misses (all four caches), summed over completed jobs.
+    pub engine_cache_misses: u64,
+    /// Garbage collections run, summed over completed jobs.
+    pub engine_gc_runs: u64,
+    /// Wall time inside GC in nanoseconds, summed over completed jobs.
+    pub engine_gc_pause_ns: u64,
 }
 
 /// Per-spec-hash consecutive-failure breaker.
@@ -390,7 +406,7 @@ fn worker_loop(idx: usize, shared: &Shared) {
                 std::thread::sleep(Duration::from_millis(1));
             }
         }
-        let response = run_one(shared, &queued);
+        let (response, engine) = run_one(shared, &queued);
 
         let mut state = lock_state(shared);
         state.inflight -= 1;
@@ -401,6 +417,7 @@ fn worker_loop(idx: usize, shared: &Shared) {
             shared,
             queued.job.spec.hash(),
             response.as_ref(),
+            engine.as_ref(),
         );
         drop(state);
         shared.idle.notify_all();
@@ -416,7 +433,25 @@ fn worker_loop(idx: usize, shared: &Shared) {
 
 /// Updates counters and the spec's circuit breaker for one finished job.
 /// `None` means the job parked at a checkpoint.
-fn settle(state: &mut PoolState, shared: &Shared, hash: u64, response: Option<&Response>) {
+fn settle(
+    state: &mut PoolState,
+    shared: &Shared,
+    hash: u64,
+    response: Option<&Response>,
+    engine: Option<&bddcf_bdd::EngineStats>,
+) {
+    if let Some(stats) = engine {
+        let cache = stats.cache_total();
+        let c = &mut state.counters;
+        c.engine_peak_nodes = c.engine_peak_nodes.max(stats.peak_nodes);
+        c.engine_peak_arena_bytes = c.engine_peak_arena_bytes.max(stats.peak_arena_bytes);
+        c.engine_unique_lookups += stats.unique_lookups;
+        c.engine_unique_probes += stats.unique_probes;
+        c.engine_cache_hits += cache.hits;
+        c.engine_cache_misses += cache.misses;
+        c.engine_gc_runs += stats.gc_runs;
+        c.engine_gc_pause_ns += stats.gc_pause_ns;
+    }
     let Some(response) = response else {
         state.counters.parked += 1;
         return;
@@ -460,8 +495,12 @@ fn settle(state: &mut PoolState, shared: &Shared, hash: u64, response: Option<&R
 }
 
 /// Runs one picked-up job: queue-deadline shed, budget construction,
-/// quarantined execution, and response assembly.
-fn run_one(shared: &Shared, queued: &QueuedJob) -> Option<Response> {
+/// quarantined execution, and response assembly. Also returns the job
+/// manager's engine counters when the job produced a result.
+fn run_one(
+    shared: &Shared,
+    queued: &QueuedJob,
+) -> (Option<Response>, Option<bddcf_bdd::EngineStats>) {
     let job = &queued.job;
     let hash_hex = job.spec.hash_hex();
     if let Some(deadline) = job.deadline {
@@ -472,7 +511,7 @@ fn run_one(shared: &Shared, queued: &QueuedJob) -> Option<Response> {
                 "deadline passed while the request was queued",
             );
             response.spec_hash = Some(hash_hex);
-            return Some(response);
+            return (Some(response), None);
         }
     }
     let mut budget = Budget::default()
@@ -488,22 +527,26 @@ fn run_one(shared: &Shared, queued: &QueuedJob) -> Option<Response> {
     let outcome = run_quarantined(&label, || {
         execute(&job.spec, Some(budget), job.ckpt_dir.as_deref(), job.resume)
     });
+    let mut engine = None;
     let mut response = match outcome {
-        Ok(Ok(out)) => Response {
-            id: job.id.clone(),
-            status: if out.degraded {
-                Status::Degraded
-            } else {
-                Status::Ok
-            },
-            spec_hash: None,
-            error: None,
-            result: Some(out.result),
-            cached: false,
-            resumed: job.resume,
-        },
+        Ok(Ok(out)) => {
+            engine = Some(out.engine);
+            Response {
+                id: job.id.clone(),
+                status: if out.degraded {
+                    Status::Degraded
+                } else {
+                    Status::Ok
+                },
+                spec_hash: None,
+                error: None,
+                result: Some(out.result),
+                cached: false,
+                resumed: job.resume,
+            }
+        }
         Ok(Err(ExecError::Reject(code, message))) => Response::failure(&job.id, code, message),
-        Ok(Err(ExecError::Parked)) => return None,
+        Ok(Err(ExecError::Parked)) => return (None, None),
         Err(quarantine) => Response::failure(
             &job.id,
             ErrorCode::Panicked,
@@ -511,7 +554,7 @@ fn run_one(shared: &Shared, queued: &QueuedJob) -> Option<Response> {
         ),
     };
     response.spec_hash = Some(hash_hex);
-    Some(response)
+    (Some(response), engine)
 }
 
 #[cfg(test)]

@@ -565,6 +565,26 @@ fn stats_payload(inner: &Arc<Inner>, id: &str) -> Vec<u8> {
                 ("cache_hits".into(), n(cache.hits)),
                 ("cache_misses".into(), n(cache.misses)),
                 ("cache_invalidated".into(), n(cache.invalidated)),
+                ("engine_peak_nodes".into(), n(counters.engine_peak_nodes)),
+                (
+                    "engine_peak_arena_bytes".into(),
+                    n(counters.engine_peak_arena_bytes),
+                ),
+                (
+                    "engine_unique_lookups".into(),
+                    n(counters.engine_unique_lookups),
+                ),
+                (
+                    "engine_unique_probes".into(),
+                    n(counters.engine_unique_probes),
+                ),
+                ("engine_cache_hits".into(), n(counters.engine_cache_hits)),
+                (
+                    "engine_cache_misses".into(),
+                    n(counters.engine_cache_misses),
+                ),
+                ("engine_gc_runs".into(), n(counters.engine_gc_runs)),
+                ("engine_gc_pause_ns".into(), n(counters.engine_gc_pause_ns)),
             ]),
         ),
     ])

@@ -21,6 +21,7 @@ use crate::{is_governed_fn_name, is_test_only, GOVERNED_FILES};
 /// these must stay on `Sync` primitives only).
 pub(crate) const SHARDING_FILES: &[&str] = &[
     "crates/bdd/src/manager.rs",
+    "crates/bdd/src/table.rs",
     "crates/core/src/alg33.rs",
     "crates/bench/src/pipeline.rs",
     "crates/serve/src/pool.rs",

@@ -46,6 +46,14 @@
 //!     to be byte-identical to an uninterrupted run; exits nonzero on any
 //!     divergence, refinement violation, or quarantined benchmark.
 //!
+//! bddcf bench [--suite small|table4|table5[,…]] [--json] [-o report.json]
+//!             [--diff BASELINE.json] [--tolerance FRACTION]
+//!     Run the measurement suites (wall clock, peak nodes, probe lengths,
+//!     cache hit rates per registry benchmark) and emit the figures as
+//!     deterministic JSON; `--diff` compares the run against a committed
+//!     baseline with calibration-normalized wall clocks and exits 1 on a
+//!     regression beyond the tolerance (default 0.20).
+//!
 //! bddcf serve [--addr A] [--workers N] [--queue-cap N]
 //!             [--max-inflight-nodes N] [--spool D] [--cache-cap N]
 //!     Run the fault-tolerant synthesis daemon (length-prefixed JSON over
@@ -154,6 +162,7 @@ fn run(args: &[String]) -> Result<Outcome, CliError> {
         "inject" => inject(&args[1..]).map_err(Into::into),
         "resume" => resume(&args[1..]).map(clean),
         "crashtest" => crashtest(&args[1..]).map_err(Into::into),
+        "bench" => bench(&args[1..]).map_err(Into::into),
         "serve" => serve(&args[1..]).map(clean).map_err(Into::into),
         "loadtest" => loadtest(&args[1..]).map_err(Into::into),
         other => Err(format!("unknown subcommand {other:?}").into()),
@@ -178,6 +187,8 @@ USAGE:
                [--save out.cas] [--verilog out.v]
   bddcf crashtest [label-substring...] [--suite small|table4] [--seed N]
                   [--kill-points N] [--max-iter N] [--dir D] [--panic-probe]
+  bddcf bench [--suite small|table4|table5[,…]] [--json] [-o report.json]
+              [--diff BASELINE.json] [--tolerance FRACTION]
   bddcf serve [--addr A] [--workers N] [--queue-cap N]
               [--max-inflight-nodes N] [--spool D] [--cache-cap N]
   bddcf loadtest [--requests N] [--clients N] [--seed N] [--dir D]
@@ -191,6 +202,14 @@ RESOURCE GOVERNOR (stats | reduce | cascade):
                        failure: exit 3 instead of printing a degraded result
   Reductions degrade gracefully under a budget (downgrades reported on
   stderr, result stays valid); hard exhaustion exits 3, no panic.
+
+BENCHMARKING (bench):
+  Runs the measurement suites (default table4,table5; --suite accepts a
+  comma-separated list) and prints a human summary, or with --json the
+  deterministic bddcf-bench-v1 report (to -o FILE when given). Every
+  report embeds a machine-calibration figure; --diff BASELINE.json
+  compares calibration-normalized wall clocks and exits 1 when a shared
+  suite regressed beyond --tolerance (default 0.20).
 
 SERVING (serve | loadtest):
   serve binds a TCP daemon speaking u32-length-prefixed JSON frames and
@@ -249,6 +268,10 @@ struct Flags {
     clients: usize,
     no_kill: bool,
     in_process: bool,
+    suite_given: bool,
+    json: bool,
+    diff: Option<String>,
+    tolerance: f64,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -285,6 +308,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         clients: 4,
         no_kill: false,
         in_process: false,
+        suite_given: false,
+        json: false,
+        diff: None,
+        tolerance: 0.20,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -313,7 +340,21 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--verilog" => flags.verilog = Some(grab("--verilog")?),
             "--save" => flags.save = Some(grab("--save")?),
-            "--suite" => flags.suite = grab("--suite")?,
+            "--suite" => {
+                flags.suite = grab("--suite")?;
+                flags.suite_given = true;
+            }
+            "--json" => flags.json = true,
+            "--diff" => flags.diff = Some(grab("--diff")?),
+            "--tolerance" => {
+                let t: f64 = grab("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+                if !t.is_finite() || t < 0.0 {
+                    return Err("--tolerance needs a non-negative fraction".into());
+                }
+                flags.tolerance = t;
+            }
             "--samples" => {
                 flags.samples = grab("--samples")?
                     .parse()
@@ -539,8 +580,40 @@ fn stats(args: &[String]) -> Result<(), String> {
             .map(|i| format!("x{}", i + 1))
             .collect::<Vec<_>>()
     );
+    print_engine_stats(&a33.manager().engine_stats());
     report_degradations(&degradations);
     Ok(())
+}
+
+/// Engine-health block of `bddcf stats`: the counters of the manager that
+/// ran the load + sift + Algorithm 3.3 line (the representative path).
+fn print_engine_stats(stats: &bddcf::bdd::EngineStats) {
+    let cache = stats.cache_total();
+    let lookups = stats.unique_lookups.max(1);
+    let cache_lookups = (cache.hits + cache.misses).max(1);
+    println!(
+        "engine:   peak {} nodes ({} KiB arena)",
+        stats.peak_nodes,
+        stats.peak_arena_bytes / 1024
+    );
+    println!(
+        "          unique table {}/{} live/buckets, {:.2} mean probes/lookup",
+        stats.unique_len,
+        stats.unique_capacity,
+        stats.unique_probes as f64 / lookups as f64
+    );
+    println!(
+        "          op caches {:.1}% hit ({} hits, {} misses, {} evictions)",
+        100.0 * cache.hits as f64 / cache_lookups as f64,
+        cache.hits,
+        cache.misses,
+        cache.evictions
+    );
+    println!(
+        "          gc {} run(s), {:.3} ms paused",
+        stats.gc_runs,
+        stats.gc_pause_ns as f64 / 1e6
+    );
 }
 
 fn reduce(args: &[String]) -> Result<(), CliError> {
@@ -1178,4 +1251,156 @@ fn crashtest(args: &[String]) -> Result<Outcome, String> {
         flags.seed
     );
     Ok(Outcome::Clean)
+}
+
+/// One suite's wall clock pulled out of a bddcf-bench-v1 report.
+struct SuiteFigure {
+    name: String,
+    total_wall_ns: u64,
+}
+
+/// Parses a bddcf-bench-v1 JSON report down to the figures the diff
+/// needs: the calibration time and each suite's total wall clock.
+fn parse_bench_figures(text: &str, origin: &str) -> Result<(u64, Vec<SuiteFigure>), String> {
+    let root = bddcf::serve::json::parse(text.as_bytes()).map_err(|e| format!("{origin}: {e}"))?;
+    let format = root
+        .get("format")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("{origin}: missing \"format\""))?;
+    if format != bddcf::bench::BENCH_FORMAT {
+        return Err(format!(
+            "{origin}: format {format:?}, expected {:?}",
+            bddcf::bench::BENCH_FORMAT
+        ));
+    }
+    let calibration_ns = root
+        .get("calibration_ns")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("{origin}: missing \"calibration_ns\""))?;
+    let mut suites = Vec::new();
+    for suite in root
+        .get("suites")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| format!("{origin}: missing \"suites\""))?
+    {
+        let name = suite
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{origin}: suite without \"name\""))?;
+        let total_wall_ns = suite
+            .get("total_wall_ns")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("{origin}: suite {name:?} without \"total_wall_ns\""))?;
+        suites.push(SuiteFigure {
+            name: name.to_string(),
+            total_wall_ns,
+        });
+    }
+    Ok((calibration_ns, suites))
+}
+
+/// Compares a fresh report against a committed baseline. Wall clocks are
+/// normalized by each report's own calibration figure, so the comparison
+/// is per unit of this machine's speed; a suite counts as regressed when
+/// its normalized wall clock exceeds the baseline's by more than
+/// `tolerance` (a fraction, e.g. 0.20). Suites present in only one report
+/// are reported but not failed, so baselines can grow suites over time.
+fn diff_bench_reports(
+    current_json: &str,
+    baseline_json: &str,
+    baseline_origin: &str,
+    tolerance: f64,
+) -> Result<Outcome, String> {
+    let (current_cal, current) = parse_bench_figures(current_json, "current run")?;
+    let (baseline_cal, baseline) = parse_bench_figures(baseline_json, baseline_origin)?;
+    if current_cal == 0 || baseline_cal == 0 {
+        return Err("calibration figure of zero; cannot normalize".into());
+    }
+    let mut regressions = 0usize;
+    for base in &baseline {
+        let Some(cur) = current.iter().find(|s| s.name == base.name) else {
+            println!(
+                "bench-diff: suite {:?} only in baseline (skipped)",
+                base.name
+            );
+            continue;
+        };
+        // Wall clocks per unit of calibration work: dimensionless ratios
+        // comparable across machines of different speeds.
+        let cur_norm = cur.total_wall_ns as f64 / current_cal as f64;
+        let base_norm = base.total_wall_ns as f64 / baseline_cal as f64;
+        let ratio = cur_norm / base_norm;
+        let verdict = if ratio > 1.0 + tolerance {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench-diff: {:<8} {:>7.3}x baseline (normalized; tolerance {:.0}%) {}",
+            base.name,
+            ratio,
+            tolerance * 100.0,
+            verdict
+        );
+    }
+    for cur in &current {
+        if !baseline.iter().any(|s| s.name == cur.name) {
+            println!("bench-diff: suite {:?} not in baseline (skipped)", cur.name);
+        }
+    }
+    if regressions > 0 {
+        eprintln!("bench-diff: {regressions} suite(s) regressed beyond the tolerance");
+        return Ok(Outcome::Findings);
+    }
+    Ok(Outcome::Clean)
+}
+
+fn bench(args: &[String]) -> Result<Outcome, String> {
+    let flags = parse_flags(args)?;
+    if !flags.positional.is_empty() {
+        return Err(format!(
+            "bench takes no positional arguments (got {:?})",
+            flags.positional
+        ));
+    }
+    let suites: Vec<String> = if flags.suite_given {
+        flags.suite.split(',').map(str::to_string).collect()
+    } else {
+        vec!["table4".into(), "table5".into()]
+    };
+    let report = bddcf::bench::run_bench(&suites, true)?;
+    let json = report.to_json();
+    if let Some(path) = &flags.output {
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("bench report written to {path}");
+    }
+    if flags.json && flags.output.is_none() {
+        print!("{json}");
+    }
+    if !flags.json {
+        for suite in &report.suites {
+            println!(
+                "{:<8} {:>10.3} ms over {} benchmark(s)",
+                suite.name,
+                suite.total_wall_ns as f64 / 1e6,
+                suite.entries.len()
+            );
+            for (label, payload) in &suite.quarantined {
+                println!("  quarantined {label}: {payload}");
+            }
+        }
+        println!(
+            "calibration: {:.3} ms (fixed workload; used to normalize --diff)",
+            report.calibration_ns as f64 / 1e6
+        );
+    }
+    match &flags.diff {
+        Some(path) => {
+            let baseline =
+                std::fs::read_to_string(path).map_err(|e| format!("--diff {path}: {e}"))?;
+            diff_bench_reports(&json, &baseline, path, flags.tolerance)
+        }
+        None => Ok(Outcome::Clean),
+    }
 }

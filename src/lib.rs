@@ -21,10 +21,13 @@
 //! * [`serve`] — the fault-tolerant synthesis daemon (`bddcf serve`) and
 //!   its chaos harness (`bddcf loadtest`): admission control, deadlines,
 //!   worker quarantine, crash recovery over a durable spool.
+//! * [`bench`] — the measurement pipeline behind the table binaries and
+//!   `bddcf bench` (machine-readable wall-clock + engine-health reports).
 
 #![forbid(unsafe_code)]
 
 pub use bddcf_bdd as bdd;
+pub use bddcf_bench as bench;
 pub use bddcf_cascade as cascade;
 pub use bddcf_check as check;
 pub use bddcf_core as core;
