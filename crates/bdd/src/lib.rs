@@ -57,6 +57,7 @@ pub mod mtbdd;
 pub mod reorder;
 pub mod snapshot;
 pub mod table;
+pub mod vfs;
 pub mod width;
 
 pub use budget::{Budget, CancelToken, Error};
@@ -66,4 +67,5 @@ pub use manager::{BddManager, BinOp, IntegrityViolation, NodeId, OrderError, Var
 pub use reorder::{ReorderCost, SiftConstraints};
 pub use snapshot::SnapshotError;
 pub use table::{CacheStats, EngineStats};
+pub use vfs::{splitmix64, write_atomic, FaultPlan, FaultVfs, StdVfs, Vfs, VfsEvent, WriteFault};
 pub use width::WidthProfile;

@@ -249,6 +249,28 @@ impl BddManager {
         w.write_all(&self.snapshot_bytes())
     }
 
+    /// Atomically publishes a snapshot as `dir/name` through a
+    /// [`Vfs`](crate::vfs::Vfs): tmp file → fsync → rename →
+    /// parent-directory fsync. Once this returns, the snapshot survives
+    /// power loss.
+    pub fn save_snapshot(
+        &self,
+        vfs: &dyn crate::vfs::Vfs,
+        dir: &std::path::Path,
+        name: &str,
+    ) -> io::Result<()> {
+        crate::vfs::write_atomic(vfs, dir, name, &self.snapshot_bytes())
+    }
+
+    /// Reads and reconstructs a snapshot file through a
+    /// [`Vfs`](crate::vfs::Vfs). Decode failures come back as
+    /// [`io::ErrorKind::InvalidData`] wrapping the typed
+    /// [`SnapshotError`] (recoverable by downcast).
+    pub fn load_snapshot(vfs: &dyn crate::vfs::Vfs, path: &std::path::Path) -> io::Result<Self> {
+        let bytes = vfs.read(path)?;
+        Self::from_snapshot_bytes(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
     /// Reconstructs a manager from snapshot bytes, rebuilding the unique
     /// table and validating every node. Never panics on bad input: all
     /// defects come back as a typed, offset-carrying [`SnapshotError`].

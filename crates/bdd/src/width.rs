@@ -358,9 +358,9 @@ mod tests {
             assert_eq!(mgr.width_sum(&roots), p.sum());
             let raw = mgr.width_cuts_raw(&roots);
             assert_eq!(raw.len(), p.len());
-            for cut in 0..p.len() {
-                assert_eq!(raw[cut].max(1) as usize, p.at_cut(cut), "cut {cut}");
-                assert_eq!(mgr.width_at_cut(&roots, cut as u32), raw[cut], "cut {cut}");
+            for (cut, &raw_cut) in raw.iter().enumerate() {
+                assert_eq!(raw_cut.max(1) as usize, p.at_cut(cut), "cut {cut}");
+                assert_eq!(mgr.width_at_cut(&roots, cut as u32), raw_cut, "cut {cut}");
             }
         }
         // Same agreement in a permuted order reached by a swap.

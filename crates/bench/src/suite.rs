@@ -259,7 +259,7 @@ fn table5_suite(progress: bool) -> SuiteReport {
                 ("cells_dc0", baseline.num_cells() as u64),
                 ("cells_opt", optimized.num_cells() as u64),
                 ("lut_outputs_opt", optimized.lut_outputs() as u64),
-                ("memory_bits_opt", optimized.memory_bits() as u64),
+                ("memory_bits_opt", optimized.memory_bits()),
             ],
             engine,
         });

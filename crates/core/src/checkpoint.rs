@@ -51,11 +51,14 @@ use crate::degrade::{DegradationEvent, DegradationReport, DegradeAction, Phase};
 use crate::driver::FixpointStats;
 use crate::layout::CfLayout;
 use bddcf_bdd::snapshot::{fnv1a64, put_u32, put_u64, ByteReader, SnapshotError};
+use bddcf_bdd::vfs::{self, StdVfs, Vfs};
 use bddcf_bdd::{BddManager, Error as BudgetError, NodeId};
 use std::fmt;
+#[cfg(test)]
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic bytes opening every pipeline checkpoint.
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"BDDCFCKP";
@@ -183,21 +186,30 @@ pub struct FixpointCursor {
 /// sequence after the highest existing number, so a resumed run never
 /// overwrites the files it is resuming from.
 pub struct Checkpointer {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     seq: u64,
     last: Option<PathBuf>,
 }
 
 impl Checkpointer {
-    /// Creates (if needed) and opens `dir` for checkpoint writing.
+    /// Creates (if needed) and opens `dir` for checkpoint writing on the
+    /// real filesystem.
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Checkpointer::with_vfs(Arc::new(StdVfs), dir)
+    }
+
+    /// Creates (if needed) and opens `dir` for checkpoint writing through
+    /// an explicit [`Vfs`] — the hook fault-injection harnesses use.
+    pub fn with_vfs(vfs: Arc<dyn Vfs>, dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        let seq = match latest_checkpoint_seq(&dir)? {
+        vfs.create_dir_all(&dir)?;
+        let seq = match latest_checkpoint_seq(vfs.as_ref(), &dir)? {
             Some((seq, _)) => seq + 1,
             None => 0,
         };
         Ok(Checkpointer {
+            vfs,
             dir,
             seq,
             last: None,
@@ -214,7 +226,10 @@ impl Checkpointer {
         self.last.as_deref()
     }
 
-    /// Atomically writes one checkpoint and returns its path.
+    /// Atomically writes one checkpoint and returns its path: temporary
+    /// file → fsync → rename → **parent-directory fsync**, so neither the
+    /// data nor the rename itself can be lost at power loss once `save`
+    /// returns.
     pub fn save(
         &mut self,
         cf: &Cf,
@@ -225,13 +240,7 @@ impl Checkpointer {
         let bytes = encode_checkpoint(cf, progress, cursor, report);
         let name = format!("ckpt-{:06}.{CHECKPOINT_EXT}", self.seq);
         let path = self.dir.join(&name);
-        let tmp = self.dir.join(format!("{name}.tmp"));
-        {
-            let mut file = fs::File::create(&tmp)?;
-            io::Write::write_all(&mut file, &bytes)?;
-            file.sync_all()?;
-        }
-        fs::rename(&tmp, &path)?;
+        vfs::write_atomic(self.vfs.as_ref(), &self.dir, &name, &bytes)?;
         self.seq += 1;
         self.last = Some(path.clone());
         Ok(path)
@@ -246,10 +255,9 @@ fn checkpoint_seq(path: &Path) -> Option<u64> {
     stem.parse().ok()
 }
 
-fn latest_checkpoint_seq(dir: &Path) -> io::Result<Option<(u64, PathBuf)>> {
+fn latest_checkpoint_seq(vfs: &dyn Vfs, dir: &Path) -> io::Result<Option<(u64, PathBuf)>> {
     let mut best: Option<(u64, PathBuf)> = None;
-    for entry in fs::read_dir(dir)? {
-        let path = entry?.path();
+    for path in vfs.list(dir)? {
         if let Some(seq) = checkpoint_seq(&path) {
             if best.as_ref().is_none_or(|(b, _)| seq > *b) {
                 best = Some((seq, path));
@@ -259,14 +267,83 @@ fn latest_checkpoint_seq(dir: &Path) -> io::Result<Option<(u64, PathBuf)>> {
     Ok(best)
 }
 
+/// All checkpoints in `dir`, sorted by descending sequence number.
+fn checkpoints_desc(vfs: &dyn Vfs, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    match vfs.list(dir) {
+        Ok(paths) => {
+            for path in paths {
+                if let Some(seq) = checkpoint_seq(&path) {
+                    found.push((seq, path));
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    found.sort_by_key(|e| std::cmp::Reverse(e.0));
+    Ok(found)
+}
+
 /// The highest-numbered checkpoint in `dir`, if any. Returns `Ok(None)`
 /// for a missing or empty directory (a crash before the first save).
 pub fn latest_checkpoint(dir: &Path) -> io::Result<Option<PathBuf>> {
-    match latest_checkpoint_seq(dir) {
+    latest_checkpoint_vfs(&StdVfs, dir)
+}
+
+/// [`latest_checkpoint`] through an explicit [`Vfs`].
+pub fn latest_checkpoint_vfs(vfs: &dyn Vfs, dir: &Path) -> io::Result<Option<PathBuf>> {
+    match latest_checkpoint_seq(vfs, dir) {
         Ok(best) => Ok(best.map(|(_, path)| path)),
         Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
         Err(e) => Err(e),
     }
+}
+
+/// The newest checkpoint in `dir` that actually loads.
+///
+/// Scans sequence numbers from highest to lowest; a checkpoint that is
+/// truncated, checksum-corrupt, or semantically invalid is **quarantined**
+/// — renamed to `<name>.corrupt` so rescans skip it — with a report on
+/// stderr, and the scan falls back to the previous sequence number. This
+/// is what makes one torn latest checkpoint degrade recovery instead of
+/// bricking it. Returns `Ok(None)` when no loadable checkpoint exists.
+pub fn latest_valid_checkpoint(dir: &Path) -> io::Result<Option<(PathBuf, LoadedCheckpoint)>> {
+    latest_valid_checkpoint_vfs(&StdVfs, dir)
+}
+
+/// [`latest_valid_checkpoint`] through an explicit [`Vfs`].
+pub fn latest_valid_checkpoint_vfs(
+    vfs: &dyn Vfs,
+    dir: &Path,
+) -> io::Result<Option<(PathBuf, LoadedCheckpoint)>> {
+    for (_, path) in checkpoints_desc(vfs, dir)? {
+        match load_checkpoint_vfs(vfs, &path) {
+            Ok(loaded) => return Ok(Some((path, loaded))),
+            Err(err) => {
+                let quarantined = quarantine_name(&path);
+                let moved = vfs.rename(&path, &quarantined).is_ok();
+                eprintln!(
+                    "bddcf: quarantining corrupt checkpoint {}: {err}{}",
+                    path.display(),
+                    if moved {
+                        format!(" (moved to {})", quarantined.display())
+                    } else {
+                        String::from(" (rename failed; left in place)")
+                    }
+                );
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// `<path>.corrupt` — the quarantine name for a checkpoint or spool file
+/// that failed to decode.
+pub fn quarantine_name(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".corrupt");
+    path.with_file_name(name)
 }
 
 // ---------------------------------------------------------------------
@@ -535,7 +612,15 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<LoadedCheckpoint, CheckpointErr
 
 /// Reads and decodes a checkpoint file.
 pub fn load_checkpoint(path: &Path) -> Result<LoadedCheckpoint, CheckpointError> {
-    let bytes = fs::read(path)?;
+    load_checkpoint_vfs(&StdVfs, path)
+}
+
+/// [`load_checkpoint`] through an explicit [`Vfs`].
+pub fn load_checkpoint_vfs(
+    vfs: &dyn Vfs,
+    path: &Path,
+) -> Result<LoadedCheckpoint, CheckpointError> {
+    let bytes = vfs.read(path)?;
     decode_checkpoint(&bytes)
 }
 

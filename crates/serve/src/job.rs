@@ -12,15 +12,17 @@
 //! safe without any cross-job scrubbing.
 
 use crate::protocol::{ErrorCode, Source, SynthResult, SynthSpec, SynthStats};
+use bddcf_bdd::vfs::{StdVfs, Vfs};
 use bddcf_bdd::{Budget, Error as BudgetError, ReorderCost};
 use bddcf_cascade::{synthesize_governed, CascadeOptions, SynthesisError};
 use bddcf_check::PanicProbe;
 use bddcf_core::{
-    latest_checkpoint, load_checkpoint, Alg33Options, Cf, Checkpointer, DegradationReport,
+    latest_valid_checkpoint_vfs, Alg33Options, Cf, CheckpointError, Checkpointer, DegradationReport,
 };
 use bddcf_funcs::{build_isf_pieces, small_benchmarks, table4_benchmarks, Benchmark};
 use bddcf_io::{cascade_to_verilog, parse_pla, write_cascade};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Why a job did not produce a result.
 #[derive(Debug)]
@@ -92,6 +94,10 @@ pub struct ExecOutcome {
     /// of the wire result — the pool folds them into its own counters for
     /// the `stats` op.
     pub engine: bddcf_bdd::EngineStats,
+    /// The checkpoint path failed (ENOSPC/EIO/corruption) and the job fell
+    /// back to an un-checkpointed run: the result is correct but was not
+    /// durably resumable while it ran.
+    pub storage_degraded: bool,
 }
 
 /// Runs one job to completion (or a typed failure).
@@ -111,37 +117,90 @@ pub fn execute(
     ckpt_dir: Option<&Path>,
     resume: bool,
 ) -> Result<ExecOutcome, ExecError> {
+    let vfs: Arc<dyn Vfs> = Arc::new(StdVfs);
+    execute_vfs(spec, budget, ckpt_dir, resume, &vfs)
+}
+
+/// [`execute`] over an explicit [`Vfs`] (the fault-injection entry point).
+///
+/// Checkpoint-path storage failures — an unscannable directory, an
+/// unopenable checkpointer, an ENOSPC/EIO during a save — do **not** fail
+/// the job: it falls back to a fresh un-checkpointed reduction and the
+/// outcome is flagged [`storage_degraded`](ExecOutcome::storage_degraded).
+/// A corrupt newest checkpoint is quarantined and the previous sequence
+/// number resumes instead (see
+/// [`latest_valid_checkpoint_vfs`]).
+pub fn execute_vfs(
+    spec: &SynthSpec,
+    budget: Option<Budget>,
+    ckpt_dir: Option<&Path>,
+    resume: bool,
+    vfs: &Arc<dyn Vfs>,
+) -> Result<ExecOutcome, ExecError> {
     let options = Alg33Options::default();
     let mut report = DegradationReport::new();
+    let mut storage_degraded = false;
+
+    // Retry the checkpoint-path failure once as a plain in-memory run: the
+    // artifacts are deterministic either way, only durability is lost.
+    let fallback =
+        |report: &mut DegradationReport, storage_degraded: &mut bool| -> Result<Cf, ExecError> {
+            *storage_degraded = true;
+            *report = DegradationReport::new();
+            match fresh_reduced_vfs(spec, &options, budget.clone(), None, vfs, report) {
+                Ok(cf) => Ok(cf),
+                // With no checkpoint dir there is no storage left to fail.
+                Err(FreshError::Storage) => Err(ExecError::internal("spool-less run hit storage")),
+                Err(FreshError::Exec(e)) => Err(e),
+            }
+        };
 
     let mut cf = match (resume, ckpt_dir) {
-        (true, Some(dir)) => match latest_checkpoint(dir).map_err(|e| {
-            ExecError::internal(format!("scanning {} for checkpoints: {e}", dir.display()))
-        })? {
-            Some(path) => {
-                let loaded = load_checkpoint(&path)
-                    .map_err(|e| ExecError::internal(format!("loading {}: {e}", path.display())))?;
-                let mut ck = Checkpointer::new(dir).map_err(|e| {
-                    ExecError::internal(format!("reopening {}: {e}", dir.display()))
-                })?;
-                let (mut cf, resumed_report, stats) = loaded
-                    .resume(&options, spec.max_iter, &mut ck, true)
-                    .map_err(|e| ExecError::internal(format!("resume failed: {e}")))?;
-                report = resumed_report;
-                if stats.is_none() {
-                    return Err(ExecError::Parked);
+        (true, Some(dir)) => match latest_valid_checkpoint_vfs(vfs.as_ref(), dir) {
+            Err(_) => fallback(&mut report, &mut storage_degraded)?,
+            Ok(Some((_path, loaded))) => {
+                match Checkpointer::with_vfs(Arc::clone(vfs), dir) {
+                    Err(_) => fallback(&mut report, &mut storage_degraded)?,
+                    Ok(mut ck) => {
+                        match loaded.resume(&options, spec.max_iter, &mut ck, true) {
+                            Ok((mut cf, resumed_report, stats)) => {
+                                report = resumed_report;
+                                if stats.is_none() {
+                                    return Err(ExecError::Parked);
+                                }
+                                // The checkpoint stores no budget; reinstall
+                                // the request's budget for the synthesis
+                                // stage.
+                                if let Some(b) = budget.clone() {
+                                    cf.manager_mut().set_budget(b);
+                                }
+                                cf
+                            }
+                            Err(CheckpointError::Io(_)) => {
+                                fallback(&mut report, &mut storage_degraded)?
+                            }
+                            Err(e) => {
+                                return Err(ExecError::internal(format!("resume failed: {e}")))
+                            }
+                        }
+                    }
                 }
-                // The checkpoint stores no budget; reinstall the request's
-                // budget for the synthesis stage.
-                if let Some(b) = budget.clone() {
-                    cf.manager_mut().set_budget(b);
-                }
-                cf
             }
             // A crash before the first checkpoint: start over.
-            None => fresh_reduced(spec, &options, budget.clone(), ckpt_dir, &mut report)?,
+            Ok(None) => {
+                match fresh_reduced_vfs(spec, &options, budget.clone(), ckpt_dir, vfs, &mut report)
+                {
+                    Ok(cf) => cf,
+                    Err(FreshError::Storage) => fallback(&mut report, &mut storage_degraded)?,
+                    Err(FreshError::Exec(e)) => return Err(e),
+                }
+            }
         },
-        _ => fresh_reduced(spec, &options, budget.clone(), ckpt_dir, &mut report)?,
+        _ => match fresh_reduced_vfs(spec, &options, budget.clone(), ckpt_dir, vfs, &mut report) {
+            Ok(cf) => cf,
+            Err(FreshError::Storage) => fallback(&mut report, &mut storage_degraded)?,
+            Err(FreshError::Exec(e)) => return Err(e),
+        },
     };
 
     if parked(&report) {
@@ -175,6 +234,7 @@ pub fn execute(
     Ok(ExecOutcome {
         engine: cf.manager().engine_stats(),
         degraded: !report.is_clean(),
+        storage_degraded,
         result: SynthResult {
             stats: SynthStats {
                 cells: cascade.num_cells(),
@@ -197,28 +257,49 @@ fn parked(report: &DegradationReport) -> bool {
     matches!(report.terminal_cause(), Some(BudgetError::Cancelled))
 }
 
+/// Why a from-scratch reduction did not produce a `Cf`.
+enum FreshError {
+    /// The checkpoint path failed (dir creation or a save); the caller
+    /// retries un-checkpointed and flags the outcome storage-degraded.
+    Storage,
+    /// A real execution failure.
+    Exec(ExecError),
+}
+
+impl From<ExecError> for FreshError {
+    fn from(e: ExecError) -> Self {
+        FreshError::Exec(e)
+    }
+}
+
 /// Build + reduce from scratch (the non-resume path).
-fn fresh_reduced(
+fn fresh_reduced_vfs(
     spec: &SynthSpec,
     options: &Alg33Options,
     budget: Option<Budget>,
     ckpt_dir: Option<&Path>,
+    vfs: &Arc<dyn Vfs>,
     report: &mut DegradationReport,
-) -> Result<Cf, ExecError> {
+) -> Result<Cf, FreshError> {
     let mut cf = build_cf(spec)?;
     if let Some(b) = budget {
         cf.manager_mut().set_budget(b);
     }
     match ckpt_dir {
         Some(dir) => {
-            let mut ck = Checkpointer::new(dir).map_err(|e| {
-                ExecError::internal(format!("checkpoint dir {}: {e}", dir.display()))
-            })?;
+            let Ok(mut ck) = Checkpointer::with_vfs(Arc::clone(vfs), dir) else {
+                return Err(FreshError::Storage);
+            };
             let finished = cf
                 .reduce_to_fixpoint_checkpointed(options, spec.max_iter, report, &mut ck, true)
-                .map_err(|e| ExecError::internal(format!("checkpointing: {e}")))?;
+                .map_err(|e| match e {
+                    CheckpointError::Io(_) => FreshError::Storage,
+                    other => {
+                        FreshError::Exec(ExecError::internal(format!("checkpointing: {other}")))
+                    }
+                })?;
             if finished.is_none() {
-                return Err(ExecError::Parked);
+                return Err(FreshError::Exec(ExecError::Parked));
             }
         }
         None => {

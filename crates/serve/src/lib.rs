@@ -29,11 +29,17 @@
 //!   seeded mix of valid, malformed, oversized, and duplicate requests,
 //!   kills it mid-batch, restarts it, and proves no accepted request was
 //!   lost and every artifact passes the full audit stack.
+//! * **Storage-fault robustness** — every durable path runs over an
+//!   injectable [`Vfs`](bddcf_bdd::vfs::Vfs); [`diskchaos`] sweeps
+//!   power-loss crash prefixes and seeded write faults over checkpoint
+//!   sequences and the serve spool, and an ENOSPC disk degrades the
+//!   daemon to explicit non-durable serving instead of killing it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod diskchaos;
 pub mod job;
 pub mod json;
 pub mod loadtest;
@@ -42,7 +48,8 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::ResponseCache;
-pub use job::{build_cf, execute, resolve_benchmark, ExecError, ExecOutcome};
+pub use diskchaos::{run_diskchaos, DiskChaosConfig, DiskChaosReport};
+pub use job::{build_cf, execute, execute_vfs, resolve_benchmark, ExecError, ExecOutcome};
 pub use loadtest::{run_loadtest, LoadTestConfig, LoadTestReport};
 pub use pool::{AdmitError, PoolConfig, WorkerPool};
 pub use protocol::{

@@ -209,7 +209,7 @@ fn kind_for(seed: u64, index: usize) -> ReqKind {
 
 /// A fully specified 3-in/2-out PLA whose output column is `variant`'s
 /// bits — 12 distinct tiny functions, deterministic on both sides.
-fn pla_text(variant: u64) -> String {
+pub(crate) fn pla_text(variant: u64) -> String {
     let bits = splitmix64(variant.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ 0xa5a5);
     let mut text = String::from(".i 3\n.o 2\n");
     for minterm in 0..8u64 {
@@ -656,6 +656,7 @@ fn classify(
                 result: Some(want_result),
                 cached: false,
                 resumed: false,
+                storage_degraded: false,
             };
             if want.artifact_bytes() != response.artifact_bytes() {
                 report.mismatches += 1;

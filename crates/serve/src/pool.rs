@@ -15,8 +15,9 @@
 //! open a per-spec circuit breaker so one poison request cannot grind the
 //! pool down by being retried forever.
 
-use crate::job::{execute, ExecError};
+use crate::job::{execute_vfs, ExecError};
 use crate::protocol::{ErrorCode, Response, Status, SynthSpec};
+use bddcf_bdd::vfs::{StdVfs, Vfs};
 use bddcf_bdd::{Budget, CancelToken, Clock, MonotonicClock};
 use bddcf_check::run_quarantined;
 use std::collections::{HashMap, VecDeque};
@@ -52,6 +53,9 @@ pub struct PoolConfig {
     /// Chaos/test hook: while `true`, workers hold picked-up jobs without
     /// executing, so tests can fill the queue deterministically.
     pub hold: Option<Arc<AtomicBool>>,
+    /// Filesystem used for checkpoint reads/writes (injectable so the
+    /// diskchaos harness can fault and crash the storage under real jobs).
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl Default for PoolConfig {
@@ -65,6 +69,7 @@ impl Default for PoolConfig {
             breaker_cooldown: 2,
             clock: Arc::new(MonotonicClock),
             hold: None,
+            vfs: Arc::new(StdVfs),
         }
     }
 }
@@ -150,6 +155,9 @@ pub struct PoolCounters {
     pub rejected_draining: u64,
     /// Rejections: circuit breaker open.
     pub rejected_breaker: u64,
+    /// Jobs whose checkpoint storage failed; they completed un-checkpointed
+    /// with `storage_degraded` set (never breaker-visible as a fault).
+    pub storage_degraded_jobs: u64,
     /// Peak live node count over any single completed job's manager.
     pub engine_peak_nodes: u64,
     /// Peak arena footprint in bytes over any single completed job.
@@ -193,8 +201,11 @@ struct PoolState {
 }
 
 /// Callback invoked (off-lock) with every completed response — the server
-/// uses it to write the spool record and feed the response cache.
-pub type DoneHook = Arc<dyn Fn(&Job, &Response) + Send + Sync>;
+/// uses it to write the spool record and feed the response cache. The
+/// response is mutable so the hook can flag `storage_degraded` when the
+/// durable completion record itself cannot be written, *before* the reply
+/// reaches the client.
+pub type DoneHook = Arc<dyn Fn(&Job, &mut Response) + Send + Sync>;
 
 struct Shared {
     state: Mutex<PoolState>,
@@ -207,6 +218,7 @@ struct Shared {
     breaker_cooldown: u32,
     clock: Arc<dyn Clock>,
     hold: Option<Arc<AtomicBool>>,
+    vfs: Arc<dyn Vfs>,
     done: DoneHook,
 }
 
@@ -246,6 +258,7 @@ impl WorkerPool {
             breaker_cooldown: config.breaker_cooldown,
             clock: config.clock,
             hold: config.hold,
+            vfs: config.vfs,
             done,
         });
         let workers = config.workers.max(1);
@@ -422,8 +435,11 @@ fn worker_loop(idx: usize, shared: &Shared) {
         drop(state);
         shared.idle.notify_all();
 
-        if let Some(response) = response {
-            (shared.done)(&queued.job, &response);
+        if let Some(mut response) = response {
+            // The hook runs (and may flag storage degradation) before the
+            // reply is sent: an accepted-and-replied request is either
+            // durably recorded or explicitly marked non-durable.
+            (shared.done)(&queued.job, &mut response);
             if let Some(reply) = &queued.job.reply {
                 let _ = reply.send(response);
             }
@@ -456,6 +472,9 @@ fn settle(
         state.counters.parked += 1;
         return;
     };
+    if response.storage_degraded {
+        state.counters.storage_degraded_jobs += 1;
+    }
     let fault = match (&response.status, &response.error) {
         (Status::Ok, _) => {
             state.counters.completed += 1;
@@ -524,8 +543,15 @@ fn run_one(
     }
 
     let label = format!("serve:{hash_hex}");
+    let vfs = Arc::clone(&shared.vfs);
     let outcome = run_quarantined(&label, || {
-        execute(&job.spec, Some(budget), job.ckpt_dir.as_deref(), job.resume)
+        execute_vfs(
+            &job.spec,
+            Some(budget),
+            job.ckpt_dir.as_deref(),
+            job.resume,
+            &vfs,
+        )
     });
     let mut engine = None;
     let mut response = match outcome {
@@ -543,6 +569,7 @@ fn run_one(
                 result: Some(out.result),
                 cached: false,
                 resumed: job.resume,
+                storage_degraded: out.storage_degraded,
             }
         }
         Ok(Err(ExecError::Reject(code, message))) => Response::failure(&job.id, code, message),
@@ -578,7 +605,7 @@ mod tests {
     }
 
     fn noop_done() -> DoneHook {
-        Arc::new(|_job, _response| {})
+        Arc::new(|_job, _response: &mut Response| {})
     }
 
     #[test]

@@ -600,6 +600,12 @@ pub struct Response {
     /// Completed by a restarted daemon from the spool (checkpoint resume
     /// or queued-request recovery).
     pub resumed: bool,
+    /// The daemon could not durably record this request or its outcome
+    /// (ENOSPC/EIO on the spool or checkpoint path). The result itself is
+    /// correct, but it is **not** crash-durable and was not cached; a
+    /// client that needs durability should retry once storage recovers
+    /// (watch `storage_degraded` in `stats`).
+    pub storage_degraded: bool,
 }
 
 impl Response {
@@ -613,6 +619,7 @@ impl Response {
             result: None,
             cached: false,
             resumed: false,
+            storage_degraded: false,
         }
     }
 
@@ -636,6 +643,11 @@ impl Response {
         }
         fields.push(("cached".into(), Json::Bool(self.cached)));
         fields.push(("resumed".into(), Json::Bool(self.resumed)));
+        if self.storage_degraded {
+            // Emitted only when set, so pre-existing clients see unchanged
+            // wire bytes on the healthy path.
+            fields.push(("storage_degraded".into(), Json::Bool(true)));
+        }
         if let Some(result) = &self.result {
             fields.push(("result".into(), result.to_json()));
         }
@@ -643,9 +655,9 @@ impl Response {
     }
 
     /// The *deterministic* portion of the response — everything except the
-    /// delivery-path flags (`cached`, `resumed`), which legitimately differ
-    /// between a first run, a cache hit, and a crash-recovered replay. The
-    /// chaos harness byte-compares these.
+    /// delivery-path flags (`cached`, `resumed`, `storage_degraded`), which
+    /// legitimately differ between a first run, a cache hit, and a
+    /// crash-recovered replay. The chaos harness byte-compares these.
     pub fn artifact_bytes(&self) -> Vec<u8> {
         let mut fields = vec![
             ("id".to_string(), Json::Str(self.id.clone())),
@@ -709,6 +721,10 @@ impl Response {
             cached: value.get("cached").and_then(Json::as_bool).unwrap_or(false),
             resumed: value
                 .get("resumed")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            storage_degraded: value
+                .get("storage_degraded")
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
         })
@@ -818,6 +834,7 @@ mod tests {
             }),
             cached: true,
             resumed: false,
+            storage_degraded: false,
         };
         let parsed = Response::from_bytes(&resp.to_bytes()).expect("parse");
         assert_eq!(parsed, resp);
@@ -825,8 +842,14 @@ mod tests {
         let mut replay = resp.clone();
         replay.cached = false;
         replay.resumed = true;
+        replay.storage_degraded = true;
         assert_eq!(replay.artifact_bytes(), resp.artifact_bytes());
         assert_ne!(replay.to_bytes(), resp.to_bytes());
+        // storage_degraded itself round trips, and its absence on the
+        // healthy path keeps pre-existing wire bytes unchanged.
+        let parsed = Response::from_bytes(&replay.to_bytes()).expect("parse");
+        assert!(parsed.storage_degraded);
+        assert!(!String::from_utf8_lossy(&resp.to_bytes()).contains("storage_degraded"));
     }
 
     #[test]

@@ -37,8 +37,10 @@ use crate::protocol::{
     Status, SynthSpec, DEFAULT_MAX_FRAME,
 };
 use crate::{json, json::Json};
+use bddcf_bdd::vfs::{self, StdVfs, Vfs};
 use bddcf_bdd::{Clock, MonotonicClock};
 use bddcf_check::audit_artifact_text;
+use bddcf_core::quarantine_name;
 use std::collections::HashSet;
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -76,6 +78,10 @@ pub struct ServerConfig {
     pub clock: Arc<dyn Clock>,
     /// Test hook: hold picked-up jobs while true (see [`PoolConfig::hold`]).
     pub hold: Option<Arc<AtomicBool>>,
+    /// Filesystem behind the spool, cache records, and checkpoints —
+    /// [`StdVfs`] in production, a fault-injecting
+    /// [`FaultVfs`](bddcf_bdd::vfs::FaultVfs) under `bddcf diskchaos`.
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +99,7 @@ impl Default for ServerConfig {
             breaker_cooldown: 2,
             clock: Arc::new(MonotonicClock),
             hold: None,
+            vfs: Arc::new(StdVfs),
         }
     }
 }
@@ -108,6 +115,40 @@ pub struct ServerStats {
     pub recovered: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Storage faults observed on the spool path (failed request/response
+    /// record writes, torn records quarantined on rescan).
+    pub storage_faults: u64,
+    /// Accepted-and-replied requests whose durable record could not be
+    /// written; their responses carried `storage_degraded`.
+    pub storage_nondurable: u64,
+}
+
+/// Whether the daemon can currently write durable records, plus the fault
+/// counters behind the `stats` op. ENOSPC/EIO on the spool flips
+/// `degraded` on (storage-degraded mode: admissions keep working, replies
+/// carry `storage_degraded`, nothing is cached); the next successful
+/// durable write flips it back off — breaker-style recovery, observable by
+/// clients polling `stats`.
+#[derive(Default)]
+struct StorageHealth {
+    degraded: AtomicBool,
+    faults: AtomicU64,
+    nondurable: AtomicU64,
+}
+
+impl StorageHealth {
+    fn mark_fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        self.degraded.store(true, Ordering::Relaxed);
+    }
+
+    fn mark_ok(&self) {
+        self.degraded.store(false, Ordering::Relaxed);
+    }
+
+    fn note_nondurable(&self) {
+        self.nondurable.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// State shared by connection threads and the pool's completion hook.
@@ -118,6 +159,8 @@ struct Store {
     /// artifacts are deterministic, so both replies are byte-identical).
     pending: Mutex<HashSet<u64>>,
     spool: Option<PathBuf>,
+    vfs: Arc<dyn Vfs>,
+    health: StorageHealth,
 }
 
 struct Inner {
@@ -143,27 +186,47 @@ impl Server {
     /// Binds, replays the spool, and starts accepting.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         if let Some(dir) = &config.spool_dir {
-            std::fs::create_dir_all(dir)?;
+            config.vfs.create_dir_all(dir)?;
         }
         let store = Arc::new(Store {
             cache: Mutex::new(ResponseCache::new(config.cache_capacity)),
             pending: Mutex::new(HashSet::new()),
             spool: config.spool_dir.clone(),
+            vfs: Arc::clone(&config.vfs),
+            health: StorageHealth::default(),
         });
         let done: DoneHook = {
             let store = Arc::clone(&store);
-            Arc::new(move |job: &Job, response: &Response| {
-                if response.status == Status::Ok && !response.cached {
-                    if let Some(result) = &response.result {
-                        lock(&store.cache).insert(&job.spec, result, false);
-                    }
-                }
+            Arc::new(move |job: &Job, response: &mut Response| {
                 if let Some(entry) = &job.spool_entry {
                     // Any terminal outcome is a completion record; failed
                     // specs are re-executed for fresh requests but are not
-                    // "lost" for recovery accounting.
-                    let _ = write_atomic(entry, "response.json", &response.to_bytes());
+                    // "lost" for recovery accounting. A failed write flips
+                    // the daemon storage-degraded and flags the reply
+                    // *before* it is sent: an accepted-and-replied request
+                    // is either durably recorded or explicitly non-durable.
+                    match vfs::write_atomic(
+                        store.vfs.as_ref(),
+                        entry,
+                        "response.json",
+                        &response.to_bytes(),
+                    ) {
+                        Ok(()) => store.health.mark_ok(),
+                        Err(_) => {
+                            store.health.mark_fault();
+                            store.health.note_nondurable();
+                            response.storage_degraded = true;
+                        }
+                    }
                     lock(&store.pending).remove(&job.spec.hash());
+                }
+                // Only clean, durably-recorded results are cacheable: a
+                // storage-degraded response must be recomputed (and
+                // re-recorded) once storage recovers.
+                if response.status == Status::Ok && !response.cached && !response.storage_degraded {
+                    if let Some(result) = &response.result {
+                        lock(&store.cache).insert(&job.spec, result, false);
+                    }
                 }
             })
         };
@@ -177,6 +240,7 @@ impl Server {
                 breaker_cooldown: config.breaker_cooldown,
                 clock: Arc::clone(&config.clock),
                 hold: config.hold.clone(),
+                vfs: Arc::clone(&config.vfs),
             },
             done,
         );
@@ -232,6 +296,8 @@ impl Server {
             cache: lock(&self.inner.store.cache).stats(),
             recovered: self.recovered,
             connections: self.inner.connections.load(Ordering::Relaxed),
+            storage_faults: self.inner.store.health.faults.load(Ordering::Relaxed),
+            storage_nondurable: self.inner.store.health.nondurable.load(Ordering::Relaxed),
         }
     }
 }
@@ -240,38 +306,66 @@ fn lock<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Atomically writes `dir/name` via tmp + fsync + rename, so a `SIGKILL`
-/// leaves either the old record or the new one, never a torn file.
-fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    let tmp = dir.join(format!(".tmp-{name}"));
-    {
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(bytes)?;
-        file.sync_all()?;
-    }
-    std::fs::rename(&tmp, dir.join(name))
+/// Quarantines a torn or unparsable durable record: rename to
+/// `<name>.corrupt` (so rescans skip it) and report on stderr.
+fn quarantine(vfs: &dyn Vfs, path: &Path, why: &str) {
+    let dest = quarantine_name(path);
+    let moved = vfs.rename(path, &dest).is_ok();
+    eprintln!(
+        "bddcf-serve: quarantining {why}: {}{}",
+        path.display(),
+        if moved {
+            format!(" (moved to {})", dest.display())
+        } else {
+            String::from(" (rename failed; left in place)")
+        }
+    );
 }
 
 /// Resubmits every accepted-but-incomplete spool entry. Returns the count.
+///
+/// Salvage rules for a hostile disk: a torn `response.json` is quarantined
+/// and its entry re-executed from the acceptance record; an unparsable
+/// `request.json` is quarantined and skipped (the acceptance record never
+/// durably landed, so the client was never promised anything).
 fn recover_spool(inner: &Arc<Inner>, dir: &Path) -> u64 {
-    let Ok(entries) = std::fs::read_dir(dir) else {
+    let spool_vfs = Arc::clone(&inner.store.vfs);
+    let Ok(entries) = spool_vfs.list(dir) else {
         return 0;
     };
     let mut recovered = 0;
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        if !name.to_string_lossy().starts_with("req-") || !path.is_dir() {
+    for path in entries {
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        if !name.starts_with("req-") || !spool_vfs.is_dir(&path) {
             continue;
         }
-        if path.join("response.json").exists() {
-            continue; // completed before the crash
+        let response_path = path.join("response.json");
+        if spool_vfs.exists(&response_path) {
+            match spool_vfs.read(&response_path) {
+                Ok(bytes) if Response::from_bytes(&bytes).is_ok() => {
+                    continue; // completed before the crash
+                }
+                _ => {
+                    // Torn completion record: the outcome is unknown, so
+                    // quarantine the record and re-run the entry.
+                    inner.store.health.mark_fault();
+                    quarantine(spool_vfs.as_ref(), &response_path, "torn spool response");
+                }
+            }
         }
-        let Ok(bytes) = std::fs::read(path.join("request.json")) else {
+        let request_path = path.join("request.json");
+        let Ok(bytes) = spool_vfs.read(&request_path) else {
             continue; // killed before the acceptance record landed
         };
         let Ok(request) = Request::from_bytes(&bytes) else {
+            inner.store.health.mark_fault();
+            quarantine(
+                spool_vfs.as_ref(),
+                &request_path,
+                "unparsable spool request",
+            );
             continue;
         };
         let RequestBody::Synth { spec, .. } = request.body else {
@@ -407,6 +501,7 @@ fn handle_synth(
             result: Some(result),
             cached: true,
             resumed: false,
+            storage_degraded: false,
         };
     }
 
@@ -417,7 +512,7 @@ fn handle_synth(
         .as_ref()
         .map(|dir| dir.join(format!("req-{hash_hex}")));
     if let Some(entry_dir) = &entry {
-        if let Some(mut replay) = replay_spooled(&spec, entry_dir) {
+        if let Some(mut replay) = replay_spooled(&inner.store, &spec, entry_dir) {
             replay.id = id;
             return replay;
         }
@@ -431,7 +526,7 @@ fn handle_synth(
     let entry_existed = owner
         && entry
             .as_deref()
-            .is_some_and(|dir| dir.join("request.json").exists());
+            .is_some_and(|dir| inner.store.vfs.exists(&dir.join("request.json")));
     let (spool_entry, ckpt_dir) = if owner {
         let dir = entry.clone();
         let ckpt = if checkpoint || entry_existed {
@@ -465,6 +560,10 @@ fn handle_synth(
             response
         }
         Ok(()) => {
+            // A failed acceptance-record write is storage-degraded, not
+            // fatal: the job still runs, but its reply is flagged
+            // non-durable because a crash would forget the acceptance.
+            let mut accept_nondurable = false;
             if let Some(entry_dir) = &spool_entry {
                 let record = Request {
                     id: id.clone(),
@@ -474,10 +573,27 @@ fn handle_synth(
                         checkpoint,
                     },
                 };
-                let _ = write_atomic(entry_dir, "request.json", &record.to_bytes());
+                match vfs::write_atomic(
+                    inner.store.vfs.as_ref(),
+                    entry_dir,
+                    "request.json",
+                    &record.to_bytes(),
+                ) {
+                    Ok(()) => inner.store.health.mark_ok(),
+                    Err(_) => {
+                        inner.store.health.mark_fault();
+                        accept_nondurable = true;
+                    }
+                }
             }
             match reply_rx.recv() {
-                Ok(response) => response,
+                Ok(mut response) => {
+                    if accept_nondurable && !response.storage_degraded {
+                        inner.store.health.note_nondurable();
+                        response.storage_degraded = true;
+                    }
+                    response
+                }
                 // The sender was dropped without a reply: the job parked
                 // during a checkpoint-mode shutdown. Its spool entry
                 // survives; the next daemon finishes it.
@@ -497,12 +613,15 @@ fn handle_synth(
 
 /// Replays a spooled completed response for `spec`, but only if it passes
 /// the same artifact audit a cache hit must pass. A rotten record is
-/// deleted so the spec re-executes.
-fn replay_spooled(spec: &SynthSpec, entry_dir: &Path) -> Option<Response> {
+/// quarantined (`.corrupt`) so the spec re-executes and the evidence
+/// survives for inspection.
+fn replay_spooled(store: &Store, spec: &SynthSpec, entry_dir: &Path) -> Option<Response> {
+    let replay_vfs = store.vfs.as_ref();
     let path = entry_dir.join("response.json");
-    let bytes = std::fs::read(&path).ok()?;
+    let bytes = replay_vfs.read(&path).ok()?;
     let Ok(mut response) = Response::from_bytes(&bytes) else {
-        let _ = std::fs::remove_file(&path);
+        store.health.mark_fault();
+        quarantine(replay_vfs, &path, "torn spool response");
         return None;
     };
     if response.status != Status::Ok {
@@ -521,7 +640,8 @@ fn replay_spooled(spec: &SynthSpec, entry_dir: &Path) -> Option<Response> {
         })
     });
     if !ok {
-        let _ = std::fs::remove_file(&path);
+        store.health.mark_fault();
+        quarantine(replay_vfs, &path, "audit-failing spool response");
         return None;
     }
     response.resumed = true;
@@ -565,6 +685,22 @@ fn stats_payload(inner: &Arc<Inner>, id: &str) -> Vec<u8> {
                 ("cache_hits".into(), n(cache.hits)),
                 ("cache_misses".into(), n(cache.misses)),
                 ("cache_invalidated".into(), n(cache.invalidated)),
+                (
+                    "storage_degraded".into(),
+                    Json::Bool(inner.store.health.degraded.load(Ordering::Relaxed)),
+                ),
+                (
+                    "storage_faults".into(),
+                    n(inner.store.health.faults.load(Ordering::Relaxed)),
+                ),
+                (
+                    "storage_nondurable".into(),
+                    n(inner.store.health.nondurable.load(Ordering::Relaxed)),
+                ),
+                (
+                    "storage_degraded_jobs".into(),
+                    n(counters.storage_degraded_jobs),
+                ),
                 ("engine_peak_nodes".into(), n(counters.engine_peak_nodes)),
                 (
                     "engine_peak_arena_bytes".into(),

@@ -398,3 +398,175 @@ fn checkpoint_shutdown_parks_and_a_restart_recovers_byte_identically() {
     assert_eq!(stats.recovered, 1, "the spooled entry was resubmitted");
     let _ = std::fs::remove_dir_all(&spool);
 }
+
+#[test]
+fn full_disk_degrades_serving_instead_of_killing_it() {
+    use bddcf_bdd::vfs::{FaultPlan, FaultVfs, WriteFault};
+
+    // Every storage write fails ENOSPC: no acceptance record, no
+    // checkpoints, no completion record can land. The daemon must keep
+    // serving — correct results, explicitly disclaimed as non-durable.
+    let vfs = FaultVfs::with_plan(FaultPlan {
+        fail_all_writes: true,
+        fault: WriteFault::Enospc,
+        ..FaultPlan::default()
+    });
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        spool_dir: Some(PathBuf::from("/spool")),
+        vfs: Arc::new(vfs.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("a full disk must not prevent startup");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+
+    let request = Request {
+        id: "e1".into(),
+        body: RequestBody::Synth {
+            spec: tiny_spec(),
+            deadline_ms: None,
+            checkpoint: true,
+        },
+    };
+    let reply = client.roundtrip_raw(&request.to_bytes());
+    let first = Response::from_bytes(&reply).expect("parseable response");
+    assert_eq!(first.status, Status::Ok, "{:?}", first.error);
+    assert!(
+        first.storage_degraded,
+        "the reply must disclaim durability on a full disk"
+    );
+    assert!(
+        String::from_utf8_lossy(&reply).contains("\"storage_degraded\":true"),
+        "the disclaimer must be typed per-response metadata on the wire"
+    );
+    let local = execute(&tiny_spec(), None, None, false).expect("local");
+    assert_eq!(
+        first.result.expect("payload"),
+        local.result,
+        "degraded serving still returns the correct artifacts"
+    );
+
+    // A degraded result is never cached: the repeat must be recomputed
+    // (and disclaimed again), not replayed from cache or spool.
+    let second = client.roundtrip(&synth_request("e2", tiny_spec()));
+    assert!(
+        !second.cached,
+        "degraded results must never enter the cache"
+    );
+    assert!(!second.resumed);
+    assert!(second.storage_degraded);
+
+    // The stats op exposes storage-degraded mode and its counters.
+    let stats_reply = client.roundtrip_raw(
+        &Request {
+            id: "s".into(),
+            body: RequestBody::Stats,
+        }
+        .to_bytes(),
+    );
+    let value = json::parse(&stats_reply).expect("stats json");
+    let stats = value.get("stats").expect("stats object");
+    assert_eq!(
+        stats.get("storage_degraded").and_then(json::Json::as_bool),
+        Some(true)
+    );
+    let counter = |key: &str| {
+        stats
+            .get(key)
+            .and_then(json::Json::as_i64)
+            .expect("counter")
+    };
+    assert!(counter("storage_faults") > 0, "faults must be counted");
+    assert!(
+        counter("storage_nondurable") >= 2,
+        "both replies were accepted non-durably"
+    );
+
+    let shutdown = Request {
+        id: "q".into(),
+        body: RequestBody::Shutdown(ShutdownMode::Drain),
+    };
+    let _ = client.roundtrip_raw(&shutdown.to_bytes());
+    let stats = server.wait();
+    assert!(vfs.faults_injected() > 0, "the adversary actually fired");
+    assert!(stats.storage_faults > 0);
+    assert!(stats.storage_nondurable >= 2);
+}
+
+#[test]
+fn torn_spool_response_is_quarantined_and_recomputed() {
+    let spool = temp_dir("torn-spool");
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        spool_dir: Some(spool.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = server.local_addr();
+    let first = Client::connect(addr).roundtrip(&synth_request("t1", tiny_spec()));
+    assert_eq!(first.status, Status::Ok, "{:?}", first.error);
+    let shutdown = Request {
+        id: "q".into(),
+        body: RequestBody::Shutdown(ShutdownMode::Drain),
+    };
+    let _ = Client::connect(addr).roundtrip_raw(&shutdown.to_bytes());
+    server.wait();
+
+    // Tear the completion record in half, as a crash mid-overwrite on a
+    // non-atomic filesystem would. While here: no prefix or single-byte
+    // corruption of the record may panic the wire parser.
+    let record = spool
+        .join(format!("req-{}", tiny_spec().hash_hex()))
+        .join("response.json");
+    let intact = std::fs::read(&record).expect("read completion record");
+    assert!(Response::from_bytes(&intact).is_ok());
+    for len in (0..intact.len()).step_by(11) {
+        let _ = Response::from_bytes(&intact[..len]);
+    }
+    for offset in (0..intact.len()).step_by(17) {
+        let mut flipped = intact.clone();
+        flipped[offset] ^= 0x01;
+        let _ = Response::from_bytes(&flipped);
+    }
+    std::fs::write(&record, &intact[..intact.len() / 2]).expect("tear record");
+
+    // A restarted daemon must quarantine the wreck, re-run the entry from
+    // its acceptance record, and serve the byte-identical result.
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        spool_dir: Some(spool.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("restart on the torn spool");
+    let addr = server.local_addr();
+    let recovered = loop {
+        let response = Client::connect(addr).roundtrip(&synth_request("t2", tiny_spec()));
+        if response.resumed || response.cached {
+            break response;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(recovered.status, Status::Ok);
+    let local = execute(&tiny_spec(), None, None, false).expect("local");
+    assert_eq!(recovered.result.expect("payload"), local.result);
+    let quarantined = record.with_file_name("response.json.corrupt");
+    assert!(
+        quarantined.exists(),
+        "the torn record must be parked under a .corrupt name"
+    );
+    let rewritten = std::fs::read(&record).expect("rewritten completion record");
+    assert!(
+        Response::from_bytes(&rewritten).is_ok(),
+        "the entry must own a fresh, parseable completion record"
+    );
+
+    let _ = Client::connect(addr).roundtrip_raw(&shutdown.to_bytes());
+    let stats = server.wait();
+    assert!(
+        stats.storage_faults >= 1,
+        "the torn record must be counted as a storage fault"
+    );
+    assert_eq!(stats.recovered, 1, "the torn entry was re-executed");
+    let _ = std::fs::remove_dir_all(&spool);
+}

@@ -18,10 +18,13 @@ use crate::{is_governed_fn_name, is_test_only, GOVERNED_FILES};
 /// concurrency-readiness scope): the manager's hot paths, the per-level
 /// parallel reduction candidate, the benchmark batch executor, and the
 /// serve daemon's worker pool and connection layer (already threaded —
-/// these must stay on `Sync` primitives only).
+/// these must stay on `Sync` primitives only). The VFS is in scope too:
+/// one `FaultVfs` journal is shared by every worker thread of a
+/// fault-injected daemon.
 pub(crate) const SHARDING_FILES: &[&str] = &[
     "crates/bdd/src/manager.rs",
     "crates/bdd/src/table.rs",
+    "crates/bdd/src/vfs.rs",
     "crates/core/src/alg33.rs",
     "crates/bench/src/pipeline.rs",
     "crates/serve/src/pool.rs",
@@ -29,12 +32,14 @@ pub(crate) const SHARDING_FILES: &[&str] = &[
 ];
 
 /// True when `func` in file `rel` is on a governed path (the XL103/XL104
-/// scope): every function of a governed file or degradation module, and
-/// every `try_*`/`*_governed` function anywhere.
+/// scope): every function of a governed file, degradation, checkpoint, or
+/// VFS module (the storage-fault surface must stay panic-free), and every
+/// `try_*`/`*_governed` function anywhere.
 pub(crate) fn in_governed_scope(rel: &str, fn_name: &str) -> bool {
     GOVERNED_FILES.contains(&rel)
         || rel.contains("degrade")
         || rel.contains("checkpoint")
+        || rel.ends_with("vfs.rs")
         || is_governed_fn_name(fn_name)
 }
 

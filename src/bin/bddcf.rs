@@ -68,6 +68,16 @@
 //!     it on the same spool, and exits nonzero unless no accepted request
 //!     was lost and every artifact is byte-identical and passes the audit
 //!     stack.
+//!
+//! bddcf diskchaos [--seed N] [--points N] [--requests N] [--drop-dir-sync]
+//!     Hostile-disk harness: records every storage event of a checkpointed
+//!     reduction and a spooled serve session on a fault-injecting VFS, then
+//!     sweeps power-loss crash prefixes (fsync-lies model) and seeded
+//!     ENOSPC/EIO/short-write faults, asserting recovery never panics,
+//!     resumes byte-identically, loses no accepted-and-replied request, and
+//!     every surviving artifact passes the audit stack. --drop-dir-sync is
+//!     the negative control: directory fsyncs silently lie and the sweep
+//!     must fail.
 //! ```
 //!
 //! `check`, `inject`, and `crashtest` run each benchmark inside a panic
@@ -165,6 +175,7 @@ fn run(args: &[String]) -> Result<Outcome, CliError> {
         "bench" => bench(&args[1..]).map_err(Into::into),
         "serve" => serve(&args[1..]).map(clean).map_err(Into::into),
         "loadtest" => loadtest(&args[1..]).map_err(Into::into),
+        "diskchaos" => diskchaos(&args[1..]).map_err(Into::into),
         other => Err(format!("unknown subcommand {other:?}").into()),
     }
 }
@@ -193,6 +204,7 @@ USAGE:
               [--max-inflight-nodes N] [--spool D] [--cache-cap N]
   bddcf loadtest [--requests N] [--clients N] [--seed N] [--dir D]
                  [--no-kill] [--in-process]
+  bddcf diskchaos [--seed N] [--points N] [--requests N] [--drop-dir-sync]
 
 RESOURCE GOVERNOR (stats | reduce | cascade):
   --node-limit N       cap the BDD arena at N nodes
@@ -219,6 +231,14 @@ SERVING (serve | loadtest):
   `bddcf serve` as a child on a shared spool, fires a seeded request mix,
   SIGKILLs and restarts the daemon mid-batch, and audits that no accepted
   request was lost.
+
+STORAGE FAULTS (diskchaos):
+  Runs checkpointed reductions and an in-process spooled daemon over a
+  fault-injecting VFS, then replays power-loss crash states at --points
+  storage-event prefixes per phase (0 = every event) plus seeded
+  ENOSPC/EIO/short-write faults. Exits 1 on any recovery-contract
+  violation. --drop-dir-sync makes every directory fsync a silent lie —
+  the negative control proving the harness checks rename durability.
 
 CRASH SAFETY:
   reduce --method fixpoint --checkpoint-dir D
@@ -268,7 +288,10 @@ struct Flags {
     clients: usize,
     no_kill: bool,
     in_process: bool,
+    drop_dir_sync: bool,
     suite_given: bool,
+    requests_given: bool,
+    points_given: bool,
     json: bool,
     diff: Option<String>,
     tolerance: f64,
@@ -308,7 +331,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         clients: 4,
         no_kill: false,
         in_process: false,
+        drop_dir_sync: false,
         suite_given: false,
+        requests_given: false,
+        points_given: false,
         json: false,
         diff: None,
         tolerance: 0.20,
@@ -396,7 +422,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--points" => {
                 flags.points = grab("--points")?
                     .parse()
-                    .map_err(|e| format!("--points: {e}"))?
+                    .map_err(|e| format!("--points: {e}"))?;
+                flags.points_given = true;
             }
             "--checkpoint-dir" => flags.checkpoint_dir = Some(grab("--checkpoint-dir")?),
             "--kill-points" => {
@@ -435,7 +462,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--requests" => {
                 flags.requests = grab("--requests")?
                     .parse()
-                    .map_err(|e| format!("--requests: {e}"))?
+                    .map_err(|e| format!("--requests: {e}"))?;
+                flags.requests_given = true;
             }
             "--clients" => {
                 flags.clients = grab("--clients")?
@@ -444,6 +472,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--no-kill" => flags.no_kill = true,
             "--in-process" => flags.in_process = true,
+            "--drop-dir-sync" => flags.drop_dir_sync = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => flags.positional.push(other.to_string()),
         }
@@ -1174,6 +1203,34 @@ fn loadtest(args: &[String]) -> Result<Outcome, String> {
         queue_capacity: flags.queue_cap.max(1),
     };
     let report = bddcf::serve::run_loadtest(&config)?;
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(Outcome::Clean)
+    } else {
+        Ok(Outcome::Findings)
+    }
+}
+
+fn diskchaos(args: &[String]) -> Result<Outcome, String> {
+    let flags = parse_flags(args)?;
+    if !flags.positional.is_empty() {
+        return Err("diskchaos takes no positional arguments".into());
+    }
+    let config = bddcf::serve::DiskChaosConfig {
+        seed: flags.seed,
+        // inject's 100-point default would subsample; the contract is a
+        // crash at *every* storage event unless the user narrows it.
+        points: if flags.points_given { flags.points } else { 0 },
+        // loadtest's 200-request default would make the sweep quadratic;
+        // the harness needs only a handful of requests per session.
+        requests: if flags.requests_given {
+            flags.requests
+        } else {
+            6
+        },
+        drop_dir_sync: flags.drop_dir_sync,
+    };
+    let report = bddcf::serve::run_diskchaos(&config)?;
     print!("{}", report.render());
     if report.passed() {
         Ok(Outcome::Clean)
