@@ -16,9 +16,18 @@
 //! * **Validity**: `∀X ∃Y. χ = 1` — every input admits at least one output
 //!   word (Definition 2.3 guarantees it on construction; reductions must
 //!   preserve it).
-//! * **Forced output nodes**: every reachable output-variable node has
-//!   exactly one edge to constant 0 (the Fig.-1 shape that makes cascade
-//!   cell extraction deterministic).
+//!
+//! A sixth lint, [`check_cascade_ready`], is deliberately *not* part of
+//! [`check_cf`]: the Fig.-1 forced-output shape (exactly one 0-edge per
+//! output node) is a precondition of cascade **cell extraction**, not of χ
+//! itself. Constrained sifting keeps outputs below their *essential*
+//! support only, so a legal interleaved order — and the reductions run in
+//! it — can give an output node two live children while χ stays a perfect
+//! narrowing of the specification; synthesis re-orders or reports a typed
+//! [`ChoiceError`](bddcf_core::ChoiceError) when it actually matters.
+//! Audit cascade inputs (and synthesized partitions) with
+//! [`check_cascade_ready`]; audit reduction phase boundaries with
+//! [`check_cf`].
 
 use crate::{CheckReport, Layer};
 use bddcf_core::{Cf, Role};
@@ -32,7 +41,6 @@ pub fn check_cf(cf: &mut Cf) -> CheckReport {
     single_occurrence(cf, &mut report);
     partition(cf, &mut report);
     validity(cf, &mut report);
-    forced_output_nodes(cf, &mut report);
     report
 }
 
@@ -123,14 +131,33 @@ fn validity(cf: &mut Cf, report: &mut CheckReport) {
     }
 }
 
-/// Every reachable output node has exactly one 0-edge.
-fn forced_output_nodes(cf: &Cf, report: &mut CheckReport) {
-    if !cf.output_nodes_well_formed() {
+/// Is this χ a sound input for cascade cell extraction? Every reachable
+/// output node must be forced (one 0-edge, the Fig.-1 shape) or covered
+/// by the cascade choice map. Constrained sifting keeps outputs below
+/// their *essential* support only, so a legal order may interleave
+/// don't-care structure below an output and give it two live children;
+/// such a node is fine as long as one child covers its live set. Only an
+/// entangled node — no sound hard-wired choice — is a defect.
+///
+/// Not part of [`check_cf`]: an entangled node can legally appear after a
+/// reduction in an interleaved order, and the remedy (re-order or
+/// re-partition) belongs to the synthesis caller. Run this lint on what
+/// cascade extraction is actually about to consume.
+pub fn check_cascade_ready(cf: &mut Cf) -> CheckReport {
+    let mut report = CheckReport::new();
+    if cf.output_nodes_well_formed() {
+        return report;
+    }
+    if let Err(node) = cf.cascade_output_choices() {
         report.push(
             Layer::CfLints,
-            "an output-variable node of χ does not have exactly one edge to constant 0",
+            format!(
+                "output node {node:?} of χ is entangled: two live children and \
+                 neither covers its live set (no sound cascade choice)"
+            ),
         );
     }
+    report
 }
 
 #[cfg(test)]
@@ -150,5 +177,34 @@ mod tests {
         cf.reduce_alg33_default();
         let report = check_cf(&mut cf);
         assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn interleaved_order_with_resolvable_choices_is_cascade_ready() {
+        use bddcf_bdd::Var;
+        use bddcf_core::{CfLayout, IsfBdds};
+        // y1 sits right below its essential support {x1,x2}, above x3/x4
+        // which only steer the don't-care set (digit code 3 invalid). The
+        // Fig.-1 forced shape breaks, but every two-live-children output
+        // node is resolvable, so both lints must stay clean.
+        let order = vec![Var(0), Var(1), Var(4), Var(2), Var(3), Var(5)];
+        let mut cf = Cf::build_with_order(CfLayout::new(4, 2), &order, |mgr, layout| {
+            let x: Vec<_> = (0..4).map(|i| mgr.var(layout.input_var(i))).collect();
+            let a_invalid = mgr.and(x[0], x[1]);
+            let b_invalid = mgr.and(x[2], x[3]);
+            let invalid = mgr.or(a_invalid, b_invalid);
+            let valid = mgr.not(invalid);
+            let nx0 = mgr.not(x[0]);
+            let y1 = mgr.and(nx0, x[1]);
+            let y2 = mgr.xor(x[0], x[2]);
+            let on = vec![mgr.and(valid, y1), mgr.and(valid, y2)];
+            let dc = vec![invalid, invalid];
+            IsfBdds::from_on_dc(mgr, on, dc)
+        });
+        assert!(!cf.output_nodes_well_formed(), "the order must interleave");
+        let report = check_cf(&mut cf);
+        assert!(report.is_clean(), "{report}");
+        let ready = check_cascade_ready(&mut cf);
+        assert!(ready.is_clean(), "{ready}");
     }
 }

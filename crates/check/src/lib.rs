@@ -52,7 +52,7 @@ pub use audit::audit_artifact_text;
 pub use cascade::{
     check_cascade, check_cascade_against_oracle, check_multi_cascade_against_oracle,
 };
-pub use cf::check_cf;
+pub use cf::{check_cascade_ready, check_cf};
 pub use crashtest::{run_crashtest, CrashTestOptions, CrashTestOutcome, KillOutcome};
 pub use inject::{
     run_injection, FaultKind, FaultOutcome, FaultResult, InjectionOptions, InjectionOutcome,

@@ -6,7 +6,10 @@
 //! one report. This is what the `bddcf check` CLI subcommand executes.
 
 use crate::cascade::check_multi_cascade_against_oracle;
-use crate::{check_cascade, check_cf, check_manager, check_refinement, CheckReport, Layer};
+use crate::{
+    check_cascade, check_cascade_ready, check_cf, check_manager, check_refinement, CheckReport,
+    Layer,
+};
 use bddcf_cascade::{try_synthesize_partitioned, CascadeOptions};
 use bddcf_core::{Alg33Options, Cf};
 use bddcf_funcs::{build_isf_pieces, Benchmark};
@@ -97,6 +100,7 @@ pub fn check_benchmark(benchmark: &dyn Benchmark, options: &CheckOptions) -> Ben
                 for (i, (cascade, part)) in multi.cascades.iter().zip(&multi.parts).enumerate() {
                     let mut part = part.clone();
                     report.absorb(&format!("synthesis[{i}]"), check_refinement(&mut part));
+                    report.absorb(&format!("synthesis[{i}]"), check_cascade_ready(&mut part));
                     report.absorb(
                         &format!("synthesis[{i}]"),
                         check_cascade(cascade, &part, options.samples),

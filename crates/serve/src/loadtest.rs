@@ -761,6 +761,11 @@ fn drive(config: &LoadTestConfig) -> Result<LoadTestReport, String> {
             let pause = 120 + splitmix64(config.seed) % 180;
             std::thread::sleep(Duration::from_millis(pause));
             let mut guard = lock(&ctl);
+            // Holding `ctl` across the restart is the point: the guard
+            // is the barrier that keeps clients from reaching a daemon
+            // that is mid-kill; they block here and retry against the
+            // restarted instance.
+            // xlint: allow(XL202) — intentional barrier, see above.
             kill_and_restart(&mut guard, &config).map(|()| 1u64)
         }))
     } else {
@@ -790,10 +795,13 @@ fn drive(config: &LoadTestConfig) -> Result<LoadTestReport, String> {
         report.kills = kills;
     }
 
-    {
-        let mut guard = lock(&ctl);
-        finish_daemon(&mut guard)?;
-    }
+    // Every clone of `ctl` joined above, so take the controller out of
+    // its mutex: the final drain shutdown must not run under a guard.
+    let mut ctl = Arc::try_unwrap(ctl)
+        .map_err(|_| "a daemon-controller handle outlived its thread".to_string())?
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    finish_daemon(&mut ctl)?;
     audit_spool(config, &mut report);
     Ok(report)
 }

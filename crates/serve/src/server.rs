@@ -138,15 +138,21 @@ struct StorageHealth {
 
 impl StorageHealth {
     fn mark_fault(&self) {
+        // Monotonic counter, read only for stats; no payload is
+        // published through it. xlint: relaxed-ok
         self.faults.fetch_add(1, Ordering::Relaxed);
-        self.degraded.store(true, Ordering::Relaxed);
+        // Release pairs with the Acquire load in stats_payload: a client
+        // that observes `storage_degraded: true` also observes the fault
+        // counters bumped before the flag flipped.
+        self.degraded.store(true, Ordering::Release);
     }
 
     fn mark_ok(&self) {
-        self.degraded.store(false, Ordering::Relaxed);
+        self.degraded.store(false, Ordering::Release);
     }
 
     fn note_nondurable(&self) {
+        // xlint: relaxed-ok — monotonic counter, read only for stats.
         self.nondurable.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -414,6 +420,8 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Monotonic counter for final stats; `wait` joins the
+                // accept thread before reading it. xlint: relaxed-ok
                 inner.connections.fetch_add(1, Ordering::Relaxed);
                 let conn_inner = Arc::clone(inner);
                 // Connection threads are detached: they exit at client EOF
@@ -687,7 +695,7 @@ fn stats_payload(inner: &Arc<Inner>, id: &str) -> Vec<u8> {
                 ("cache_invalidated".into(), n(cache.invalidated)),
                 (
                     "storage_degraded".into(),
-                    Json::Bool(inner.store.health.degraded.load(Ordering::Relaxed)),
+                    Json::Bool(inner.store.health.degraded.load(Ordering::Acquire)),
                 ),
                 (
                     "storage_faults".into(),
@@ -745,6 +753,9 @@ fn handle_shutdown(inner: &Arc<Inner>, id: &str, mode: ShutdownMode) -> Vec<u8> 
             ShutdownMode::Drain => inner.pool.begin_drain(),
             ShutdownMode::Checkpoint => inner.pool.begin_halt(),
         }
+        // Pure exit flag: the shutdown rendezvous is the pool drain/halt
+        // above and the accept-thread join in `wait`; no data is
+        // published through `stop` itself. xlint: relaxed-ok
         inner.stop.store(true, Ordering::Relaxed);
     }
     let mode_str = match mode {

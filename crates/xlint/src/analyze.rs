@@ -20,14 +20,32 @@
 //! - **XL106** undocumented `unsafe` — every `unsafe` needs a
 //!   `// SAFETY:` comment.
 //!
+//! The XL2xx concurrency series builds on the same body IR plus
+//! interprocedural lock/blocking summaries ([`crate::dataflow::ConcSummaries`]):
+//!
+//! - **XL201** lock-order inversion — a cycle in the whole-program
+//!   lock-acquisition graph; the finding carries every witness path.
+//! - **XL202** blocking-under-guard — I/O, `join`, channel receives,
+//!   `sleep`, or governed synthesis while a guard is live
+//!   (`Condvar::wait` is the one legal block).
+//! - **XL203** Condvar discipline — waits must sit in predicate loops
+//!   re-checked on the back-edge, and each condvar pairs with exactly
+//!   one mutex.
+//! - **XL204** atomics ordering — a `Relaxed` store observed cross-thread
+//!   needs a Release/Acquire pair or an `// xlint: relaxed-ok` waiver.
+//! - **XL205** spawn-capture provenance — spawn closures must not
+//!   capture `NodeId`s or manager references without an
+//!   `// xlint: rooted` marker.
+//!
 //! Waivers use the same `// xlint: allow(XLnnn)` comment syntax as the
 //! XL0xx series (same line or the line above).
 
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::dataflow::Summaries;
+use crate::dataflow::{ConcSummaries, Summaries};
 use crate::{allow_map, collect_rs_files, passes, Finding, XL000_PARSE};
 
 /// Analyzes a set of `(workspace-relative path, source)` files as one
@@ -48,20 +66,31 @@ pub fn analyze_sources(files: &[(String, String)]) -> Vec<Finding> {
         }
     }
     let summaries = Summaries::build(&parsed);
+    let conc = ConcSummaries::build(&parsed);
+    let allows: HashMap<String, HashMap<usize, Vec<String>>> = files
+        .iter()
+        .map(|(rel, source)| (rel.clone(), allow_map(source)))
+        .collect();
+    let no_allow = HashMap::new();
     for (rel, source) in files {
         let Some((_, file)) = parsed.iter().find(|(r, _)| r == rel) else {
             continue;
         };
-        let allow = allow_map(source);
-        passes::provenance::run(rel, file, &allow, &summaries, &mut findings);
-        passes::gc_escape::run(rel, file, source, &allow, &summaries, &mut findings);
-        passes::budget_poll::run(rel, file, &allow, &summaries, &mut findings);
-        passes::panic_surface::run(rel, file, &allow, &mut findings);
+        let allow = allows.get(rel).unwrap_or(&no_allow);
+        passes::provenance::run(rel, file, allow, &summaries, &mut findings);
+        passes::gc_escape::run(rel, file, source, allow, &summaries, &mut findings);
+        passes::budget_poll::run(rel, file, allow, &summaries, &mut findings);
+        passes::panic_surface::run(rel, file, allow, &mut findings);
+        passes::blocking::run(rel, file, allow, &conc, &mut findings);
+        passes::spawn_capture::run(rel, file, source, allow, &summaries, &mut findings);
         if let Ok(tokens) = syn::tokenize(source) {
-            passes::concurrency::run(rel, &tokens, &allow, &mut findings);
-            passes::unsafe_doc::run(rel, &tokens, source, &allow, &mut findings);
+            passes::concurrency::run(rel, &tokens, allow, &mut findings);
+            passes::unsafe_doc::run(rel, &tokens, source, allow, &mut findings);
         }
     }
+    passes::lock_order::run(&parsed, &allows, &conc, &mut findings);
+    passes::condvar::run(&parsed, &allows, &conc, &mut findings);
+    passes::atomics::run(files, &parsed, &allows, &mut findings);
     findings.sort_by(|a, b| (&a.file, a.line, a.id).cmp(&(&b.file, b.line, b.id)));
     findings
 }

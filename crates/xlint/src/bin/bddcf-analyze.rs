@@ -1,7 +1,9 @@
 //! `bddcf-analyze`: runs the XL1xx dataflow lint series (NodeId
 //! provenance, GC-escape, budget-poll, panic-surface, concurrency-
-//! readiness, undocumented unsafe) over the workspace and prints
-//! machine-readable findings (`file:line: [ID] message`).
+//! readiness, undocumented unsafe) and the XL2xx concurrency series
+//! (lock-order graphs, blocking-under-guard, Condvar discipline,
+//! atomics ordering, spawn-capture provenance) over the workspace and
+//! prints machine-readable findings (`file:line: [ID] message`).
 //!
 //! Usage: `bddcf-analyze [workspace-root]` (default: the current
 //! directory). Exits 0 when clean, 1 when any finding survives, 2 on
@@ -20,9 +22,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if !Path::new(&root).is_dir() {
+        eprintln!("analyze: `{root}` is not a directory");
+        return ExitCode::from(2);
+    }
     match bddcf_xlint::analyze::analyze_workspace(Path::new(&root)) {
         Ok(findings) if findings.is_empty() => {
-            println!("analyze: workspace clean (XL101–XL106)");
+            println!("analyze: workspace clean (XL101–XL106, XL201–XL205)");
             ExitCode::SUCCESS
         }
         Ok(findings) => {

@@ -176,6 +176,269 @@ impl Summaries {
     }
 }
 
+// ---------------------------------------------------------------------
+// Concurrency summaries (the XL2xx side of the summary store)
+// ---------------------------------------------------------------------
+
+/// How a lock acquired inside a function is identified at its call
+/// sites.
+///
+/// Lock identity is the *last segment* of the acquisition chain
+/// (`self.state.lock()` → `state`, `lock(&store.cache)` → `cache`):
+/// field names are stable across the `self`/`shared`/`inner` aliases a
+/// guard travels through, which is what a whole-program lock-order graph
+/// needs. Two same-named fields of unrelated structs merge under this
+/// key — documented trade-off: it can report a spurious edge, never
+/// hide a real one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Acq {
+    /// A fixed identity (field or static name).
+    Fixed(String),
+    /// Whichever lock the caller passes as parameter `i` (0-based,
+    /// `self` counts as parameter 0 of a method).
+    Param(usize),
+}
+
+/// Concurrency summary of one function: what it (transitively) acquires
+/// and whether it blocks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConcFnSummary {
+    /// Lock identities acquired anywhere in the body (transitively
+    /// closed over named calls).
+    pub acquires: Vec<Acq>,
+    /// Set when the function is a lock helper: its return value is a
+    /// live guard over this lock (return type names a `…Guard` and the
+    /// body performs exactly one acquisition).
+    pub returns_guard: Option<Acq>,
+    /// Description of the first (transitively reached) blocking
+    /// operation, or `None` when the function never blocks.
+    /// `Condvar::wait` is exempt by design — it is the one legal block
+    /// under a guard.
+    pub blocking: Option<String>,
+}
+
+/// Per-workspace concurrency summaries, keyed by `(name, is_method)` —
+/// a free `lock(&mutex)` helper and a `self.lock()` method coexist.
+/// Same-keyed functions with different summaries are dropped
+/// (ambiguous), like [`Summaries`].
+#[derive(Debug, Default)]
+pub struct ConcSummaries {
+    fns: HashMap<(String, bool), Option<ConcFnSummary>>,
+}
+
+impl ConcSummaries {
+    /// The summary a call event resolves to, unless unknown or
+    /// ambiguous.
+    pub fn of_call(&self, event: &CallEvent) -> Option<&ConcFnSummary> {
+        self.fns
+            .get(&(event.name.clone(), event.is_method))
+            .and_then(|s| s.as_ref())
+    }
+
+    /// Builds concurrency summaries for every non-test function of the
+    /// given parsed files, closing `acquires` and `blocking`
+    /// transitively over the call graph (lock identities passed as
+    /// parameters are resolved through the call-site arguments).
+    pub fn build(files: &[(String, syn::File)]) -> ConcSummaries {
+        struct Raw {
+            summary: ConcFnSummary,
+            calls: Vec<CallEvent>,
+            params: Vec<String>,
+        }
+        let mut raw: HashMap<(String, bool), Option<Raw>> = HashMap::new();
+        for (_rel, file) in files {
+            crate::for_each_fn(&file.items, &mut |func| {
+                let params: Vec<String> = params_of(func).iter().map(|p| p.name.clone()).collect();
+                let is_method = params.first().is_some_and(|p| p == "self");
+                let mut summary = ConcFnSummary::default();
+                let mut calls = Vec::new();
+                if let Some(body) = &func.block {
+                    calls = call_events(body);
+                    for ev in &calls {
+                        if let Some(acq) = direct_lock_acquisition(ev, &params) {
+                            if !summary.acquires.contains(&acq) {
+                                summary.acquires.push(acq);
+                            }
+                        } else if summary.blocking.is_none() {
+                            if let Some(what) = blocking_call(ev) {
+                                summary.blocking = Some(what);
+                            }
+                        }
+                    }
+                }
+                if returns_guard_type(func) && summary.acquires.len() == 1 {
+                    summary.returns_guard = summary.acquires.first().cloned();
+                }
+                let entry = Raw {
+                    summary,
+                    calls,
+                    params,
+                };
+                match raw.entry((func.sig.ident.name.clone(), is_method)) {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(Some(entry));
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        // Identical twins (the free `lock` helper is
+                        // defined per-crate) merge; anything else is
+                        // ambiguous and dropped.
+                        let keep = o.get_mut();
+                        match keep {
+                            Some(prev) if prev.summary == entry.summary => {}
+                            _ => *keep = None,
+                        }
+                    }
+                }
+            });
+        }
+        // Transitive closure: a caller acquires what its callees
+        // acquire (resolved through arguments) and blocks when a callee
+        // blocks.
+        loop {
+            let snapshot: HashMap<(String, bool), ConcFnSummary> = raw
+                .iter()
+                .filter_map(|(k, r)| r.as_ref().map(|r| (k.clone(), r.summary.clone())))
+                .collect();
+            let mut changed = false;
+            for r in raw.values_mut().flatten() {
+                for ev in &r.calls {
+                    let Some(callee) = snapshot.get(&(ev.name.clone(), ev.is_method)) else {
+                        continue;
+                    };
+                    for acq in &callee.acquires {
+                        if let Some(resolved) = resolve_acq(acq, ev, &r.params) {
+                            if !r.summary.acquires.contains(&resolved) {
+                                r.summary.acquires.push(resolved);
+                                changed = true;
+                            }
+                        }
+                    }
+                    if r.summary.blocking.is_none() {
+                        if let Some(b) = &callee.blocking {
+                            r.summary.blocking = Some(format!("{b} (via `{}`)", ev.name));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        ConcSummaries {
+            fns: raw
+                .into_iter()
+                .map(|(k, r)| (k, r.map(|r| r.summary)))
+                .collect(),
+        }
+    }
+}
+
+/// The lock identity of a receiver/argument chain in a given parameter
+/// scope: a single-segment chain naming a parameter stays positional
+/// (so helpers compose); anything else keys on its last segment.
+pub(crate) fn chain_acq(chain: &[String], params: &[String]) -> Acq {
+    let strip = |s: &str| s.strip_suffix("()").unwrap_or(s).to_string();
+    if chain.len() == 1 {
+        let name = strip(&chain[0]);
+        if let Some(i) = params.iter().position(|p| *p == name) {
+            return Acq::Param(i);
+        }
+    }
+    Acq::Fixed(strip(chain.last().map(String::as_str).unwrap_or("")))
+}
+
+/// Maps a callee-side [`Acq`] to the caller's scope through one call
+/// event (`None` when the argument is not a simple path).
+pub(crate) fn resolve_acq(acq: &Acq, ev: &CallEvent, caller_params: &[String]) -> Option<Acq> {
+    match acq {
+        Acq::Fixed(id) => Some(Acq::Fixed(id.clone())),
+        Acq::Param(i) => {
+            if ev.is_method && *i == 0 {
+                // Callee parameter 0 is `self` = the call's receiver.
+                return ev.receiver.as_ref().map(|c| chain_acq(c, caller_params));
+            }
+            let j = if ev.is_method { *i - 1 } else { *i };
+            match ev.args.get(j) {
+                Some(ArgShape::Path { segments, .. }) => Some(chain_acq(segments, caller_params)),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// A zero-argument `.lock()`/`.read()`/`.write()` on a simple chain —
+/// the std `Mutex`/`RwLock` acquisition idiom. The zero-arity
+/// requirement disambiguates `RwLock::read`/`write` from buffer I/O.
+pub(crate) fn direct_lock_acquisition(ev: &CallEvent, params: &[String]) -> Option<Acq> {
+    if ev.is_method && ev.args.is_empty() && matches!(ev.name.as_str(), "lock" | "read" | "write") {
+        // A bare `self.lock()` is a user helper method, not a std
+        // mutex; the caller resolves it through its summary instead.
+        let chain = ev.receiver.as_ref()?;
+        if chain.len() == 1 && chain[0] == "self" {
+            return None;
+        }
+        return Some(chain_acq(chain, params));
+    }
+    None
+}
+
+/// Describes a blocking call event, or `None`. `Condvar::wait*` with a
+/// guard argument is the one legal block under a lock and is never
+/// reported here (zero-argument `wait` is `Child::wait`, which blocks).
+pub(crate) fn blocking_call(ev: &CallEvent) -> Option<String> {
+    let n = ev.name.as_str();
+    // Governed engine entry points: budgeted, potentially long-running.
+    if n.starts_with("reduce_") || n.starts_with("synthesize") {
+        return Some(format!(
+            "governed call `{n}` (budgeted, potentially long-running)"
+        ));
+    }
+    if ev.is_method {
+        let blocks = match n {
+            // Thread/process joins, channel receives, fsyncs, accepts.
+            "join" | "recv" | "flush" | "sync_all" | "sync_data" | "accept" | "wait" => {
+                ev.args.is_empty()
+            }
+            // Buffer I/O (the zero-argument forms are `RwLock`
+            // acquisitions, handled by the guard tracker).
+            "read" | "write" | "read_exact" | "read_to_end" | "read_to_string" | "write_all"
+            | "write_fmt" | "set_len" => !ev.args.is_empty(),
+            "recv_timeout" | "send_timeout" | "park_timeout" | "write_atomic" | "sync_dir" => true,
+            _ => false,
+        };
+        return blocks.then(|| format!("`.{n}(…)`"));
+    }
+    let prev = ev.path.len().checked_sub(2).map(|i| ev.path[i].as_str());
+    let blocks = n == "sleep"
+        || n == "park"
+        || n == "write_atomic"
+        || n == "sync_dir"
+        || prev == Some("fs")
+        || (matches!(prev, Some("File" | "OpenOptions"))
+            && matches!(n, "open" | "create" | "create_new" | "options"))
+        || (matches!(
+            prev,
+            Some("TcpStream" | "TcpListener" | "UnixStream" | "UnixListener")
+        ) && matches!(n, "connect" | "bind" | "connect_timeout"));
+    blocks.then(|| format!("`{}(…)`", ev.path.join("::")))
+}
+
+/// True when the return type (tokens after `->`) names a guard type
+/// (`MutexGuard`, `RwLockReadGuard`, …).
+fn returns_guard_type(func: &ItemFn) -> bool {
+    let toks = &func.sig.tokens.tokens;
+    let Some(arrow) = toks
+        .windows(2)
+        .position(|w| w[0].is_punct('-') && w[1].is_punct('>'))
+    else {
+        return false;
+    };
+    toks[arrow + 2..]
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text.contains("Guard"))
+}
+
 /// Parameter classification.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ParamKind {
@@ -307,6 +570,12 @@ fn returns_node(func: &ItemFn) -> bool {
     toks[arrow + 2..]
         .iter()
         .any(|t| t.is_ident("NodeId") || t.is_ident("MtNodeId"))
+}
+
+/// True when a call event produces a `NodeId` (manager node ops and
+/// summary-known returns) — the XL205 capture classifier.
+pub(crate) fn produces_node(ev: &CallEvent, summaries: &Summaries) -> bool {
+    is_node_producing(&ev.name) || summaries.get(&ev.name).is_some_and(|s| s.returns_node)
 }
 
 /// The provenance environment of one function walk.
@@ -866,6 +1135,71 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn conc_summaries_resolve_lock_helpers_and_blocking() {
+        let files = vec![(
+            "crates/x/src/lib.rs".to_string(),
+            syn::parse_file(
+                "fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {\n\
+                 \x20   mutex.lock().unwrap_or_else(|e| e.into_inner())\n\
+                 }\n\
+                 fn lock_state(shared: &Shared) -> MutexGuard<'_, PoolState> {\n\
+                 \x20   shared.state.lock().unwrap()\n\
+                 }\n\
+                 fn drain(shared: &Shared) {\n\
+                 \x20   let g = lock_state(shared);\n\
+                 \x20   std::thread::sleep(ms(1));\n\
+                 }\n\
+                 fn outer(shared: &Shared) { drain(shared); }\n",
+            )
+            .expect("parses"),
+        )];
+        let s = ConcSummaries::build(&files);
+        let ev = |src: &str| {
+            let toks = syn::tokenize(src).expect("lexes");
+            call_events(&toks).remove(0)
+        };
+        let lock = s.of_call(&ev("lock(&store.cache)")).expect("lock helper");
+        assert_eq!(lock.returns_guard, Some(Acq::Param(0)));
+        let resolved = resolve_acq(
+            lock.returns_guard.as_ref().expect("guard"),
+            &ev("lock(&store.cache)"),
+            &[],
+        );
+        assert_eq!(resolved, Some(Acq::Fixed("cache".to_string())));
+        let lock_state = s.of_call(&ev("lock_state(&self.shared)")).expect("helper");
+        assert_eq!(
+            lock_state.returns_guard,
+            Some(Acq::Fixed("state".to_string()))
+        );
+        let outer = s.of_call(&ev("outer(&shared)")).expect("outer");
+        assert!(
+            outer
+                .blocking
+                .as_deref()
+                .is_some_and(|b| b.contains("sleep")),
+            "blocking closes transitively: {:?}",
+            outer.blocking
+        );
+        assert!(
+            outer.acquires.contains(&Acq::Fixed("state".to_string())),
+            "acquires close transitively: {:?}",
+            outer.acquires
+        );
+    }
+
+    #[test]
+    fn condvar_wait_is_not_blocking_but_child_wait_is() {
+        let toks = syn::tokenize("cv.wait(guard)").expect("lexes");
+        assert!(blocking_call(&call_events(&toks)[0]).is_none());
+        let toks = syn::tokenize("child.wait()").expect("lexes");
+        assert!(blocking_call(&call_events(&toks)[0]).is_some());
+        let toks = syn::tokenize("rwlock.read()").expect("lexes");
+        assert!(blocking_call(&call_events(&toks)[0]).is_none());
+        let toks = syn::tokenize("file.read(&mut buf)").expect("lexes");
+        assert!(blocking_call(&call_events(&toks)[0]).is_some());
     }
 
     #[test]

@@ -1,0 +1,608 @@
+//! Guard-scope tracking for the XL2xx concurrency passes.
+//!
+//! One walk over a statement-structured body maintains the stack of
+//! live lock guards and collects everything XL201 (lock-order graph),
+//! XL202 (blocking-under-guard), and XL203 (condvar discipline)
+//! consume:
+//!
+//! * every **acquisition** (a direct `.lock()`/`.read()`/`.write()`, a
+//!   summary-known lock helper, or a callee that transitively acquires)
+//!   with a snapshot of the guards held at that point — the lock-order
+//!   edges;
+//! * every **blocking operation** that runs while a guard is live;
+//! * every **`Condvar::wait`** site with its condvar identity, the lock
+//!   its guard argument came from, and whether the enclosing loop
+//!   re-checks a predicate on the back-edge.
+//!
+//! Guard lifetimes follow the lexical model the workspace actually
+//! uses: a `let`-bound guard lives to the end of its block or an
+//! explicit `drop(guard)`; a temporary guard (`lock_state(s).counters`)
+//! lives to the end of its statement; an `if let`/`while let`/`match`
+//! scrutinee temporary lives through the branches it feeds (the Rust
+//! 2021 temporary-scope rule that makes `if let Some(r) =
+//! lock(&cache).lookup(..)` hold the cache lock for the whole branch —
+//! exactly the hazard XL202 exists to catch). A `guard =
+//! cv.wait(guard)` reassignment keeps the binding live, matching the
+//! guard round-trip through `Condvar::wait`.
+
+use syn::body::{call_events, parse_block, ArgShape, Block, ExprStmt, LoopKind, Stmt};
+use syn::ItemFn;
+
+use crate::dataflow::{
+    blocking_call, direct_lock_acquisition, params_of, resolve_acq, Acq, ConcSummaries,
+};
+
+/// A lock identity (see [`Acq`]): the last segment of its acquisition
+/// chain.
+pub(crate) type LockId = String;
+
+/// One live guard at some program point.
+#[derive(Clone, Debug)]
+pub(crate) struct Held {
+    /// The lock the guard protects.
+    pub id: LockId,
+    /// 1-based line of its acquisition.
+    pub line: usize,
+}
+
+/// One lock acquisition, with the guards live when it ran.
+#[derive(Debug)]
+pub(crate) struct AcqSite {
+    /// The lock being acquired.
+    pub id: LockId,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+    /// Guards already held (lock-order edges `held → id`).
+    pub held: Vec<Held>,
+}
+
+/// A blocking operation that ran while a guard was live.
+#[derive(Debug)]
+pub(crate) struct BlockSite {
+    /// Description of the blocking call.
+    pub what: String,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// The innermost guard live at the call.
+    pub guard: Held,
+}
+
+/// One `Condvar::wait`/`wait_timeout` call site.
+#[derive(Debug)]
+pub(crate) struct WaitSite {
+    /// Identity of the condvar (last receiver-chain segment).
+    pub condvar: LockId,
+    /// The lock whose guard is passed to `wait`, when resolvable.
+    pub guard_lock: Option<LockId>,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// The wait sits inside some loop.
+    pub in_loop: bool,
+    /// The innermost enclosing loop re-checks a predicate on its
+    /// back-edge (a `while`/`for` header, or a conditional in a `loop`
+    /// body).
+    pub rechecked: bool,
+}
+
+/// Everything one function contributes to the XL2xx passes.
+#[derive(Debug, Default)]
+pub(crate) struct FnConcurrency {
+    /// The function's name.
+    pub fn_name: String,
+    /// Acquisitions, in source order.
+    pub acquisitions: Vec<AcqSite>,
+    /// Blocking-under-guard sites, in source order.
+    pub blocking: Vec<BlockSite>,
+    /// Condvar wait sites, in source order.
+    pub waits: Vec<WaitSite>,
+}
+
+/// Walks one function under the workspace concurrency summaries.
+pub(crate) fn analyze_fn(func: &ItemFn, summaries: &ConcSummaries) -> FnConcurrency {
+    let params: Vec<String> = params_of(func).iter().map(|p| p.name.clone()).collect();
+    let mut walker = Walker {
+        summaries,
+        params,
+        guards: Vec::new(),
+        loops: Vec::new(),
+        out: FnConcurrency {
+            fn_name: func.sig.ident.name.clone(),
+            ..FnConcurrency::default()
+        },
+    };
+    if let Some(body) = &func.block {
+        walker.walk_block(&parse_block(body));
+    }
+    walker.out
+}
+
+/// One guard on the scope stack.
+#[derive(Clone, Debug)]
+struct GuardEntry {
+    /// `let`-bound name; `None` for a statement temporary.
+    name: Option<String>,
+    id: LockId,
+    line: usize,
+    /// An explicit `drop(guard)` ended it early.
+    released: bool,
+}
+
+/// What one flat fragment reported back for `let`-binding conversion.
+#[derive(Default)]
+struct FragmentResult {
+    /// Index into the guard stack of the last acquisition, plus its
+    /// event index.
+    last_guard: Option<(usize, usize)>,
+    /// The fragment's value *is* the guard (every event after the
+    /// acquisition passes it through and nothing trails the last
+    /// call), so a `let` binds the guard itself.
+    bindable: bool,
+}
+
+const UNWRAP_OK: &[&str] = &[
+    "unwrap",
+    "expect",
+    "unwrap_or_else",
+    "unwrap_or",
+    "unwrap_or_default",
+    "into_inner",
+];
+
+struct Walker<'a> {
+    summaries: &'a ConcSummaries,
+    params: Vec<String>,
+    guards: Vec<GuardEntry>,
+    /// Per enclosing loop: does it re-check a predicate on the
+    /// back-edge?
+    loops: Vec<bool>,
+    out: FnConcurrency,
+}
+
+impl Walker<'_> {
+    fn walk_block(&mut self, block: &Block) {
+        let mark = self.guards.len();
+        for stmt in &block.stmts {
+            self.walk_stmt(stmt);
+        }
+        self.guards.truncate(mark);
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Item(_) => {}
+            Stmt::Let(l) => {
+                let mark = self.guards.len();
+                let mut kept = None;
+                if let Some(init) = &l.init {
+                    let res = self.fragment(init);
+                    for nested in &init.nested {
+                        self.walk_stmt(nested);
+                    }
+                    if res.bindable && l.names.len() == 1 {
+                        if let Some((gi, _)) = res.last_guard {
+                            kept = Some(self.guards[gi].clone());
+                        }
+                    }
+                }
+                if let Some(else_block) = &l.else_block {
+                    self.walk_block(else_block);
+                }
+                // Initializer temporaries end with the statement; the
+                // binding keeps the guard the `let` actually holds.
+                self.guards.truncate(mark);
+                if let (Some(mut g), [name]) = (kept, &l.names[..]) {
+                    if !g.released {
+                        g.name = Some(name.name.clone());
+                        self.guards.push(g);
+                    }
+                }
+            }
+            Stmt::If(i) => {
+                let mark = self.guards.len();
+                self.fragment(&i.cond);
+                for nested in &i.cond.nested {
+                    self.walk_stmt(nested);
+                }
+                // Plain-`if` condition temporaries drop before the
+                // branch; an `if let` scrutinee lives through both.
+                if !starts_with_let(&i.cond) {
+                    self.guards.truncate(mark);
+                }
+                self.walk_block(&i.then_branch);
+                if let Some(else_branch) = &i.else_branch {
+                    self.walk_block(else_branch);
+                }
+                self.guards.truncate(mark);
+            }
+            Stmt::Match(m) => {
+                let mark = self.guards.len();
+                self.fragment(&m.scrutinee);
+                for nested in &m.scrutinee.nested {
+                    self.walk_stmt(nested);
+                }
+                // A match scrutinee temporary lives through every arm.
+                for arm in &m.arms {
+                    self.walk_block(&arm.body);
+                }
+                self.guards.truncate(mark);
+            }
+            Stmt::Loop(l) => {
+                let rechecked = match l.kind {
+                    LoopKind::While | LoopKind::For => true,
+                    LoopKind::Loop => block_has_branch(&l.body),
+                };
+                let mark = self.guards.len();
+                self.fragment(&l.header);
+                for nested in &l.header.nested {
+                    self.walk_stmt(nested);
+                }
+                if !starts_with_let(&l.header) {
+                    self.guards.truncate(mark);
+                }
+                self.loops.push(rechecked);
+                self.walk_block(&l.body);
+                self.loops.pop();
+                self.guards.truncate(mark);
+            }
+            Stmt::Expr(e) => {
+                let mark = self.guards.len();
+                self.fragment(e);
+                for nested in &e.nested {
+                    self.walk_stmt(nested);
+                }
+                self.guards.truncate(mark);
+            }
+        }
+    }
+
+    /// Processes one flat fragment: records acquisition edges, blocking
+    /// sites, wait sites; pushes temporary guard entries.
+    fn fragment(&mut self, expr: &ExprStmt) -> FragmentResult {
+        let events = call_events(&expr.tokens);
+        let mut res = FragmentResult::default();
+        for (idx, ev) in events.iter().enumerate() {
+            // `drop(guard)` / `mem::drop(guard)` releases early.
+            if !ev.is_method && ev.name == "drop" && ev.args.len() == 1 {
+                if let Some(ArgShape::Path { segments, .. }) = ev.args.first() {
+                    if let [name] = &segments[..] {
+                        if let Some(g) = self
+                            .guards
+                            .iter_mut()
+                            .rev()
+                            .find(|g| g.name.as_deref() == Some(name.as_str()) && !g.released)
+                        {
+                            g.released = true;
+                        }
+                    }
+                }
+                continue;
+            }
+            // `Condvar::wait(guard)` — the one legal block under a
+            // guard; the guard round-trips through the call.
+            if ev.is_method
+                && matches!(
+                    ev.name.as_str(),
+                    "wait" | "wait_timeout" | "wait_while" | "wait_timeout_while"
+                )
+                && !ev.args.is_empty()
+            {
+                let condvar = ev
+                    .receiver
+                    .as_ref()
+                    .and_then(|c| c.last())
+                    .map(|s| s.strip_suffix("()").unwrap_or(s).to_string());
+                let guard_lock = match ev.args.first() {
+                    Some(ArgShape::Path { segments, .. }) => match &segments[..] {
+                        [name] => self
+                            .guards
+                            .iter()
+                            .rev()
+                            .find(|g| g.name.as_deref() == Some(name.as_str()) && !g.released)
+                            .map(|g| g.id.clone()),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                if let Some(condvar) = condvar {
+                    self.out.waits.push(WaitSite {
+                        condvar,
+                        guard_lock,
+                        line: ev.line,
+                        in_loop: !self.loops.is_empty(),
+                        rechecked: self.loops.last().copied().unwrap_or(false),
+                    });
+                }
+                continue;
+            }
+            // Direct std acquisition.
+            if let Some(acq) = direct_lock_acquisition(ev, &self.params) {
+                let gi = self.acquire(self.lock_id(&acq), ev.line);
+                res.last_guard = Some((gi, idx));
+                continue;
+            }
+            // Summary-known callee: lock helpers leave a live guard;
+            // other acquiring callees contribute transient edges; a
+            // blocking callee under a guard is a finding.
+            if let Some(callee) = self.summaries.of_call(ev) {
+                let callee = callee.clone();
+                if let Some(rg) = &callee.returns_guard {
+                    if let Some(resolved) = resolve_acq(rg, ev, &self.params) {
+                        let gi = self.acquire(self.lock_id(&resolved), ev.line);
+                        res.last_guard = Some((gi, idx));
+                    }
+                    // Lock helpers acquire nothing beyond the guard
+                    // they return.
+                    continue;
+                }
+                for acq in &callee.acquires {
+                    if let Some(resolved) = resolve_acq(acq, ev, &self.params) {
+                        let id = self.lock_id(&resolved);
+                        let held = self.held();
+                        self.out.acquisitions.push(AcqSite {
+                            id,
+                            line: ev.line,
+                            held,
+                        });
+                    }
+                }
+                if let Some(b) = &callee.blocking {
+                    if let Some(guard) = self.innermost() {
+                        self.out.blocking.push(BlockSite {
+                            what: format!("call to `{}`, which blocks: {b}", ev.name),
+                            line: ev.line,
+                            guard,
+                        });
+                    }
+                }
+                continue;
+            }
+            // Direct blocking operation.
+            if let Some(what) = blocking_call(ev) {
+                if let Some(guard) = self.innermost() {
+                    self.out.blocking.push(BlockSite {
+                        what,
+                        line: ev.line,
+                        guard,
+                    });
+                }
+            }
+        }
+        // A `let` binds the guard only when every event after the
+        // acquisition passes it through (`.unwrap()` etc.) and nothing
+        // trails the final call (a `….unwrap().field` projection binds
+        // data, not the guard) — otherwise the guard is a temporary
+        // that dies with the statement.
+        if let Some((_, ei)) = res.last_guard {
+            res.bindable = events[ei + 1..]
+                .iter()
+                .all(|e| UNWRAP_OK.contains(&e.name.as_str()))
+                && expr
+                    .tokens
+                    .tokens
+                    .last()
+                    .is_some_and(|t| t.is_punct(')') || t.is_punct('?'));
+        }
+        res
+    }
+
+    /// Records an acquisition (with held-set snapshot) and pushes a
+    /// temporary guard entry; returns its stack index.
+    fn acquire(&mut self, id: LockId, line: usize) -> usize {
+        let held = self.held();
+        self.out.acquisitions.push(AcqSite {
+            id: id.clone(),
+            line,
+            held,
+        });
+        self.guards.push(GuardEntry {
+            name: None,
+            id,
+            line,
+            released: false,
+        });
+        self.guards.len() - 1
+    }
+
+    /// The lock identity of a resolved [`Acq`] in this function's
+    /// scope: positional parameters keep their own names.
+    fn lock_id(&self, acq: &Acq) -> LockId {
+        match acq {
+            Acq::Fixed(id) => id.clone(),
+            Acq::Param(i) => self
+                .params
+                .get(*i)
+                .cloned()
+                .unwrap_or_else(|| format!("param{i}")),
+        }
+    }
+
+    fn held(&self) -> Vec<Held> {
+        self.guards
+            .iter()
+            .filter(|g| !g.released)
+            .map(|g| Held {
+                id: g.id.clone(),
+                line: g.line,
+            })
+            .collect()
+    }
+
+    fn innermost(&self) -> Option<Held> {
+        self.guards
+            .iter()
+            .rev()
+            .find(|g| !g.released)
+            .map(|g| Held {
+                id: g.id.clone(),
+                line: g.line,
+            })
+    }
+}
+
+/// True when the fragment is an `if let`/`while let` header (whose
+/// scrutinee temporaries live through the branch).
+fn starts_with_let(expr: &ExprStmt) -> bool {
+    expr.tokens
+        .tokens
+        .first()
+        .is_some_and(|t| t.is_ident("let"))
+}
+
+/// True when the block contains any conditional — the predicate
+/// re-check a bare `loop` needs on its condvar back-edge.
+fn block_has_branch(block: &Block) -> bool {
+    block.stmts.iter().any(stmt_has_branch)
+}
+
+fn stmt_has_branch(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::If(_) | Stmt::Match(_) => true,
+        Stmt::Loop(l) => {
+            matches!(l.kind, LoopKind::While | LoopKind::For) || block_has_branch(&l.body)
+        }
+        Stmt::Let(l) => {
+            l.else_block.is_some()
+                || l.init
+                    .as_ref()
+                    .is_some_and(|i| i.nested.iter().any(stmt_has_branch))
+        }
+        Stmt::Expr(e) => e.nested.iter().any(stmt_has_branch),
+        Stmt::Item(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::ConcSummaries;
+
+    fn conc_of(src: &str, fn_name: &str) -> FnConcurrency {
+        let file = syn::parse_file(src).expect("parses");
+        let parsed = vec![("crates/x/src/lib.rs".to_string(), file.clone())];
+        let summaries = ConcSummaries::build(&parsed);
+        let mut found = None;
+        crate::for_each_fn(&file.items, &mut |f| {
+            if f.sig.ident.name == fn_name {
+                found = Some(f.clone());
+            }
+        });
+        analyze_fn(&found.expect("fn present"), &summaries)
+    }
+
+    #[test]
+    fn let_guard_lives_to_drop_and_temp_dies_with_statement() {
+        let conc = conc_of(
+            "fn f(&self) {\n\
+             \x20   let mut state = self.state.lock().unwrap();\n\
+             \x20   state.n += 1;\n\
+             \x20   drop(state);\n\
+             \x20   std::thread::sleep(ms(1));\n\
+             \x20   let n = self.other.lock().unwrap().n;\n\
+             \x20   std::fs::read(path);\n\
+             }\n",
+            "f",
+        );
+        assert!(
+            conc.blocking.is_empty(),
+            "sleep after drop and fs::read after a temp guard are clean: {:?}",
+            conc.blocking
+        );
+    }
+
+    #[test]
+    fn blocking_under_live_guard_is_reported() {
+        let conc = conc_of(
+            "fn f(&self) {\n\
+             \x20   let g = self.state.lock().unwrap();\n\
+             \x20   std::thread::sleep(ms(1));\n\
+             }\n",
+            "f",
+        );
+        assert_eq!(conc.blocking.len(), 1);
+        assert_eq!(conc.blocking[0].guard.id, "state");
+    }
+
+    #[test]
+    fn if_let_scrutinee_guard_spans_the_branch() {
+        let conc = conc_of(
+            "fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> { m.lock().unwrap() }\n\
+             fn f(store: &Store) {\n\
+             \x20   if let Some(r) = lock(&store.cache).get(k) {\n\
+             \x20       std::fs::write(p, r);\n\
+             \x20   }\n\
+             \x20   if lock(&store.cache).is_empty() {\n\
+             \x20       std::fs::write(p, b);\n\
+             \x20   }\n\
+             }\n",
+            "f",
+        );
+        assert_eq!(
+            conc.blocking.len(),
+            1,
+            "if-let holds the guard through its branch; plain if does not: {:?}",
+            conc.blocking
+        );
+        assert_eq!(conc.blocking[0].guard.id, "cache");
+    }
+
+    #[test]
+    fn nested_acquisition_records_the_order_edge() {
+        let conc = conc_of(
+            "fn f(&self) {\n\
+             \x20   let a = self.state.lock().unwrap();\n\
+             \x20   let b = self.handles.lock().unwrap();\n\
+             }\n",
+            "f",
+        );
+        let edge = conc
+            .acquisitions
+            .iter()
+            .find(|s| s.id == "handles")
+            .expect("second acquisition");
+        assert_eq!(edge.held.len(), 1);
+        assert_eq!(edge.held[0].id, "state");
+    }
+
+    #[test]
+    fn condvar_wait_shapes_are_classified() {
+        let conc = conc_of(
+            "fn f(&self) {\n\
+             \x20   let mut state = self.shared.state.lock().unwrap();\n\
+             \x20   while state.busy {\n\
+             \x20       state = self.shared.work.wait(state).unwrap();\n\
+             \x20   }\n\
+             \x20   if state.racy {\n\
+             \x20       state = self.shared.idle.wait(state).unwrap();\n\
+             \x20   }\n\
+             }\n",
+            "f",
+        );
+        assert_eq!(conc.waits.len(), 2);
+        let w = &conc.waits[0];
+        assert_eq!(w.condvar, "work");
+        assert_eq!(w.guard_lock.as_deref(), Some("state"));
+        assert!(w.in_loop && w.rechecked);
+        assert!(!conc.waits[1].in_loop, "wait under a bare if is flagged");
+        assert!(
+            conc.blocking.is_empty(),
+            "condvar wait is the one legal block: {:?}",
+            conc.blocking
+        );
+    }
+
+    #[test]
+    fn loop_with_break_predicate_counts_as_rechecked() {
+        let conc = conc_of(
+            "fn f(shared: &Shared) {\n\
+             \x20   let mut state = shared.state.lock().unwrap();\n\
+             \x20   loop {\n\
+             \x20       if state.ready { break; }\n\
+             \x20       state = shared.work.wait(state).unwrap();\n\
+             \x20   }\n\
+             }\n",
+            "f",
+        );
+        assert_eq!(conc.waits.len(), 1);
+        assert!(conc.waits[0].in_loop && conc.waits[0].rechecked);
+    }
+}

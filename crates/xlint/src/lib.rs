@@ -33,6 +33,7 @@
 pub mod analyze;
 pub(crate) mod cfg;
 pub(crate) mod dataflow;
+pub(crate) mod guards;
 pub(crate) mod passes;
 
 use std::collections::HashMap;
@@ -66,6 +67,25 @@ pub const XL104_PANIC_SURFACE: &str = "XL104";
 pub const XL105_CONCURRENCY: &str = "XL105";
 /// XL106: an `unsafe` block/fn/impl without a `// SAFETY:` comment.
 pub const XL106_UNDOC_UNSAFE: &str = "XL106";
+/// XL201: a cycle (including a re-entrant self-loop) in the
+/// whole-program lock-acquisition-order graph.
+pub const XL201_LOCK_ORDER: &str = "XL201";
+/// XL202: a blocking operation (I/O, `join`, channel `recv`, `sleep`, a
+/// governed `reduce_*`/`synthesize_*` call) runs while a lock guard is
+/// live; `Condvar::wait` is the one legal block under a guard.
+pub const XL202_BLOCKING_UNDER_GUARD: &str = "XL202";
+/// XL203: `Condvar` discipline — every `wait` must sit in a predicate
+/// loop re-checked on the back-edge, and each condvar must pair with
+/// exactly one mutex.
+pub const XL203_CONDVAR: &str = "XL203";
+/// XL204: a `Relaxed` atomic store whose value another function loads
+/// on a cross-thread path, without a Release/Acquire pair (waive with
+/// `// xlint: relaxed-ok` when the value carries no data dependency).
+pub const XL204_ATOMICS: &str = "XL204";
+/// XL205: a thread-spawn closure captures a `NodeId` or a manager
+/// reference without going through a rooted snapshot (`// xlint:
+/// rooted`).
+pub const XL205_SPAWN_CAPTURE: &str = "XL205";
 
 /// Files whose *every* function is a governed path.
 pub(crate) const GOVERNED_FILES: &[&str] = &[

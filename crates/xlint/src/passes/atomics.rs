@@ -1,0 +1,177 @@
+//! XL204 — atomics ordering discipline, whole-program.
+//!
+//! A `Relaxed` store is invisible ordering-wise: another thread that
+//! loads the value may see it before the writes that preceded it. On a
+//! cross-thread path (a file in the sharding set, or any file that
+//! spawns threads) a `Relaxed` store whose atomic is loaded in a
+//! *different* function therefore needs either a Release store /
+//! Acquire load pairing somewhere on the identity, or an explicit
+//! `// xlint: relaxed-ok` waiver stating that the value carries no data
+//! dependency (pure counters, monotonic flags). `fetch_*` read-modify-
+//! write ops count as stores; an identity that is never loaded
+//! elsewhere (unique-ID generators) is clean by construction.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use syn::TokenKind;
+
+use crate::passes::{for_each_fn_scoped, SHARDING_FILES};
+use crate::{is_waived, Finding, XL204_ATOMICS};
+
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One atomic operation site.
+struct Site {
+    file: String,
+    func: String,
+    line: usize,
+    is_store: bool,
+    orderings: Vec<String>,
+}
+
+pub(crate) fn run(
+    files: &[(String, String)],
+    parsed: &[(String, syn::File)],
+    allows: &HashMap<String, HashMap<usize, Vec<String>>>,
+    findings: &mut Vec<Finding>,
+) {
+    // Cross-thread scope: the sharding set plus every file that spawns.
+    let cross_thread: BTreeSet<&str> = files
+        .iter()
+        .filter(|(rel, src)| SHARDING_FILES.contains(&rel.as_str()) || src.contains("spawn"))
+        .map(|(rel, _)| rel.as_str())
+        .collect();
+    let relaxed_ok: HashMap<&str, BTreeSet<usize>> = files
+        .iter()
+        .map(|(rel, src)| (rel.as_str(), marker_lines(src)))
+        .collect();
+
+    // Collect every atomic site, grouped by identity (the field name
+    // before the op — same-named fields of unrelated structs merge,
+    // which can only add findings, never hide one).
+    let mut sites: BTreeMap<String, Vec<Site>> = BTreeMap::new();
+    for (rel, file) in parsed {
+        for_each_fn_scoped(&file.items, &mut |func, _| {
+            let Some(body) = &func.block else { return };
+            let toks = &body.tokens;
+            for i in 2..toks.len() {
+                let t = &toks[i];
+                if t.kind != TokenKind::Ident
+                    || !ATOMIC_OPS.contains(&t.text.as_str())
+                    || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    || !toks[i - 1].is_punct('.')
+                    || toks[i - 2].kind != TokenKind::Ident
+                {
+                    continue;
+                }
+                // Idents inside the balanced argument parens that name a
+                // memory ordering; none ⇒ not an atomic op after all
+                // (`Vec::swap`, I/O `read`, …).
+                let mut orderings = Vec::new();
+                let mut depth = 0usize;
+                for a in &toks[i + 1..] {
+                    if a.is_punct('(') {
+                        depth += 1;
+                    } else if a.is_punct(')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if a.kind == TokenKind::Ident && ORDERINGS.contains(&a.text.as_str()) {
+                        orderings.push(a.text.clone());
+                    }
+                }
+                if orderings.is_empty() {
+                    continue;
+                }
+                sites
+                    .entry(toks[i - 2].text.clone())
+                    .or_default()
+                    .push(Site {
+                        file: rel.clone(),
+                        func: func.sig.ident.name.clone(),
+                        line: t.line,
+                        is_store: t.text != "load",
+                        orderings,
+                    });
+            }
+        });
+    }
+
+    let no_allow = HashMap::new();
+    let released = |o: &[String]| {
+        o.iter()
+            .any(|s| matches!(s.as_str(), "Release" | "AcqRel" | "SeqCst"))
+    };
+    let acquired = |o: &[String]| {
+        o.iter()
+            .any(|s| matches!(s.as_str(), "Acquire" | "AcqRel" | "SeqCst"))
+    };
+    for (identity, sites) in &sites {
+        let has_pair = sites.iter().any(|s| s.is_store && released(&s.orderings))
+            && sites.iter().any(|s| !s.is_store && acquired(&s.orderings));
+        for site in sites
+            .iter()
+            .filter(|s| s.is_store && s.orderings.iter().all(|o| o == "Relaxed"))
+        {
+            if has_pair || !cross_thread.contains(site.file.as_str()) {
+                continue;
+            }
+            // Loaded in a different function (possibly another file)?
+            let Some(load) = sites
+                .iter()
+                .find(|s| !s.is_store && (s.func != site.func || s.file != site.file))
+            else {
+                continue;
+            };
+            let allow = allows.get(&site.file).unwrap_or(&no_allow);
+            if is_waived(allow, site.line, XL204_ATOMICS)
+                || relaxed_ok
+                    .get(site.file.as_str())
+                    .is_some_and(|ls| ls.contains(&site.line) || ls.contains(&(site.line - 1)))
+            {
+                continue;
+            }
+            findings.push(Finding {
+                file: site.file.clone(),
+                line: site.line,
+                id: XL204_ATOMICS,
+                message: format!(
+                    "`Relaxed` store to atomic `{identity}` in `{}` is observed \
+                     cross-thread (`{}` loads it at {}:{}): writes before this store \
+                     are not ordered with it — use a Release store + Acquire load \
+                     pair, or mark the store `// xlint: relaxed-ok` if the flag \
+                     carries no data dependency",
+                    site.func, load.func, load.file, load.line
+                ),
+            });
+        }
+    }
+}
+
+/// 1-based lines carrying an `xlint: relaxed-ok` marker.
+fn marker_lines(source: &str) -> BTreeSet<usize> {
+    source
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("xlint: relaxed-ok"))
+        .map(|(i, _)| i + 1)
+        .collect()
+}

@@ -1,0 +1,41 @@
+//! XL202 — blocking under a guard: file/socket I/O, `JoinHandle::join`,
+//! channel receives, `sleep`, and governed `reduce_*`/`synthesize_*`
+//! calls (resolved through call summaries) must not run while a lock
+//! guard is live. `Condvar::wait` is exempt — it is the one legal way
+//! to block under a guard, and XL203 audits its discipline separately.
+
+use std::collections::HashMap;
+
+use crate::dataflow::ConcSummaries;
+use crate::guards;
+use crate::passes::for_each_fn_scoped;
+use crate::{is_waived, Finding, XL202_BLOCKING_UNDER_GUARD};
+
+pub(crate) fn run(
+    rel: &str,
+    file: &syn::File,
+    allow: &HashMap<usize, Vec<String>>,
+    summaries: &ConcSummaries,
+    findings: &mut Vec<Finding>,
+) {
+    for_each_fn_scoped(&file.items, &mut |func, _| {
+        let conc = guards::analyze_fn(func, summaries);
+        for site in &conc.blocking {
+            if is_waived(allow, site.line, XL202_BLOCKING_UNDER_GUARD) {
+                continue;
+            }
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: site.line,
+                id: XL202_BLOCKING_UNDER_GUARD,
+                message: format!(
+                    "blocking operation {} in `{}` while the guard on `{}` (taken at line \
+                     {}) is live; every other thread touching `{}` stalls for the full \
+                     duration — release the guard first (`Condvar::wait` is the only \
+                     legal block under a guard)",
+                    site.what, conc.fn_name, site.guard.id, site.guard.line, site.guard.id
+                ),
+            });
+        }
+    });
+}

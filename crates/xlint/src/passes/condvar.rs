@@ -1,0 +1,99 @@
+//! XL203 — `Condvar` discipline, whole-program:
+//!
+//! * every `wait`/`wait_timeout` must sit inside a loop whose back-edge
+//!   re-checks a predicate (a `while`/`for` header, or a conditional in
+//!   a `loop` body) — a bare `if !ready { cv.wait(g); }` misses spurious
+//!   wakeups and lost notifications;
+//! * each condvar must pair with exactly one mutex across the whole
+//!   program — waiting on one condvar with guards of two different
+//!   mutexes is undefined-order territory (std panics at runtime; this
+//!   pass catches it statically).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::dataflow::ConcSummaries;
+use crate::guards::{self, LockId};
+use crate::passes::for_each_fn_scoped;
+use crate::{is_waived, Finding, XL203_CONDVAR};
+
+pub(crate) fn run(
+    parsed: &[(String, syn::File)],
+    allows: &HashMap<String, HashMap<usize, Vec<String>>>,
+    summaries: &ConcSummaries,
+    findings: &mut Vec<Finding>,
+) {
+    let no_allow = HashMap::new();
+    // condvar identity -> mutex identity -> first wait site.
+    let mut pairing: BTreeMap<LockId, BTreeMap<LockId, (String, usize)>> = BTreeMap::new();
+    for (rel, file) in parsed {
+        let allow = allows.get(rel).unwrap_or(&no_allow);
+        for_each_fn_scoped(&file.items, &mut |func, _| {
+            let conc = guards::analyze_fn(func, summaries);
+            for wait in &conc.waits {
+                if let Some(lock) = &wait.guard_lock {
+                    pairing
+                        .entry(wait.condvar.clone())
+                        .or_default()
+                        .entry(lock.clone())
+                        .or_insert_with(|| (rel.clone(), wait.line));
+                }
+                if is_waived(allow, wait.line, XL203_CONDVAR) {
+                    continue;
+                }
+                if !wait.in_loop {
+                    findings.push(Finding {
+                        file: rel.clone(),
+                        line: wait.line,
+                        id: XL203_CONDVAR,
+                        message: format!(
+                            "`{}.wait(…)` in `{}` is not inside a predicate loop: a \
+                             spurious wakeup or a notification that raced the wait \
+                             proceeds on a false predicate — wrap it in `while !cond {{ \
+                             … }}` (or a `loop` that re-checks before using the state)",
+                            wait.condvar, conc.fn_name
+                        ),
+                    });
+                } else if !wait.rechecked {
+                    findings.push(Finding {
+                        file: rel.clone(),
+                        line: wait.line,
+                        id: XL203_CONDVAR,
+                        message: format!(
+                            "the loop around `{}.wait(…)` in `{}` never re-checks a \
+                             predicate on its back-edge: every wakeup (including \
+                             spurious ones) falls straight through — re-test the \
+                             condition after the wait returns",
+                            wait.condvar, conc.fn_name
+                        ),
+                    });
+                }
+            }
+        });
+    }
+    for (condvar, mutexes) in &pairing {
+        if mutexes.len() <= 1 {
+            continue;
+        }
+        let (file, line) = mutexes.values().next().cloned().expect("non-empty");
+        let allow = allows.get(&file).unwrap_or(&no_allow);
+        if is_waived(allow, line, XL203_CONDVAR) {
+            continue;
+        }
+        let list = mutexes
+            .iter()
+            .map(|(m, (f, l))| format!("`{m}` ({f}:{l})"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        findings.push(Finding {
+            file,
+            line,
+            id: XL203_CONDVAR,
+            message: format!(
+                "condvar `{condvar}` waits with guards of {} different mutexes: {list}; \
+                 a `Condvar` must pair with exactly one `Mutex` (std panics on the \
+                 second mutex at runtime)",
+                mutexes.len()
+            ),
+        });
+    }
+}

@@ -1,0 +1,180 @@
+//! XL201 — lock-order inversion: a cycle in the whole-program
+//! lock-acquisition graph.
+//!
+//! Every acquisition that runs while another guard is live contributes
+//! an edge `held → acquired`, keyed by lock identity (field/static
+//! name, see [`crate::dataflow::Acq`]) and carrying its witness — the
+//! function and lines of both the held guard and the new acquisition.
+//! A cycle in that graph is a deadlock schedule; the finding prints
+//! *every* edge of the cycle with its witness path, so both sides of a
+//! two-lock inversion are visible in one line. A self-edge (acquiring a
+//! lock already held) is the one-node cycle: a guaranteed self-deadlock
+//! with `std::sync::Mutex`.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::dataflow::ConcSummaries;
+use crate::guards::{self, LockId};
+use crate::passes::for_each_fn_scoped;
+use crate::{is_waived, Finding, XL201_LOCK_ORDER};
+
+/// Where one lock-order edge was observed.
+struct Witness {
+    file: String,
+    func: String,
+    held_line: usize,
+    acq_line: usize,
+}
+
+pub(crate) fn run(
+    parsed: &[(String, syn::File)],
+    allows: &HashMap<String, HashMap<usize, Vec<String>>>,
+    summaries: &ConcSummaries,
+    findings: &mut Vec<Finding>,
+) {
+    let no_allow = HashMap::new();
+    let mut edges: BTreeMap<(LockId, LockId), Witness> = BTreeMap::new();
+    for (rel, file) in parsed {
+        let allow = allows.get(rel).unwrap_or(&no_allow);
+        for_each_fn_scoped(&file.items, &mut |func, _| {
+            let conc = guards::analyze_fn(func, summaries);
+            for site in &conc.acquisitions {
+                for held in &site.held {
+                    if held.id == site.id {
+                        // Re-entrant acquisition: a one-node cycle.
+                        if !is_waived(allow, site.line, XL201_LOCK_ORDER) {
+                            findings.push(Finding {
+                                file: rel.clone(),
+                                line: site.line,
+                                id: XL201_LOCK_ORDER,
+                                message: format!(
+                                    "re-entrant acquisition of lock `{}` in `{}`: the guard \
+                                     taken at line {} is still live (self-deadlock with \
+                                     `std::sync::Mutex`)",
+                                    site.id, conc.fn_name, held.line
+                                ),
+                            });
+                        }
+                        continue;
+                    }
+                    edges
+                        .entry((held.id.clone(), site.id.clone()))
+                        .or_insert_with(|| Witness {
+                            file: rel.clone(),
+                            func: conc.fn_name.clone(),
+                            held_line: held.line,
+                            acq_line: site.line,
+                        });
+                }
+            }
+        });
+    }
+    // Cycle detection over the edge graph; every distinct cycle is
+    // reported once, anchored at its first edge's acquisition site.
+    let mut adj: BTreeMap<&LockId, Vec<&LockId>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a).or_default().push(b);
+    }
+    let mut reported: BTreeSet<Vec<LockId>> = BTreeSet::new();
+    for start in adj.keys().copied() {
+        let mut path: Vec<&LockId> = vec![start];
+        find_cycles(
+            start,
+            &adj,
+            &mut path,
+            &mut reported,
+            &edges,
+            allows,
+            findings,
+        );
+    }
+}
+
+/// Depth-first search for cycles through `path[0]`; cycles are
+/// canonicalized (rotated to their smallest element) so each is
+/// reported exactly once across start nodes.
+fn find_cycles<'a>(
+    node: &'a LockId,
+    adj: &BTreeMap<&'a LockId, Vec<&'a LockId>>,
+    path: &mut Vec<&'a LockId>,
+    reported: &mut BTreeSet<Vec<LockId>>,
+    edges: &BTreeMap<(LockId, LockId), Witness>,
+    allows: &HashMap<String, HashMap<usize, Vec<String>>>,
+    findings: &mut Vec<Finding>,
+) {
+    // Lock graphs are tiny (a handful of mutexes); plain DFS with a
+    // path check is plenty.
+    let Some(nexts) = adj.get(node) else { return };
+    for &next in nexts {
+        if let Some(pos) = path.iter().position(|n| *n == next) {
+            if pos == 0 {
+                report_cycle(path, reported, edges, allows, findings);
+            }
+            continue;
+        }
+        if path.len() >= 8 {
+            continue; // defensive bound; real lock chains are short
+        }
+        path.push(next);
+        find_cycles(next, adj, path, reported, edges, allows, findings);
+        path.pop();
+    }
+}
+
+fn report_cycle(
+    path: &[&LockId],
+    reported: &mut BTreeSet<Vec<LockId>>,
+    edges: &BTreeMap<(LockId, LockId), Witness>,
+    allows: &HashMap<String, HashMap<usize, Vec<String>>>,
+    findings: &mut Vec<Finding>,
+) {
+    // Canonical form: rotate so the smallest lock id comes first.
+    let min = path
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, id)| *id)
+        .map_or(0, |(i, _)| i);
+    let canon: Vec<LockId> = (0..path.len())
+        .map(|i| path[(min + i) % path.len()].clone())
+        .collect();
+    if !reported.insert(canon.clone()) {
+        return;
+    }
+    let cycle_text = canon
+        .iter()
+        .chain(canon.first())
+        .map(|id| format!("`{id}`"))
+        .collect::<Vec<_>>()
+        .join(" -> ");
+    let mut witnesses = Vec::new();
+    let mut anchor: Option<(&str, usize)> = None;
+    for i in 0..canon.len() {
+        let a = &canon[i];
+        let b = &canon[(i + 1) % canon.len()];
+        let Some(w) = edges.get(&(a.clone(), b.clone())) else {
+            continue;
+        };
+        anchor.get_or_insert((w.file.as_str(), w.acq_line));
+        witnesses.push(format!(
+            "witness `{a}` -> `{b}`: `{}` ({}:{}) acquires `{b}` while holding `{a}` \
+             (taken at line {})",
+            w.func, w.file, w.acq_line, w.held_line
+        ));
+    }
+    let Some((file, line)) = anchor else { return };
+    let no_allow = HashMap::new();
+    let allow = allows.get(file).unwrap_or(&no_allow);
+    if is_waived(allow, line, XL201_LOCK_ORDER) {
+        return;
+    }
+    findings.push(Finding {
+        file: file.to_string(),
+        line,
+        id: XL201_LOCK_ORDER,
+        message: format!(
+            "lock-order inversion {cycle_text}: two threads taking these locks in \
+             opposite orders deadlock; {}",
+            witnesses.join("; ")
+        ),
+    });
+}

@@ -1,13 +1,19 @@
-//! The XL1xx analysis passes (`bddcf-analyze`).
+//! The XL1xx/XL2xx analysis passes (`bddcf-analyze`).
 //!
-//! Each pass takes one parsed file plus the workspace summaries and
-//! appends findings. Shared scope predicates live here.
+//! Each pass takes one parsed file (or, for the whole-program XL2xx
+//! graph passes, all of them) plus the workspace summaries and appends
+//! findings. Shared scope predicates live here.
 
+pub(crate) mod atomics;
+pub(crate) mod blocking;
 pub(crate) mod budget_poll;
 pub(crate) mod concurrency;
+pub(crate) mod condvar;
 pub(crate) mod gc_escape;
+pub(crate) mod lock_order;
 pub(crate) mod panic_surface;
 pub(crate) mod provenance;
+pub(crate) mod spawn_capture;
 pub(crate) mod unsafe_doc;
 
 use syn::{Item, ItemFn};

@@ -1,0 +1,325 @@
+//! XL205 — spawn-capture provenance: a thread-spawn closure that
+//! captures a `NodeId` or a manager reference smuggles arena state
+//! across a thread boundary. Node ids are only meaningful inside the
+//! manager that allocated them, and a manager is not `Sync`; anything
+//! crossing into a spawned closure must travel through a rooted
+//! snapshot (marked `// xlint: rooted`, the same convention XL102
+//! credits) or a summary-approved channel. Bindings created *inside*
+//! the closure are the legal pattern (each worker builds its own nodes)
+//! and are never flagged.
+
+use std::collections::HashMap;
+
+use syn::body::{call_events, closure_events, parse_block, stmt_idents, Stmt};
+use syn::ItemFn;
+
+use crate::dataflow::{params_of, produces_node, ParamKind, Summaries};
+use crate::passes::for_each_fn_scoped;
+use crate::{is_waived, Finding, XL205_SPAWN_CAPTURE};
+
+pub(crate) fn run(
+    rel: &str,
+    file: &syn::File,
+    source: &str,
+    allow: &HashMap<usize, Vec<String>>,
+    summaries: &Summaries,
+    findings: &mut Vec<Finding>,
+) {
+    let rooted: Vec<usize> = source
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("xlint: rooted"))
+        .map(|(i, _)| i + 1)
+        .collect();
+    for_each_fn_scoped(&file.items, &mut |func, self_is_manager| {
+        check_fn(
+            rel,
+            func,
+            self_is_manager,
+            summaries,
+            allow,
+            &rooted,
+            findings,
+        );
+    });
+}
+
+fn check_fn(
+    rel: &str,
+    func: &ItemFn,
+    self_is_manager: bool,
+    summaries: &Summaries,
+    allow: &HashMap<usize, Vec<String>>,
+    rooted: &[usize],
+    findings: &mut Vec<Finding>,
+) {
+    // Risky bindings in scope: name -> what it is.
+    let mut risky: HashMap<String, &'static str> = HashMap::new();
+    for p in params_of(func) {
+        match p.kind {
+            ParamKind::Node => {
+                risky.insert(p.name, "a `NodeId` parameter");
+            }
+            ParamKind::Manager => {
+                risky.insert(p.name, "a manager reference");
+            }
+            ParamKind::Other => {
+                if p.name == "self" && self_is_manager {
+                    risky.insert(p.name, "the manager (`self`)");
+                }
+            }
+        }
+    }
+    let Some(body) = &func.block else { return };
+    let fn_name = func.sig.ident.name.clone();
+    let block = parse_block(body);
+    walk(
+        &block.stmts,
+        rel,
+        &fn_name,
+        &mut risky,
+        summaries,
+        allow,
+        rooted,
+        findings,
+    );
+}
+
+/// Walks statements in source order: a statement that spawns is checked
+/// against the bindings visible *before* it (its own interior bindings
+/// are the worker's private state); every other statement contributes
+/// its node-producing `let` bindings and recurses.
+#[allow(clippy::too_many_arguments)] // internal recursion plumbing
+fn walk(
+    stmts: &[Stmt],
+    rel: &str,
+    fn_name: &str,
+    risky: &mut HashMap<String, &'static str>,
+    summaries: &Summaries,
+    allow: &HashMap<usize, Vec<String>>,
+    rooted: &[usize],
+    findings: &mut Vec<Finding>,
+) {
+    for stmt in stmts {
+        if let Some(spawn_line) = spawn_line_of(stmt) {
+            check_spawn(
+                stmt, spawn_line, rel, fn_name, risky, allow, rooted, findings,
+            );
+            continue;
+        }
+        match stmt {
+            Stmt::Let(l) => {
+                let produces = l.pat.contains_ident("NodeId")
+                    || l.init.as_ref().is_some_and(|init| {
+                        call_events(&init.tokens)
+                            .iter()
+                            .any(|ev| produces_node(ev, summaries))
+                    });
+                if produces {
+                    for name in &l.names {
+                        risky.insert(name.name.clone(), "a `NodeId` binding");
+                    }
+                }
+                if let Some(init) = &l.init {
+                    walk(
+                        &init.nested,
+                        rel,
+                        fn_name,
+                        risky,
+                        summaries,
+                        allow,
+                        rooted,
+                        findings,
+                    );
+                }
+                if let Some(else_block) = &l.else_block {
+                    walk(
+                        &else_block.stmts,
+                        rel,
+                        fn_name,
+                        risky,
+                        summaries,
+                        allow,
+                        rooted,
+                        findings,
+                    );
+                }
+            }
+            Stmt::If(i) => {
+                let mut blocks = vec![&i.then_branch];
+                blocks.extend(i.else_branch.as_ref());
+                for b in blocks {
+                    walk(
+                        &b.stmts, rel, fn_name, risky, summaries, allow, rooted, findings,
+                    );
+                }
+            }
+            Stmt::Match(m) => {
+                for arm in &m.arms {
+                    walk(
+                        &arm.body.stmts,
+                        rel,
+                        fn_name,
+                        risky,
+                        summaries,
+                        allow,
+                        rooted,
+                        findings,
+                    );
+                }
+            }
+            Stmt::Loop(l) => {
+                walk(
+                    &l.body.stmts,
+                    rel,
+                    fn_name,
+                    risky,
+                    summaries,
+                    allow,
+                    rooted,
+                    findings,
+                );
+            }
+            Stmt::Expr(e) => {
+                walk(
+                    &e.nested, rel, fn_name, risky, summaries, allow, rooted, findings,
+                );
+            }
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// The line of the first `spawn`/`scope`-family call event anywhere in
+/// the statement subtree, or `None`.
+fn spawn_line_of(stmt: &Stmt) -> Option<usize> {
+    let mut line = None;
+    for_each_fragment(stmt, &mut |tokens| {
+        if line.is_none() {
+            line = call_events(tokens)
+                .iter()
+                .find(|ev| ev.name == "spawn")
+                .map(|ev| ev.line);
+        }
+    });
+    line
+}
+
+/// Checks one spawning statement: identifiers its subtree mentions,
+/// minus every closure's own parameters, are captures; a capture naming
+/// a risky binding is a finding.
+#[allow(clippy::too_many_arguments)] // internal recursion plumbing
+fn check_spawn(
+    stmt: &Stmt,
+    spawn_line: usize,
+    rel: &str,
+    fn_name: &str,
+    risky: &HashMap<String, &'static str>,
+    allow: &HashMap<usize, Vec<String>>,
+    rooted: &[usize],
+    findings: &mut Vec<Finding>,
+) {
+    if risky.is_empty() {
+        return;
+    }
+    let mut mentioned = Vec::new();
+    stmt_idents(stmt, &mut mentioned);
+    let mut closure_params = Vec::new();
+    for_each_fragment(stmt, &mut |tokens| {
+        for closure in closure_events(tokens) {
+            closure_params.extend(closure.params.into_iter().map(|p| p.name));
+        }
+    });
+    let mut flagged = Vec::new();
+    for ident in &mentioned {
+        if closure_params.iter().any(|p| p == &ident.name) {
+            continue;
+        }
+        let Some(&what) = risky.get(&ident.name) else {
+            continue;
+        };
+        if flagged.contains(&ident.name) {
+            continue;
+        }
+        flagged.push(ident.name.clone());
+        if is_waived(allow, spawn_line, XL205_SPAWN_CAPTURE)
+            || rooted.contains(&spawn_line)
+            || rooted.contains(&spawn_line.saturating_sub(1))
+            || rooted.contains(&ident.line)
+        {
+            continue;
+        }
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: spawn_line,
+            id: XL205_SPAWN_CAPTURE,
+            message: format!(
+                "thread spawn in `{fn_name}` captures `{}` — {what}: node ids and \
+                 managers must cross threads through rooted snapshots (mark the line \
+                 `// xlint: rooted`) or a summary-approved channel, never by raw \
+                 capture",
+                ident.name
+            ),
+        });
+    }
+}
+
+/// Applies `f` to every flat token fragment of a statement subtree.
+fn for_each_fragment(stmt: &Stmt, f: &mut impl FnMut(&syn::TokenStream)) {
+    match stmt {
+        Stmt::Let(l) => {
+            if let Some(init) = &l.init {
+                f(&init.tokens);
+                for s in &init.nested {
+                    for_each_fragment(s, f);
+                }
+            }
+            if let Some(else_block) = &l.else_block {
+                for s in &else_block.stmts {
+                    for_each_fragment(s, f);
+                }
+            }
+        }
+        Stmt::If(i) => {
+            f(&i.cond.tokens);
+            for s in &i.cond.nested {
+                for_each_fragment(s, f);
+            }
+            for s in &i.then_branch.stmts {
+                for_each_fragment(s, f);
+            }
+            if let Some(e) = &i.else_branch {
+                for s in &e.stmts {
+                    for_each_fragment(s, f);
+                }
+            }
+        }
+        Stmt::Match(m) => {
+            f(&m.scrutinee.tokens);
+            for s in &m.scrutinee.nested {
+                for_each_fragment(s, f);
+            }
+            for arm in &m.arms {
+                for s in &arm.body.stmts {
+                    for_each_fragment(s, f);
+                }
+            }
+        }
+        Stmt::Loop(l) => {
+            f(&l.header.tokens);
+            for s in &l.header.nested {
+                for_each_fragment(s, f);
+            }
+            for s in &l.body.stmts {
+                for_each_fragment(s, f);
+            }
+        }
+        Stmt::Expr(e) => {
+            f(&e.tokens);
+            for s in &e.nested {
+                for_each_fragment(s, f);
+            }
+        }
+        Stmt::Item(_) => {}
+    }
+}

@@ -1,16 +1,18 @@
-//! Seeded-defect corpus for the XL1xx dataflow passes.
+//! Seeded-defect corpus for the XL1xx dataflow and XL2xx concurrency
+//! passes.
 //!
 //! Each pass gets a pair of fixtures: a *buggy* source that must produce
 //! exactly the expected finding(s), and the same source with the defect
 //! reverted that must come back clean. This pins both directions — the
 //! pass fires on the defect it was built for, and the fix it recommends
 //! actually silences it. A final test re-asserts the real workspace is
-//! XL1xx-clean from outside the crate.
+//! analysis-clean from outside the crate.
 
 use bddcf_xlint::analyze::{analyze_source, analyze_workspace};
 use bddcf_xlint::{
     Finding, XL101_PROVENANCE, XL102_GC_ESCAPE, XL103_BUDGET_POLL, XL104_PANIC_SURFACE,
-    XL105_CONCURRENCY, XL106_UNDOC_UNSAFE,
+    XL105_CONCURRENCY, XL106_UNDOC_UNSAFE, XL201_LOCK_ORDER, XL202_BLOCKING_UNDER_GUARD,
+    XL203_CONDVAR, XL204_ATOMICS, XL205_SPAWN_CAPTURE,
 };
 use std::path::Path;
 
@@ -179,6 +181,173 @@ fn first_byte(bytes: &[u8]) -> u8 {
 }
 ";
     expect("crates/io/src/raw.rs", clean, &[]);
+}
+
+#[test]
+fn xl201_flags_a_lock_order_inversion_with_both_witnesses_and_accepts_the_fix() {
+    // `forward` takes a before b; `backward` takes b before a: the
+    // classic two-thread deadlock schedule.
+    let buggy = "\
+fn forward(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    drop(gb);
+    drop(ga);
+}
+fn backward(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let gb = b.lock().unwrap();
+    let ga = a.lock().unwrap();
+    drop(ga);
+    drop(gb);
+}
+";
+    expect(
+        "crates/serve/src/worker.rs",
+        buggy,
+        &[(XL201_LOCK_ORDER, 3)],
+    );
+    // The one finding carries the witness path for *both* directions of
+    // the inversion.
+    let finding = analyze_source("crates/serve/src/worker.rs", buggy)
+        .into_iter()
+        .next()
+        .expect("one finding");
+    assert!(
+        finding.message.contains("witness `a` -> `b`")
+            && finding.message.contains("witness `b` -> `a`"),
+        "both witness paths must be reported: {}",
+        finding.message
+    );
+
+    // Reverted: both functions agree on the a-then-b order.
+    let clean = "\
+fn forward(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    drop(gb);
+    drop(ga);
+}
+fn backward(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    drop(gb);
+    drop(ga);
+}
+";
+    expect("crates/serve/src/worker.rs", clean, &[]);
+}
+
+#[test]
+fn xl202_flags_file_io_under_a_guard_and_accepts_the_fix() {
+    // The spool write runs while the events guard is live.
+    let buggy = "\
+fn drain(events: &Mutex<Vec<u64>>, out: &mut File) {
+    let guard = events.lock().unwrap();
+    out.write_all(b\"batch\").unwrap();
+    drop(guard);
+}
+";
+    expect(
+        "crates/serve/src/worker.rs",
+        buggy,
+        &[(XL202_BLOCKING_UNDER_GUARD, 3)],
+    );
+
+    // Reverted: the guard is dropped before the blocking write.
+    let clean = "\
+fn drain(events: &Mutex<Vec<u64>>, out: &mut File) {
+    let guard = events.lock().unwrap();
+    drop(guard);
+    out.write_all(b\"batch\").unwrap();
+}
+";
+    expect("crates/serve/src/worker.rs", clean, &[]);
+}
+
+#[test]
+fn xl203_flags_a_bare_if_condvar_wait_and_accepts_the_fix() {
+    // An `if` around the wait misses spurious wakeups: the predicate is
+    // never re-checked after the wait returns.
+    let buggy = "\
+fn wait_ready(state: &Mutex<bool>, cv: &Condvar) {
+    let mut ready = state.lock().unwrap();
+    if !*ready {
+        ready = cv.wait(ready).unwrap();
+    }
+    drop(ready);
+}
+";
+    expect("crates/serve/src/worker.rs", buggy, &[(XL203_CONDVAR, 4)]);
+
+    // Reverted: the canonical predicate loop.
+    let clean = "\
+fn wait_ready(state: &Mutex<bool>, cv: &Condvar) {
+    let mut ready = state.lock().unwrap();
+    while !*ready {
+        ready = cv.wait(ready).unwrap();
+    }
+    drop(ready);
+}
+";
+    expect("crates/serve/src/worker.rs", clean, &[]);
+}
+
+#[test]
+fn xl204_flags_a_relaxed_publish_and_accepts_the_fix() {
+    // pool.rs is in the sharding (cross-thread) scope; `flag` is stored
+    // Relaxed here and loaded in another function, so the data written
+    // before the flag flip is unordered with it.
+    let buggy = "\
+fn publish(flag: &AtomicBool, data: &AtomicU64) {
+    data.store(42, Ordering::Relaxed);
+    flag.store(true, Ordering::Relaxed);
+}
+fn consume(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}
+";
+    expect("crates/serve/src/pool.rs", buggy, &[(XL204_ATOMICS, 3)]);
+
+    // Reverted: a Release store paired with an Acquire load.
+    let clean = "\
+fn publish(flag: &AtomicBool, data: &AtomicU64) {
+    data.store(42, Ordering::Relaxed);
+    flag.store(true, Ordering::Release);
+}
+fn consume(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}
+";
+    expect("crates/serve/src/pool.rs", clean, &[]);
+}
+
+#[test]
+fn xl205_flags_a_node_id_captured_by_spawn_and_accepts_the_waiver() {
+    // `root` is minted by the manager, then smuggled into a worker
+    // thread by closure capture.
+    let buggy = "\
+fn fanout(mgr: &mut BddManager) -> NodeId {
+    let root = mgr.literal(Var(0), true);
+    let h = std::thread::spawn(move || root);
+    h.join().unwrap()
+}
+";
+    expect(
+        "crates/serve/src/worker.rs",
+        buggy,
+        &[(XL205_SPAWN_CAPTURE, 3)],
+    );
+
+    // Reverted: the capture is declared rooted where it crosses.
+    let clean = "\
+fn fanout(mgr: &mut BddManager) -> NodeId {
+    let root = mgr.literal(Var(0), true);
+    // Snapshot is pinned in the root set first. xlint: rooted
+    let h = std::thread::spawn(move || root);
+    h.join().unwrap()
+}
+";
+    expect("crates/serve/src/worker.rs", clean, &[]);
 }
 
 #[test]

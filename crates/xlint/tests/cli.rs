@@ -1,0 +1,101 @@
+//! End-to-end contract of the `bddcf-analyze` binary: the exit codes
+//! (0 clean / 1 findings / 2 usage or I/O error) and the shared
+//! `// xlint: allow(XLnnn)` waiver syntax apply to the XL2xx concurrency
+//! series exactly as they do to XL1xx.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Builds a throwaway workspace containing one crate with `source` as
+/// its lib.rs and returns its root.
+fn scratch_workspace(tag: &str, source: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("bddcf-analyze-cli-{tag}-{}", std::process::id()));
+    let src = root.join("crates").join("app").join("src");
+    fs::create_dir_all(&src).expect("scratch dir");
+    fs::write(src.join("lib.rs"), source).expect("scratch lib.rs");
+    root
+}
+
+fn run_analyze(root: &PathBuf) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bddcf-analyze"))
+        .arg(root)
+        .output()
+        .expect("bddcf-analyze runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const CLEAN: &str = "\
+fn tally(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}
+";
+
+// A bare-`if` condvar wait: the seeded XL203 defect.
+const BUGGY: &str = "\
+fn wait_ready(state: &Mutex<bool>, cv: &Condvar) {
+    let mut ready = state.lock().unwrap();
+    if !*ready {
+        ready = cv.wait(ready).unwrap();
+    }
+    drop(ready);
+}
+";
+
+const WAIVED: &str = "\
+fn wait_ready(state: &Mutex<bool>, cv: &Condvar) {
+    let mut ready = state.lock().unwrap();
+    if !*ready {
+        // xlint: allow(XL203) — single-shot latch, wakeup audited.
+        ready = cv.wait(ready).unwrap();
+    }
+    drop(ready);
+}
+";
+
+#[test]
+fn clean_workspace_exits_zero_and_names_both_series() {
+    let root = scratch_workspace("clean", CLEAN);
+    let (code, stdout, _) = run_analyze(&root);
+    fs::remove_dir_all(&root).ok();
+    assert_eq!(code, Some(0), "clean tree must exit 0; stdout: {stdout}");
+    assert!(
+        stdout.contains("XL101–XL106, XL201–XL205"),
+        "the clean banner covers both series: {stdout}"
+    );
+}
+
+#[test]
+fn xl2xx_finding_exits_one_with_machine_readable_output() {
+    let root = scratch_workspace("buggy", BUGGY);
+    let (code, stdout, stderr) = run_analyze(&root);
+    fs::remove_dir_all(&root).ok();
+    assert_eq!(code, Some(1), "findings must exit 1; stderr: {stderr}");
+    assert!(
+        stdout.contains("crates/app/src/lib.rs:4: [XL203]"),
+        "findings print as file:line: [ID] message: {stdout}"
+    );
+}
+
+#[test]
+fn allow_comment_waives_an_xl2xx_finding() {
+    let root = scratch_workspace("waived", WAIVED);
+    let (code, stdout, _) = run_analyze(&root);
+    fs::remove_dir_all(&root).ok();
+    assert_eq!(
+        code,
+        Some(0),
+        "an `xlint: allow(XL203)` comment silences the finding: {stdout}"
+    );
+}
+
+#[test]
+fn missing_root_exits_two() {
+    let root = PathBuf::from("/nonexistent/bddcf-analyze-cli");
+    let (code, _, stderr) = run_analyze(&root);
+    assert_eq!(code, Some(2), "I/O errors must exit 2; stderr: {stderr}");
+}

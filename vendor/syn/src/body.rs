@@ -1070,6 +1070,182 @@ fn arg_shape(tokens: &[&Token]) -> ArgShape {
     }
 }
 
+// ---------------------------------------------------------------------
+// Closure-capture events
+// ---------------------------------------------------------------------
+
+/// One closure literal found in a flat token run: `|params| body` or
+/// `move |params| body`.
+///
+/// The body is not re-parsed here — a `{ … }` closure body already
+/// surfaces through [`ExprStmt::nested`] — but the flat body tokens up to
+/// the end of the closure expression are recorded, so capture analyses
+/// can subtract the parameter names from the identifiers a closure
+/// mentions.
+#[derive(Clone, Debug)]
+pub struct ClosureEvent {
+    /// `move |…|` closures capture by value.
+    pub is_move: bool,
+    /// Parameter names the closure binds (its non-captures).
+    pub params: Vec<Ident>,
+    /// Flat tokens of a non-block body (empty when the body is a `{ … }`
+    /// block — those statements live in the enclosing
+    /// [`ExprStmt::nested`]).
+    pub body: TokenStream,
+    /// 1-based line of the opening `|`.
+    pub line: usize,
+}
+
+/// Extracts every closure literal from a flat token run, in source order.
+///
+/// A `|` starts a closure when the preceding token cannot end an
+/// expression (start of stream, an opening delimiter, `,`, `=`, `;`,
+/// `:`, `&`, or the keywords `move`/`return`/`else`/`in`) — a `|` after
+/// an identifier, literal, or closing delimiter is the binary-or /
+/// or-pattern reading and is skipped.
+pub fn closure_events(stream: &TokenStream) -> Vec<ClosureEvent> {
+    const PRE_CLOSURE_IDENTS: &[&str] = &["move", "return", "else", "in"];
+    let toks = &stream.tokens;
+    let mut events = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if !t.is_punct('|') {
+            i += 1;
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        let starts_closure = match prev {
+            None => true,
+            Some(p) => match p.kind {
+                TokenKind::Ident => PRE_CLOSURE_IDENTS.contains(&p.text.as_str()),
+                TokenKind::Punct => !(p.is_punct(')') || p.is_punct(']') || p.is_punct('|')),
+                _ => false,
+            },
+        };
+        if !starts_closure {
+            i += 1;
+            continue;
+        }
+        let is_move = prev.is_some_and(|p| p.is_ident("move"));
+        let line = t.line;
+        // Parameters: up to the matching `|` (an immediate second `|` is
+        // the empty parameter list `||`).
+        let mut j = i + 1;
+        let mut param_toks: Vec<Token> = Vec::new();
+        let mut depth = 0usize;
+        while j < toks.len() {
+            let p = &toks[j];
+            if depth == 0 && p.is_punct('|') {
+                break;
+            }
+            match () {
+                _ if p.is_punct('(') || p.is_punct('[') => depth += 1,
+                _ if p.is_punct(')') || p.is_punct(']') => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            param_toks.push(p.clone());
+            j += 1;
+        }
+        if j >= toks.len() {
+            break; // unterminated parameter list — not a closure after all
+        }
+        // Split `name: Type` annotations per comma before binding names,
+        // mirroring `let` handling.
+        let mut params = Vec::new();
+        for piece in param_toks.split(|t| t.is_punct(',')) {
+            let (pat, _ty) = split_type_annotation(piece);
+            params.extend(bound_names(pat));
+        }
+        // Body: flat tokens until a `,`, `;`, or closing delimiter at the
+        // closure's own depth (a `{ … }` body was lifted into `nested`).
+        let mut k = j + 1;
+        let mut body = Vec::new();
+        let mut bdepth = 0usize;
+        while k < toks.len() {
+            let b = &toks[k];
+            if bdepth == 0 && (b.is_punct(',') || b.is_punct(';') || b.is_punct(')')) {
+                break;
+            }
+            match () {
+                _ if b.is_punct('(') || b.is_punct('[') => bdepth += 1,
+                _ if b.is_punct(')') || b.is_punct(']') => bdepth = bdepth.saturating_sub(1),
+                _ => {}
+            }
+            body.push(b.clone());
+            k += 1;
+        }
+        events.push(ClosureEvent {
+            is_move,
+            params,
+            body: TokenStream { tokens: body },
+            line,
+        });
+        i = j + 1;
+    }
+    events
+}
+
+/// Appends every identifier of a statement subtree — flat tokens, pattern
+/// binders, and nested blocks alike — to `out`, in source order. This is
+/// the capture side of closure analysis: what a statement's closures can
+/// see is (at this model's precision) every identifier the statement
+/// subtree mentions.
+pub fn stmt_idents(stmt: &Stmt, out: &mut Vec<Ident>) {
+    fn push_stream(ts: &TokenStream, out: &mut Vec<Ident>) {
+        for t in &ts.tokens {
+            if t.kind == TokenKind::Ident {
+                out.push(Ident {
+                    name: t.text.clone(),
+                    line: t.line,
+                });
+            }
+        }
+    }
+    fn push_expr(e: &ExprStmt, out: &mut Vec<Ident>) {
+        push_stream(&e.tokens, out);
+        for s in &e.nested {
+            stmt_idents(s, out);
+        }
+    }
+    fn push_block(b: &Block, out: &mut Vec<Ident>) {
+        for s in &b.stmts {
+            stmt_idents(s, out);
+        }
+    }
+    match stmt {
+        Stmt::Let(l) => {
+            push_stream(&l.pat, out);
+            if let Some(init) = &l.init {
+                push_expr(init, out);
+            }
+            if let Some(eb) = &l.else_block {
+                push_block(eb, out);
+            }
+        }
+        Stmt::If(i) => {
+            push_expr(&i.cond, out);
+            push_block(&i.then_branch, out);
+            if let Some(eb) = &i.else_branch {
+                push_block(eb, out);
+            }
+        }
+        Stmt::Match(m) => {
+            push_expr(&m.scrutinee, out);
+            for arm in &m.arms {
+                push_expr(&arm.pat, out);
+                push_block(&arm.body, out);
+            }
+        }
+        Stmt::Loop(l) => {
+            push_expr(&l.header, out);
+            push_block(&l.body, out);
+        }
+        Stmt::Expr(e) => push_expr(e, out),
+        Stmt::Item(_) => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1242,6 +1418,41 @@ mod tests {
             })
         }
         assert!(find_try_or(&e.nested));
+    }
+
+    #[test]
+    fn closure_events_find_params_move_and_bodies() {
+        let ts = tokenize("spawn(move || worker_loop(&shared)); items.map(|e: &Entry| e.id);")
+            .expect("lexes");
+        let events = closure_events(&ts);
+        assert_eq!(events.len(), 2);
+        assert!(events[0].is_move);
+        assert!(events[0].params.is_empty());
+        assert!(events[0].body.contains_ident("worker_loop"));
+        assert!(events[0].body.contains_ident("shared"));
+        assert!(!events[1].is_move);
+        assert_eq!(events[1].params.len(), 1);
+        assert_eq!(events[1].params[0].name, "e");
+        assert!(events[1].body.contains_ident("id"));
+    }
+
+    #[test]
+    fn binary_or_and_or_patterns_are_not_closures() {
+        let ts = tokenize("let z = a | b; if x == 1 || y == 2 { f(); }").expect("lexes");
+        // `a | b` : `|` after ident. `||` : second `|` after `|`; the first
+        // follows `1` (a literal). Neither reads as a closure.
+        assert!(closure_events(&ts).is_empty());
+    }
+
+    #[test]
+    fn stmt_idents_cover_nested_blocks_and_patterns() {
+        let b = block_of("let total = specs.iter().map(|s| { score(s, weight) }).sum();\n");
+        let mut idents = Vec::new();
+        stmt_idents(&b.stmts[0], &mut idents);
+        let names: Vec<&str> = idents.iter().map(|i| i.name.as_str()).collect();
+        for expected in ["total", "specs", "s", "score", "weight", "sum"] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
     }
 
     #[test]

@@ -22,8 +22,8 @@ pub mod cfg;
 pub use cfg::{Cfg, CfgNode, CfgNodeKind, LoopCfg};
 
 pub use body::{
-    call_events, parse_block, ArgShape, Arm, Block, CallEvent, ExprStmt, IfStmt, Local, LoopKind,
-    LoopStmt, MatchStmt, Stmt,
+    call_events, closure_events, parse_block, stmt_idents, ArgShape, Arm, Block, CallEvent,
+    ClosureEvent, ExprStmt, IfStmt, Local, LoopKind, LoopStmt, MatchStmt, Stmt,
 };
 
 use std::fmt;
@@ -297,7 +297,14 @@ fn lex_string(b: &[char], i: usize, mut line: usize) -> Result<(String, usize, u
     let mut j = i + 1;
     while j < b.len() {
         match b[j] {
-            '\\' => j += 2,
+            '\\' => {
+                // A `\<newline>` line continuation still ends a source
+                // line; losing it would shift every later token's line.
+                if b.get(j + 1) == Some(&'\n') {
+                    line += 1;
+                }
+                j += 2;
+            }
             '\n' => {
                 line += 1;
                 j += 1;
@@ -911,6 +918,18 @@ fn parse_items(cur: &mut Cursor<'_>, in_block: bool) -> Result<Vec<Item>, Error>
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn string_line_continuation_still_counts_its_newline() {
+        let src = "fn f() {\n    let s = \"a \\\n       b\";\n    after();\n}\n";
+        let ts = tokenize(src).expect("lexes");
+        let after = ts
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("after token");
+        assert_eq!(after.line, 4, "the \\<newline> escape spans lines 2-3");
+    }
 
     #[test]
     fn tokenizer_strips_comments_and_lexes_literals() {
